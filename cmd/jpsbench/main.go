@@ -1,0 +1,203 @@
+// Command jpsbench regenerates the paper's tables and figures: per
+// experiment or all at once, as text tables and optional CSV files.
+//
+// Usage:
+//
+//	jpsbench -all
+//	jpsbench -fig 12 -n 100
+//	jpsbench -fig 13 -model mobilenetv2 -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dnnjps/internal/experiments"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/report"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		fig    = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations")
+		model  = flag.String("model", "alexnet", "model for figure 4/13 (alexnet, mobilenetv2, ...)")
+		n      = flag.Int("n", 100, "number of inference jobs")
+		csvDir = flag.String("csv", "", "directory to also write tables as CSV")
+	)
+	flag.Parse()
+
+	env := experiments.DefaultEnv()
+	env.NJobs = *n
+
+	ids := []string{*fig}
+	if *all {
+		ids = []string{"4", "11", "12", "12d", "table1", "13", "14", "ablations", "hetero", "stream", "dtypes", "3tier", "robust"}
+	}
+	if !*all && *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		tables, err := run(env, id, *model)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "jpsbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "jpsbench: render: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, t); err != nil {
+					fmt.Fprintf(os.Stderr, "jpsbench: csv: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+}
+
+func run(env experiments.Env, id, model string) ([]*report.Table, error) {
+	switch id {
+	case "4":
+		rows := experiments.Fig4(env, model, netsim.WiFi)
+		return []*report.Table{experiments.Fig4Table(model, netsim.WiFi, rows)}, nil
+	case "11":
+		rows, err := experiments.Fig11(env, netsim.FourG)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.Fig11Table(rows)}, nil
+	case "12":
+		cells, err := experiments.Fig12(env)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.Fig12Table(cells)}, nil
+	case "12d":
+		rows, err := experiments.Fig12Overhead(env, netsim.FourG)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.Fig12OverheadTable(rows)}, nil
+	case "table1":
+		cells, err := experiments.Fig12(env)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.Table1Table(experiments.Table1(cells))}, nil
+	case "13":
+		var tables []*report.Table
+		for _, m := range []string{"alexnet", "mobilenetv2"} {
+			rows, err := experiments.Fig13(env, m, experiments.DefaultBandwidths())
+			if err != nil {
+				return nil, err
+			}
+			t := experiments.Fig13Table(m, rows)
+			lo, hi, ok := experiments.BenefitRange(rows, 0.01)
+			if ok {
+				t.Title += fmt.Sprintf(" — benefit range [%.0f, %.0f] Mb/s", lo, hi)
+			}
+			tables = append(tables, t)
+		}
+		return tables, nil
+	case "14":
+		bands := []float64{9, 10, 11}
+		var tables []*report.Table
+		for _, cfg := range []struct {
+			model  string
+			ratios []float64
+		}{
+			{"resnet18", []float64{2, 3, 4, 5, 6, 7, 8, 9}},
+			{"googlenet", []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}},
+		} {
+			rows, err := experiments.Fig14(env, cfg.model, cfg.ratios, bands)
+			if err != nil {
+				return nil, err
+			}
+			tables = append(tables, experiments.Fig14Table(cfg.model, bands, rows))
+		}
+		return tables, nil
+	case "ablations":
+		sched, err := experiments.AblationScheduling(env, 7)
+		if err != nil {
+			return nil, err
+		}
+		mix, err := experiments.AblationMixStrategies(env)
+		if err != nil {
+			return nil, err
+		}
+		vb, err := experiments.AblationVirtualBlocks(env)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{
+			experiments.AblationSchedulingTable(sched),
+			experiments.AblationMixTable(mix),
+			experiments.AblationVirtualBlocksTable(vb),
+		}, nil
+	case "hetero":
+		rows, err := experiments.HeteroWorkload(env)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.HeteroTable(rows)}, nil
+	case "stream":
+		rows, err := experiments.Stream(env, model, netsim.FourG,
+			[]float64{0.5, 1, 2, 3, 4, 6, 8}, 120)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.StreamTable(model, netsim.FourG, rows)}, nil
+	case "dtypes":
+		rows, err := experiments.AblationDTypes(env)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.AblationDTypesTable(rows)}, nil
+	case "3tier":
+		rows, err := experiments.ThreeTier(env)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.ThreeTierTable(rows)}, nil
+	case "robust":
+		rows, err := experiments.Robustness(env, model, netsim.FourG,
+			[]float64{-50, -25, -10, 0, 10, 25, 50, 100})
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.RobustnessTable(model, netsim.FourG, rows)}, nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q (have 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, 3tier, robust)", id)
+	}
+}
+
+func writeCSV(dir string, t *report.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, t.Title)
+	if len(name) > 80 {
+		name = name[:80]
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dnnjps/internal/experiments"
+)
+
+func testEnv() experiments.Env {
+	env := experiments.DefaultEnv()
+	env.NJobs = 10 // keep CLI tests quick
+	return env
+}
+
+func TestRunEveryExperimentID(t *testing.T) {
+	env := testEnv()
+	for _, id := range []string{"4", "12", "12d", "table1", "14", "ablations", "hetero", "stream", "dtypes", "3tier", "robust"} {
+		tables, err := run(env, id, "alexnet")
+		if err != nil {
+			t.Fatalf("run(%s): %v", id, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("run(%s): no tables", id)
+		}
+		for _, tb := range tables {
+			if len(tb.Rows) == 0 {
+				t.Errorf("run(%s): empty table %q", id, tb.Title)
+			}
+		}
+	}
+}
+
+func TestRunFig13Small(t *testing.T) {
+	env := testEnv()
+	// Fig. 13 uses a fixed full sweep; just confirm it runs and tags
+	// the benefit range.
+	tables, err := run(env, "13", "alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables", len(tables))
+	}
+	if !strings.Contains(tables[0].Title, "benefit range") {
+		t.Errorf("title missing benefit range: %q", tables[0].Title)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := run(testEnv(), "99", "alexnet"); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	env := testEnv()
+	tables, err := run(env, "4", "alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := writeCSV(dir, tables[0]); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if len(matches) != 1 {
+		t.Fatalf("csv files = %v", matches)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Layer,Block") {
+		t.Errorf("csv missing headers: %s", data)
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dnnjps/internal/profile"
+)
+
+func TestRunProfileWithArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	lookup := filepath.Join(dir, "lookup.json")
+	dot := filepath.Join(dir, "model.dot")
+	if err := run("alexnet", 18.88, lookup, dot); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tab, err := profile.LoadLookupTable(f)
+	if err != nil {
+		t.Fatalf("lookup table invalid: %v", err)
+	}
+	if len(tab.Keys()) != 3 {
+		t.Errorf("lookup keys = %v, want one per preset channel", tab.Keys())
+	}
+
+	dotData, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dotData), "digraph") {
+		t.Error("DOT file missing digraph header")
+	}
+}
+
+func TestRunProfileNoArtifacts(t *testing.T) {
+	if err := run("mobilenetv2", 5.85, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProfileUnknownModel(t *testing.T) {
+	if err := run("lenet", 5.85, "", ""); err == nil {
+		t.Error("unknown model must error")
+	}
+}

@@ -1,0 +1,48 @@
+// Command jpsserve runs the cloud-side inference server: it loads the
+// named model with a deterministic seed (clients must use the same
+// seed so both sides hold identical weights) and serves partitioned
+// inference requests over TCP.
+//
+// Usage:
+//
+//	jpsserve -model mobilenetv2 -addr :7443 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"dnnjps/internal/engine"
+	"dnnjps/internal/models"
+	"dnnjps/internal/runtime"
+)
+
+func main() {
+	var (
+		model = flag.String("model", "alexnet", "model name: "+fmt.Sprint(models.Names()))
+		addr  = flag.String("addr", "127.0.0.1:7443", "listen address")
+		seed  = flag.Int64("seed", 42, "weight seed (must match the client)")
+	)
+	flag.Parse()
+	if err := run(*model, *addr, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "jpsserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model, addr string, seed int64) error {
+	g, err := models.Build(model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loading %s (seed %d)...\n", model, seed)
+	m := engine.Load(g, seed)
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s on %s\n", model, lis.Addr())
+	return runtime.NewServer(m).Serve(lis)
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"dnnjps/internal/engine"
+	"dnnjps/internal/models"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/runtime"
+	"dnnjps/internal/tensor"
+)
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("lenet", "127.0.0.1:0", 1); err == nil {
+		t.Error("unknown model must error")
+	}
+	if err := run("alexnet", "256.256.256.256:99999", 1); err == nil {
+		t.Error("unlistenable address must error")
+	}
+}
+
+// End-to-end over the same wiring main uses: start a listener, serve a
+// model, classify a partitioned request from a real client.
+func TestServeRoundTrip(t *testing.T) {
+	g := models.MustBuild("squeezenet")
+	const seed = 9
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	defer lis.Close()
+	go func() { _ = runtime.NewServer(engine.Load(g, seed).Parallel(0)).Serve(lis) }()
+
+	conn, err := net.DialTimeout("tcp", lis.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	cl := runtime.NewClient(conn, engine.Load(g, seed).Parallel(0), netsim.WiFi, 1e-6)
+
+	in := tensor.New(tensor.NewCHW(3, 224, 224))
+	for i := range in.Data {
+		in.Data[i] = float32(i%31)/31 - 0.5
+	}
+	// Cut right after the input unit (cloud-only): the client does no
+	// heavy compute, the server classifies — fast enough for a test
+	// even on AlexNet.
+	res, err := cl.RunJob(1, 0, in)
+	if err != nil {
+		t.Fatalf("RunJob: %v", err)
+	}
+	if res.Class < 0 || res.Class >= 1000 {
+		t.Errorf("class = %d out of range", res.Class)
+	}
+	if res.CloudMs <= 0 {
+		t.Errorf("server compute time = %v, want > 0", res.CloudMs)
+	}
+}

@@ -1,0 +1,57 @@
+package dnnjps_test
+
+import (
+	"fmt"
+
+	"dnnjps"
+)
+
+// The complete happy path: build a model, profile it for a channel,
+// and jointly plan a batch of jobs.
+func ExampleJPS() {
+	g, _ := dnnjps.BuildModel("alexnet")
+	curve := dnnjps.BuildCurve(g, dnnjps.RaspberryPi4(), dnnjps.CloudGPU(),
+		dnnjps.FourG, dnnjps.Float32)
+	plan, _ := dnnjps.JPS(curve, 8)
+	lo, _ := dnnjps.LO(curve, 8)
+	fmt.Printf("makespan %.0f ms (%.1fx faster than local-only)\n",
+		plan.Makespan, lo.Makespan/plan.Makespan)
+	// Output: makespan 2205 ms (4.8x faster than local-only)
+}
+
+// Cloud-only is hopeless on 3G: just uploading one raw frame takes
+// longer than the paper's 4-second cutoff.
+func ExampleCO() {
+	g, _ := dnnjps.BuildModel("mobilenetv2")
+	curve := dnnjps.BuildCurve(g, dnnjps.RaspberryPi4(), dnnjps.CloudGPU(),
+		dnnjps.ThreeG, dnnjps.Float32)
+	co, _ := dnnjps.CO(curve, 1)
+	fmt.Printf("cloud-only on 3G: %.1f s per frame\n", co.Makespan/1000)
+	// Output: cloud-only on 3G: 4.4 s per frame
+}
+
+// A mixed workload (the paper's future-work case) plans jointly across
+// model classes.
+func ExampleJPSHetero() {
+	pi, gpu := dnnjps.RaspberryPi4(), dnnjps.CloudGPU()
+	alex, _ := dnnjps.BuildModel("alexnet")
+	mob, _ := dnnjps.BuildModel("mobilenetv2")
+	plan, _ := dnnjps.JPSHetero([]dnnjps.JobClass{
+		{Curve: dnnjps.BuildCurve(alex, pi, gpu, dnnjps.WiFi, dnnjps.Float32), Count: 4},
+		{Curve: dnnjps.BuildCurve(mob, pi, gpu, dnnjps.WiFi, dnnjps.Float32), Count: 4},
+	})
+	fmt.Printf("%d jobs, avg %.0f ms each\n", plan.TotalJobs(), plan.AvgMs())
+	// Output: 8 jobs, avg 133 ms each
+}
+
+// Streaming frames sustainably: the plan reports the fastest frame
+// interval the pipeline can absorb.
+func ExamplePlanStream() {
+	g, _ := dnnjps.BuildModel("alexnet")
+	curve := dnnjps.BuildCurve(g, dnnjps.RaspberryPi4(), dnnjps.CloudGPU(),
+		dnnjps.FourG, dnnjps.Float32)
+	plan, _ := dnnjps.PlanStream(curve, dnnjps.PeriodicReleases(30, 400))
+	fmt.Printf("sustainable at 400ms/frame: %v (bound %.0f ms)\n",
+		plan.Sustainable(400), plan.SustainableMs)
+	// Output: sustainable at 400ms/frame: true (bound 256 ms)
+}

@@ -1,0 +1,56 @@
+// Quickstart: profile a DNN, jointly plan partition + schedule for a
+// batch of inference jobs, and compare against the baselines — the
+// whole library in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dnnjps/internal/core"
+	"dnnjps/internal/models"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/report"
+	"dnnjps/internal/tensor"
+)
+
+func main() {
+	// 1. Build a model from the zoo (AlexNet, the paper's running
+	// example) and profile it into a cut curve: f(l) = cumulative
+	// mobile time, g(l) = upload time of the tensor crossing cut l.
+	g := models.MustBuild("alexnet")
+	mobile, cloud := profile.RaspberryPi4(), profile.CloudGPU()
+	curve := profile.BuildCurve(g, mobile, cloud, netsim.FourG, tensor.Float32)
+	fmt.Printf("%s: %.2f GFLOPs, local-only %.0f ms/job, cloud-only %.0f ms/job\n\n",
+		g.Name(), g.TotalFLOPs()/1e9, curve.TotalMobileMs(), curve.CloudOnlyMs())
+
+	// 2. Jointly plan partition and schedule for 8 simultaneous jobs
+	// (Algorithm 2 binary search + Theorem 5.3 mix + Johnson's rule).
+	const n = 8
+	plan, err := core.JPS(curve, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("JPS: makespan %.0f ms for %d jobs (%.0f ms/job average)\n",
+		plan.Makespan, n, plan.AvgMs())
+	for i, j := range plan.Sequence {
+		fmt.Printf("  slot %d: job %d cut after %q (compute %.0f ms, upload %.0f ms)\n",
+			i, j.ID, curve.Labels[plan.Cuts[j.ID]], j.A, j.B)
+	}
+
+	// 3. Compare with cloud-only, local-only and partition-only plans.
+	t := report.NewTable("", "Scheme", "Makespan (ms)", "Speedup vs scheme")
+	for _, fn := range []func(*profile.Curve, int) (*core.Plan, error){core.CO, core.LO, core.PO} {
+		p, err := fn(curve, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(p.Method, p.Makespan, fmt.Sprintf("%.2fx", p.Makespan/plan.Makespan))
+	}
+	fmt.Println()
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

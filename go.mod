@@ -1,0 +1,3 @@
+module dnnjps
+
+go 1.22

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"dnnjps/internal/profile"
+)
+
+// ErrSearchSpaceTooLarge is returned when an exhaustive search would
+// exceed the caller's combination budget.
+var ErrSearchSpaceTooLarge = fmt.Errorf("core: brute-force search space too large")
+
+// BruteForce finds the exact optimal joint plan by enumerating every
+// multiset of cuts of size n over the Pareto candidates and scheduling
+// each with Johnson's rule (which is makespan-optimal for fixed
+// partitions, so multiset enumeration loses nothing: jobs are
+// identical and only how many take each cut matters — this is the BF
+// reference of Fig. 11). maxCombos bounds the number of multisets
+// visited (0 means 2_000_000).
+func BruteForce(c *profile.Curve, n, maxCombos int) (*Plan, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: BruteForce needs n >= 1, got %d", n)
+	}
+	if maxCombos <= 0 {
+		maxCombos = 2_000_000
+	}
+	r, idx := c.Restrict(c.ParetoCuts())
+	k := r.Len()
+	if combosExceed(n, k, maxCombos) {
+		return nil, fmt.Errorf("%w: C(%d+%d-1,%d) > %d", ErrSearchSpaceTooLarge, n, k, n, maxCombos)
+	}
+
+	counts := make([]int, k) // counts[i] = jobs cut at restricted position i
+	var best *Plan
+	visited := 0
+	var rec func(pos, remaining int) error
+	rec = func(pos, remaining int) error {
+		if pos == k-1 {
+			counts[pos] = remaining
+			visited++
+			if visited > maxCombos {
+				return ErrSearchSpaceTooLarge
+			}
+			cuts := cutsFromCounts(counts, idx, n)
+			p := planFromCuts("BF", c, cuts)
+			if best == nil || p.Makespan < best.Makespan {
+				best = p
+			}
+			return nil
+		}
+		for take := 0; take <= remaining; take++ {
+			counts[pos] = take
+			if err := rec(pos+1, remaining-take); err != nil {
+				return err
+			}
+		}
+		counts[pos] = 0
+		return nil
+	}
+	if err := rec(0, n); err != nil {
+		return nil, err
+	}
+	return best, nil
+}
+
+// combosExceed reports whether C(n+k-1, n) > limit without overflow.
+func combosExceed(n, k, limit int) bool {
+	// Multiplicative evaluation of C(n+k-1, k-1) with early exit.
+	val := 1.0
+	for i := 1; i <= k-1; i++ {
+		val *= float64(n+i) / float64(i)
+		if val > float64(limit) {
+			return true
+		}
+	}
+	return false
+}
+
+func cutsFromCounts(counts, idx []int, n int) []int {
+	cuts := make([]int, 0, n)
+	for pos, cnt := range counts {
+		for j := 0; j < cnt; j++ {
+			cuts = append(cuts, idx[pos])
+		}
+	}
+	return cuts
+}
+
+// BruteForceTwoPoint searches only plans using at most two distinct
+// cut positions (all pairs × all splits) over the Pareto candidates.
+// By Theorem 5.3 this captures the optimum whenever two partition
+// types suffice, and it stays polynomial — O(k²·n) schedules — so
+// Fig. 11 can run it at n = 2⁹ where full BF is infeasible.
+func BruteForceTwoPoint(c *profile.Curve, n int) (*Plan, error) {
+	return TwoPointSearch(c, n, c.ParetoCuts())
+}
+
+// TwoPointSearch is BruteForceTwoPoint over an explicit candidate cut
+// set — the virtual-block ablation uses it to search the raw,
+// unclustered position set.
+func TwoPointSearch(c *profile.Curve, n int, candidates []int) (*Plan, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: TwoPointSearch needs n >= 1, got %d", n)
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: TwoPointSearch needs candidates")
+	}
+	var best *Plan
+	consider := func(cuts []int) {
+		p := planFromCuts("BF-2pt", c, cuts)
+		if best == nil || p.Makespan < best.Makespan {
+			best = p
+		}
+	}
+	k := len(candidates)
+	for i := 0; i < k; i++ {
+		// Homogeneous plan at candidate i.
+		cuts := make([]int, n)
+		for t := range cuts {
+			cuts[t] = candidates[i]
+		}
+		consider(cuts)
+		for j := i + 1; j < k; j++ {
+			for m := 1; m < n; m++ {
+				cuts := make([]int, n)
+				for t := range cuts {
+					if t < m {
+						cuts[t] = candidates[i]
+					} else {
+						cuts[t] = candidates[j]
+					}
+				}
+				consider(cuts)
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+
+	"dnnjps/internal/profile"
+	"dnnjps/internal/regression"
+)
+
+// ContinuousSolution is the Theorem 5.2 optimum of the relaxed problem
+// P2: the single real-valued cut position x* where the continuous
+// extensions of f and g cross, shared by all n jobs.
+type ContinuousSolution struct {
+	XStar float64
+	// FAtXStar = GAtXStar at the crossing; this value is the optimal
+	// asymptotic average makespan lim (max_j τ_j)/n of §4.2.
+	FAtXStar float64
+	GAtXStar float64
+}
+
+// AvgMakespanBound returns the relaxed optimum of the average
+// makespan: max(f(x*), g(x*)) — a lower bound on what any discrete
+// plan can achieve asymptotically.
+func (s ContinuousSolution) AvgMakespanBound() float64 {
+	return max(s.FAtXStar, s.GAtXStar)
+}
+
+// SolveContinuous relaxes the (Pareto-restricted) curve to the
+// continuous domain by piecewise-linear interpolation and finds the
+// crossing f(x*) = g(x*) by bisection. Per Theorem 5.2, cutting all
+// jobs at x* is optimal for the relaxed problem.
+func SolveContinuous(c *profile.Curve) (ContinuousSolution, error) {
+	r, _ := c.Restrict(c.ParetoCuts())
+	if r.Len() < 2 {
+		return ContinuousSolution{}, fmt.Errorf("core: curve too short for continuous relaxation")
+	}
+	fi, gi := r.FInterp(), r.GInterp()
+	lo, hi := fi.Domain()
+	x, ok := regression.CrossingPoint(fi.Eval, gi.Eval, lo, hi)
+	if !ok {
+		return ContinuousSolution{}, fmt.Errorf("core: f and g do not cross on [%g,%g]", lo, hi)
+	}
+	return ContinuousSolution{XStar: x, FAtXStar: fi.Eval(x), GAtXStar: gi.Eval(x)}, nil
+}

@@ -1,0 +1,301 @@
+package core
+
+// Heterogeneous jobs — the paper's closing future-work item ("joint
+// partition and scheduling for ... heterogeneous jobs is worth further
+// investigation"). A workload mixes several job classes, each an
+// identical-DNN batch with its own cut curve (e.g. 4 AlexNet frames +
+// 4 MobileNet frames arriving together). Per class, Algorithm 2 still
+// yields the crossing and its two-type mix; classes then share the
+// mobile CPU and the uplink, so the union is scheduled with Johnson's
+// rule, which remains makespan-optimal for any fixed partition of a
+// two-stage flow shop. Cut choices across classes interact only
+// through the schedule, so a one-pass coordinate descent over each
+// class's candidate splits (as in PlanGeneral) captures the coupling.
+
+import (
+	"fmt"
+
+	"dnnjps/internal/flowshop"
+	"dnnjps/internal/profile"
+)
+
+// JobClass is one homogeneous slice of a heterogeneous workload.
+type JobClass struct {
+	// Name labels the class in schedules (defaults to the curve's
+	// model name).
+	Name string
+	// Curve is the class's profiled cut curve.
+	Curve *profile.Curve
+	// Count is the number of identical jobs of this class.
+	Count int
+}
+
+func (c JobClass) label() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return c.Curve.Model
+}
+
+// HeteroRef identifies one scheduled job of a heterogeneous plan.
+type HeteroRef struct {
+	Class int // index into the plan's Classes
+	Job   int // job index within the class
+	Cut   int // cut position on the class's curve
+	F, G  float64
+}
+
+// HeteroPlan is a joint decision for a heterogeneous workload.
+type HeteroPlan struct {
+	Method   string
+	Classes  []JobClass
+	Sequence []HeteroRef
+	Makespan float64
+}
+
+// TotalJobs returns the workload size.
+func (p *HeteroPlan) TotalJobs() int {
+	n := 0
+	for _, c := range p.Classes {
+		n += c.Count
+	}
+	return n
+}
+
+// AvgMs is the average completion time Makespan / total jobs.
+func (p *HeteroPlan) AvgMs() float64 {
+	if n := p.TotalJobs(); n > 0 {
+		return p.Makespan / float64(n)
+	}
+	return 0
+}
+
+// classChoice is one class's planned cuts: which two positions it
+// mixes and how many jobs take the earlier one.
+type classChoice struct {
+	r      *profile.Curve
+	idx    []int
+	search CutSearch
+	splits []int // candidate atPrev values
+}
+
+// JPSHetero jointly plans a heterogeneous workload: Algorithm 2 per
+// class, balanced two-type splits per class refined by one pass of
+// coordinate descent over the joint Johnson schedule.
+func JPSHetero(classes []JobClass) (*HeteroPlan, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("core: JPSHetero needs at least one class")
+	}
+	choices := make([]classChoice, len(classes))
+	for i, c := range classes {
+		if c.Count <= 0 {
+			return nil, fmt.Errorf("core: class %d (%s) has count %d", i, c.label(), c.Count)
+		}
+		if c.Curve == nil {
+			return nil, fmt.Errorf("core: class %d has no curve", i)
+		}
+		r, idx := c.Curve.Restrict(c.Curve.ParetoCuts())
+		search, err := BinarySearchCut(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: class %s: %w", c.label(), err)
+		}
+		ch := classChoice{r: r, idx: idx, search: search}
+		if search.Exact || search.LStar == 0 {
+			ch.splits = []int{0}
+		} else {
+			lo, hi := BalancedSplit(r, search.LStar, c.Count)
+			mPaper, _ := MixCounts(c.Count, search.Ratio)
+			ch.splits = uniqueInts(lo, hi, mPaper, 0, c.Count)
+		}
+		choices[i] = ch
+	}
+
+	current := make([]int, len(classes))
+	for i := range current {
+		current[i] = choices[i].splits[0]
+	}
+	best := evalHetero(classes, choices, current)
+	// Coordinate descent: try each class's alternative splits while
+	// holding the others fixed.
+	for i, ch := range choices {
+		for _, s := range ch.splits[1:] {
+			trial := append([]int(nil), current...)
+			trial[i] = s
+			if cand := evalHetero(classes, choices, trial); cand.Makespan < best.Makespan {
+				best = cand
+				current = trial
+			}
+		}
+	}
+	best.Method = "JPS-hetero"
+	return best, nil
+}
+
+func uniqueInts(vals ...int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range vals {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// evalHetero materializes the workload for given per-class splits and
+// schedules the union with Johnson's rule.
+func evalHetero(classes []JobClass, choices []classChoice, splits []int) *HeteroPlan {
+	type key struct{ class, job int }
+	var jobs []flowshop.Job
+	refs := map[int]HeteroRef{}
+	id := 0
+	for ci, c := range classes {
+		ch := choices[ci]
+		for j := 0; j < c.Count; j++ {
+			pos := ch.search.LStar
+			if !ch.search.Exact && ch.search.LStar > 0 && j < splits[ci] {
+				pos = ch.search.LStar - 1
+			}
+			cut := ch.idx[pos]
+			refs[id] = HeteroRef{
+				Class: ci, Job: j, Cut: cut,
+				F: ch.r.F[pos], G: ch.r.G[pos],
+			}
+			jobs = append(jobs, flowshop.Job{ID: id, A: ch.r.F[pos], B: ch.r.G[pos]})
+			id++
+		}
+	}
+	seq := flowshop.Johnson(jobs)
+	plan := &HeteroPlan{Classes: classes, Makespan: flowshop.Makespan(seq)}
+	for _, j := range seq {
+		plan.Sequence = append(plan.Sequence, refs[j.ID])
+	}
+	return plan
+}
+
+// HeteroBaseline plans every class with the given per-class planner
+// (e.g. PO, LO, CO) and schedules the union with Johnson's rule —
+// the "plan each class in isolation" reference point.
+func HeteroBaseline(method string, plan func(*profile.Curve, int) (*Plan, error), classes []JobClass) (*HeteroPlan, error) {
+	var jobs []flowshop.Job
+	refs := map[int]HeteroRef{}
+	id := 0
+	for ci, c := range classes {
+		p, err := plan(c.Curve, c.Count)
+		if err != nil {
+			return nil, fmt.Errorf("core: class %s: %w", c.label(), err)
+		}
+		for j, cut := range p.Cuts {
+			refs[id] = HeteroRef{Class: ci, Job: j, Cut: cut,
+				F: c.Curve.F[cut], G: c.Curve.G[cut]}
+			jobs = append(jobs, flowshop.Job{ID: id, A: c.Curve.F[cut], B: c.Curve.G[cut]})
+			id++
+		}
+	}
+	seq := flowshop.Johnson(jobs)
+	out := &HeteroPlan{Method: method, Classes: classes, Makespan: flowshop.Makespan(seq)}
+	for _, j := range seq {
+		out.Sequence = append(out.Sequence, refs[j.ID])
+	}
+	return out, nil
+}
+
+// BruteForceHetero enumerates the cross product of per-class cut
+// multisets (Johnson-scheduled) — the exact heterogeneous optimum for
+// small workloads. maxCombos bounds the total combinations (0 means
+// 2_000_000).
+func BruteForceHetero(classes []JobClass, maxCombos int) (*HeteroPlan, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("core: BruteForceHetero needs at least one class")
+	}
+	if maxCombos <= 0 {
+		maxCombos = 2_000_000
+	}
+	type classSpace struct {
+		r   *profile.Curve
+		idx []int
+	}
+	spaces := make([]classSpace, len(classes))
+	total := 1.0
+	for i, c := range classes {
+		if c.Count <= 0 {
+			return nil, fmt.Errorf("core: class %d has count %d", i, c.Count)
+		}
+		r, idx := c.Curve.Restrict(c.Curve.ParetoCuts())
+		spaces[i] = classSpace{r: r, idx: idx}
+		total *= multisets(c.Count, r.Len())
+		if total > float64(maxCombos) {
+			return nil, fmt.Errorf("%w: ~%.0f combinations", ErrSearchSpaceTooLarge, total)
+		}
+	}
+
+	// counts[i] is the per-position multiset of class i.
+	counts := make([][]int, len(classes))
+	for i, s := range spaces {
+		counts[i] = make([]int, s.r.Len())
+	}
+	var best *HeteroPlan
+	evaluate := func() {
+		var jobs []flowshop.Job
+		refs := map[int]HeteroRef{}
+		id := 0
+		for ci := range classes {
+			s := spaces[ci]
+			job := 0
+			for pos, cnt := range counts[ci] {
+				for t := 0; t < cnt; t++ {
+					cut := s.idx[pos]
+					refs[id] = HeteroRef{Class: ci, Job: job, Cut: cut,
+						F: s.r.F[pos], G: s.r.G[pos]}
+					jobs = append(jobs, flowshop.Job{ID: id, A: s.r.F[pos], B: s.r.G[pos]})
+					id++
+					job++
+				}
+			}
+		}
+		seq := flowshop.Johnson(jobs)
+		span := flowshop.Makespan(seq)
+		if best == nil || span < best.Makespan {
+			p := &HeteroPlan{Method: "BF-hetero", Classes: classes, Makespan: span}
+			for _, j := range seq {
+				p.Sequence = append(p.Sequence, refs[j.ID])
+			}
+			best = p
+		}
+	}
+
+	var recClass func(ci int)
+	recClass = func(ci int) {
+		if ci == len(classes) {
+			evaluate()
+			return
+		}
+		k := len(counts[ci])
+		var recPos func(pos, remaining int)
+		recPos = func(pos, remaining int) {
+			if pos == k-1 {
+				counts[ci][pos] = remaining
+				recClass(ci + 1)
+				return
+			}
+			for take := 0; take <= remaining; take++ {
+				counts[ci][pos] = take
+				recPos(pos+1, remaining-take)
+			}
+			counts[ci][pos] = 0
+		}
+		recPos(0, classes[ci].Count)
+	}
+	recClass(0)
+	return best, nil
+}
+
+// multisets approximates C(n+k-1, k-1) in float64 for space sizing.
+func multisets(n, k int) float64 {
+	v := 1.0
+	for i := 1; i <= k-1; i++ {
+		v *= float64(n+i) / float64(i)
+	}
+	return v
+}

@@ -1,0 +1,41 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dnnjps/internal/tensor"
+)
+
+// WriteDOT emits the graph in Graphviz DOT format, one node per layer
+// annotated with its kind and output shape, edges labeled with the
+// tensor byte volume they carry — handy for eyeballing where the
+// planner's cut candidates sit.
+func (g *Graph) WriteDOT(w io.Writer, dt tensor.DType) error {
+	g.mustFinalized()
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", g.name); err != nil {
+		return err
+	}
+	for _, id := range g.topo {
+		n := g.nodes[id]
+		label := fmt.Sprintf("%s\\n%s %s", escapeDOT(n.Layer.Name()), n.Layer.Kind(), n.OutShape)
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\"];\n", id, label); err != nil {
+			return err
+		}
+	}
+	for _, id := range g.topo {
+		for _, s := range g.succs[id] {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"%dB\", fontsize=8];\n",
+				id, s, g.OutBytes(id, dt)); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func escapeDOT(s string) string {
+	return strings.NewReplacer(`"`, `\"`, `\`, `\\`).Replace(s)
+}

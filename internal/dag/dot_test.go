@@ -1,0 +1,54 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+
+	"dnnjps/internal/tensor"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := fig9Graph(t)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, tensor.Float32); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph \"fig9\"",
+		"v0", "v7",
+		"->",
+		"1024B", // 4x8x8 float32 tensors on every edge
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// One node line per graph node, one edge line per edge.
+	nodes := strings.Count(out, "[label=\"v")
+	if nodes != g.Len() {
+		t.Errorf("DOT has %d node labels, want %d", nodes, g.Len())
+	}
+	edges := strings.Count(out, "->")
+	wantEdges := 0
+	for id := 0; id < g.Len(); id++ {
+		wantEdges += len(g.Succs(id))
+	}
+	if edges != wantEdges {
+		t.Errorf("DOT has %d edges, want %d", edges, wantEdges)
+	}
+}
+
+func TestWriteDOTUnfinalizedPanics(t *testing.T) {
+	g := New("raw")
+	mustPanic(t, "WriteDOT before Finalize", func() {
+		_ = g.WriteDOT(&strings.Builder{}, tensor.Float32)
+	})
+}
+
+func TestEscapeDOT(t *testing.T) {
+	if got := escapeDOT(`a"b\c`); got != `a\"b\\c` {
+		t.Errorf("escapeDOT = %q", got)
+	}
+}

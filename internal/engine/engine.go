@@ -1,0 +1,202 @@
+// Package engine executes real float32 forward passes over dag.Graph
+// models — the replacement for the paper's PyTorch engines on both the
+// client and the server. Weights are deterministically initialized
+// from a seed so client and server instantiate identical models
+// without shipping parameters, mirroring the paper's setup where both
+// sides pre-load the same pre-cut model.
+package engine
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"dnnjps/internal/dag"
+	"dnnjps/internal/nn"
+	"dnnjps/internal/tensor"
+)
+
+// params holds one layer's learned tensors.
+type params struct {
+	w, b []float32
+}
+
+// Model is a graph plus its instantiated weights, ready to execute.
+type Model struct {
+	g       *dag.Graph
+	seed    int64
+	params  map[int]params
+	workers int // convolution parallelism; see Parallel
+}
+
+// Load instantiates weights for every parametric layer of the graph.
+// Initialization is deterministic in (seed, layer name): two Loads of
+// the same model with the same seed produce bit-identical weights.
+func Load(g *dag.Graph, seed int64) *Model {
+	m := &Model{g: g, seed: seed, params: make(map[int]params), workers: 1}
+	for _, id := range g.Topo() {
+		node := g.Node(id)
+		ins := g.InputShapes(id)
+		switch l := node.Layer.(type) {
+		case *nn.Conv2D:
+			inC := ins[0].C() / maxInt(l.Groups, 1)
+			fanIn := l.KH * l.KW * inC
+			p := params{w: initSlice(seed, l.LayerName+"/w", l.OutC*fanIn, fanIn)}
+			if l.Bias {
+				p.b = initSlice(seed, l.LayerName+"/b", l.OutC, fanIn)
+			}
+			m.params[id] = p
+		case *nn.DepthwiseConv2D:
+			c := ins[0].C()
+			fanIn := l.KH * l.KW
+			p := params{w: initSlice(seed, l.LayerName+"/w", c*fanIn, fanIn)}
+			if l.Bias {
+				p.b = initSlice(seed, l.LayerName+"/b", c, fanIn)
+			}
+			m.params[id] = p
+		case *nn.Dense:
+			in := ins[0].Elems()
+			p := params{w: initSlice(seed, l.LayerName+"/w", l.Out*in, in)}
+			if l.Bias {
+				p.b = initSlice(seed, l.LayerName+"/b", l.Out, in)
+			}
+			m.params[id] = p
+		case *nn.BatchNorm:
+			c := ins[0].C()
+			// Scale near 1, shift near 0 (folded inference form).
+			p := params{w: make([]float32, c), b: make([]float32, c)}
+			rng := rngFor(seed, l.LayerName)
+			for i := 0; i < c; i++ {
+				p.w[i] = 1 + 0.1*float32(rng.NormFloat64())
+				p.b[i] = 0.05 * float32(rng.NormFloat64())
+			}
+			m.params[id] = p
+		}
+	}
+	return m
+}
+
+// Graph returns the model's graph.
+func (m *Model) Graph() *dag.Graph { return m.g }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func rngFor(seed int64, name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+}
+
+// initSlice draws n values from N(0, 1/fanIn) — He-style scaling keeps
+// activations bounded through deep stacks.
+func initSlice(seed int64, name string, n, fanIn int) []float32 {
+	rng := rngFor(seed, name)
+	std := 1 / math.Sqrt(float64(maxInt(fanIn, 1)))
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(rng.NormFloat64() * std)
+	}
+	return out
+}
+
+// Forward runs the whole model on one input tensor and returns the
+// sink's output.
+func (m *Model) Forward(input *tensor.Tensor) (*tensor.Tensor, error) {
+	acts := map[int]*tensor.Tensor{}
+	if err := m.Execute(acts, input, m.g.Topo()); err != nil {
+		return nil, err
+	}
+	return acts[m.g.Sink()], nil
+}
+
+// Execute evaluates the given nodes (which must be in topological
+// order) into acts. The input tensor seeds the source node when the
+// node list contains it; otherwise acts must already hold every
+// predecessor activation — this is how the server resumes from a cut:
+// the client ships the boundary activations, the server executes the
+// remaining node range.
+func (m *Model) Execute(acts map[int]*tensor.Tensor, input *tensor.Tensor, nodes []int) error {
+	for _, id := range nodes {
+		node := m.g.Node(id)
+		if _, ok := node.Layer.(*nn.Input); ok {
+			if input == nil {
+				return fmt.Errorf("engine: %q needs an input tensor", node.Layer.Name())
+			}
+			if !input.Shape.Equal(node.OutShape) {
+				return fmt.Errorf("engine: input shape %v, model wants %v", input.Shape, node.OutShape)
+			}
+			acts[id] = input
+			continue
+		}
+		ins := make([]*tensor.Tensor, 0, len(m.g.Preds(id)))
+		for _, p := range m.g.Preds(id) {
+			a, ok := acts[p]
+			if !ok {
+				return fmt.Errorf("engine: %q missing activation of predecessor %q",
+					node.Layer.Name(), m.g.Node(p).Layer.Name())
+			}
+			ins = append(ins, a)
+		}
+		out, err := m.eval(id, node, ins)
+		if err != nil {
+			return err
+		}
+		acts[id] = out
+	}
+	return nil
+}
+
+// eval dispatches one layer.
+func (m *Model) eval(id int, node *dag.Node, ins []*tensor.Tensor) (*tensor.Tensor, error) {
+	switch l := node.Layer.(type) {
+	case *nn.Conv2D:
+		return conv2d(ins[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride,
+			l.EffPadH(), l.EffPadW(), maxInt(l.Groups, 1), m.workers), nil
+	case *nn.DepthwiseConv2D:
+		return dwconv2d(ins[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride, l.Pad, m.workers), nil
+	case *nn.MaxPool2D:
+		return maxpool(ins[0], node.OutShape, l.K, l.Stride, l.Pad), nil
+	case *nn.AvgPool2D:
+		return avgpool(ins[0], node.OutShape, l.K, l.Stride, l.Pad), nil
+	case *nn.GlobalAvgPool2D:
+		return globalAvgPool(ins[0]), nil
+	case *nn.Dense:
+		return dense(ins[0], m.params[id], l.Out), nil
+	case *nn.Activation:
+		return activate(ins[0], l.Func), nil
+	case *nn.BatchNorm:
+		return batchNorm(ins[0], m.params[id]), nil
+	case *nn.LRN:
+		return lrn(ins[0], l.Size), nil
+	case *nn.Dropout:
+		return ins[0], nil // identity at inference
+	case *nn.Flatten:
+		return ins[0].Flatten(), nil
+	case *nn.Concat:
+		return concat(ins, node.OutShape), nil
+	case *nn.Add:
+		return add(ins), nil
+	case *nn.Softmax:
+		return softmax(ins[0]), nil
+	default:
+		return nil, fmt.Errorf("engine: unsupported layer type %T (%s)", node.Layer, node.Layer.Name())
+	}
+}
+
+// Argmax returns the index of the largest element — the predicted
+// class of a classifier head.
+func Argmax(t *tensor.Tensor) int {
+	best, bestV := 0, float32(math.Inf(-1))
+	for i, v := range t.Data {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

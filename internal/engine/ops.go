@@ -1,0 +1,313 @@
+package engine
+
+import (
+	"math"
+
+	"dnnjps/internal/nn"
+	"dnnjps/internal/tensor"
+)
+
+// conv2d is a direct grouped convolution in CHW layout with per-axis
+// padding, parallelized over output channels.
+func conv2d(in *tensor.Tensor, outShape tensor.Shape, p params, kh, kw, stride, padH, padW, groups, workers int) *tensor.Tensor {
+	out := tensor.New(outShape)
+	inC, inH, inW := in.Shape.C(), in.Shape.H(), in.Shape.W()
+	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
+	icpg := inC / groups  // input channels per group
+	ocpg := outC / groups // output channels per group
+	kSize := kh * kw * icpg
+	parallelFor(workers, outC, func(ocLo, ocHi int) {
+		conv2dRange(in, out, p, kh, kw, stride, padH, padW, icpg, ocpg, kSize,
+			inH, inW, outH, outW, ocLo, ocHi)
+	})
+	return out
+}
+
+func conv2dRange(in, out *tensor.Tensor, p params, kh, kw, stride, padH, padW, icpg, ocpg, kSize, inH, inW, outH, outW, ocLo, ocHi int) {
+	for oc := ocLo; oc < ocHi; oc++ {
+		grp := oc / ocpg
+		wBase := oc * kSize
+		var bias float32
+		if p.b != nil {
+			bias = p.b[oc]
+		}
+		for oh := 0; oh < outH; oh++ {
+			ihBase := oh*stride - padH
+			for ow := 0; ow < outW; ow++ {
+				iwBase := ow*stride - padW
+				sum := bias
+				for ic := 0; ic < icpg; ic++ {
+					cIn := grp*icpg + ic
+					for r := 0; r < kh; r++ {
+						ih := ihBase + r
+						if ih < 0 || ih >= inH {
+							continue
+						}
+						rowIn := (cIn*inH + ih) * inW
+						rowW := wBase + (ic*kh+r)*kw
+						for c := 0; c < kw; c++ {
+							iw := iwBase + c
+							if iw < 0 || iw >= inW {
+								continue
+							}
+							sum += in.Data[rowIn+iw] * p.w[rowW+c]
+						}
+					}
+				}
+				out.Data[(oc*outH+oh)*outW+ow] = sum
+			}
+		}
+	}
+}
+
+// dwconv2d is a depthwise convolution (one kernel per channel),
+// parallelized over channels.
+func dwconv2d(in *tensor.Tensor, outShape tensor.Shape, p params, kh, kw, stride, pad, workers int) *tensor.Tensor {
+	out := tensor.New(outShape)
+	inH, inW := in.Shape.H(), in.Shape.W()
+	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
+	parallelFor(workers, outC, func(cLo, cHi int) {
+		dwconv2dRange(in, out, p, kh, kw, stride, pad, inH, inW, outH, outW, cLo, cHi)
+	})
+	return out
+}
+
+func dwconv2dRange(in, out *tensor.Tensor, p params, kh, kw, stride, pad, inH, inW, outH, outW, cLo, cHi int) {
+	for c := cLo; c < cHi; c++ {
+		wBase := c * kh * kw
+		var bias float32
+		if p.b != nil {
+			bias = p.b[c]
+		}
+		for oh := 0; oh < outH; oh++ {
+			ihBase := oh*stride - pad
+			for ow := 0; ow < outW; ow++ {
+				iwBase := ow*stride - pad
+				sum := bias
+				for r := 0; r < kh; r++ {
+					ih := ihBase + r
+					if ih < 0 || ih >= inH {
+						continue
+					}
+					rowIn := (c*inH + ih) * inW
+					rowW := wBase + r*kw
+					for cc := 0; cc < kw; cc++ {
+						iw := iwBase + cc
+						if iw < 0 || iw >= inW {
+							continue
+						}
+						sum += in.Data[rowIn+iw] * p.w[rowW+cc]
+					}
+				}
+				out.Data[(c*outH+oh)*outW+ow] = sum
+			}
+		}
+	}
+}
+
+func maxpool(in *tensor.Tensor, outShape tensor.Shape, k, stride, pad int) *tensor.Tensor {
+	out := tensor.New(outShape)
+	inH, inW := in.Shape.H(), in.Shape.W()
+	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
+	for c := 0; c < outC; c++ {
+		for oh := 0; oh < outH; oh++ {
+			for ow := 0; ow < outW; ow++ {
+				best := float32(math.Inf(-1))
+				for r := 0; r < k; r++ {
+					ih := oh*stride - pad + r
+					if ih < 0 || ih >= inH {
+						continue
+					}
+					for cc := 0; cc < k; cc++ {
+						iw := ow*stride - pad + cc
+						if iw < 0 || iw >= inW {
+							continue
+						}
+						if v := in.Data[(c*inH+ih)*inW+iw]; v > best {
+							best = v
+						}
+					}
+				}
+				out.Data[(c*outH+oh)*outW+ow] = best
+			}
+		}
+	}
+	return out
+}
+
+func avgpool(in *tensor.Tensor, outShape tensor.Shape, k, stride, pad int) *tensor.Tensor {
+	out := tensor.New(outShape)
+	inH, inW := in.Shape.H(), in.Shape.W()
+	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
+	for c := 0; c < outC; c++ {
+		for oh := 0; oh < outH; oh++ {
+			for ow := 0; ow < outW; ow++ {
+				var sum float32
+				count := 0
+				for r := 0; r < k; r++ {
+					ih := oh*stride - pad + r
+					if ih < 0 || ih >= inH {
+						continue
+					}
+					for cc := 0; cc < k; cc++ {
+						iw := ow*stride - pad + cc
+						if iw < 0 || iw >= inW {
+							continue
+						}
+						sum += in.Data[(c*inH+ih)*inW+iw]
+						count++
+					}
+				}
+				if count > 0 {
+					out.Data[(c*outH+oh)*outW+ow] = sum / float32(count)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func globalAvgPool(in *tensor.Tensor) *tensor.Tensor {
+	c, h, w := in.Shape.C(), in.Shape.H(), in.Shape.W()
+	out := tensor.New(tensor.NewVec(c))
+	plane := h * w
+	for ch := 0; ch < c; ch++ {
+		var sum float32
+		base := ch * plane
+		for i := 0; i < plane; i++ {
+			sum += in.Data[base+i]
+		}
+		out.Data[ch] = sum / float32(plane)
+	}
+	return out
+}
+
+func dense(in *tensor.Tensor, p params, outN int) *tensor.Tensor {
+	out := tensor.New(tensor.NewVec(outN))
+	inN := len(in.Data)
+	for o := 0; o < outN; o++ {
+		var sum float32
+		if p.b != nil {
+			sum = p.b[o]
+		}
+		row := o * inN
+		for i := 0; i < inN; i++ {
+			sum += p.w[row+i] * in.Data[i]
+		}
+		out.Data[o] = sum
+	}
+	return out
+}
+
+func activate(in *tensor.Tensor, fn nn.ActFunc) *tensor.Tensor {
+	out := tensor.New(in.Shape)
+	switch fn {
+	case nn.ReLU:
+		for i, v := range in.Data {
+			if v > 0 {
+				out.Data[i] = v
+			}
+		}
+	case nn.ReLU6:
+		for i, v := range in.Data {
+			switch {
+			case v <= 0:
+			case v >= 6:
+				out.Data[i] = 6
+			default:
+				out.Data[i] = v
+			}
+		}
+	case nn.Sigmoid:
+		for i, v := range in.Data {
+			out.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+		}
+	case nn.Tanh:
+		for i, v := range in.Data {
+			out.Data[i] = float32(math.Tanh(float64(v)))
+		}
+	}
+	return out
+}
+
+func batchNorm(in *tensor.Tensor, p params) *tensor.Tensor {
+	out := tensor.New(in.Shape)
+	c, h, w := in.Shape.C(), in.Shape.H(), in.Shape.W()
+	plane := h * w
+	for ch := 0; ch < c; ch++ {
+		scale, shift := p.w[ch], p.b[ch]
+		base := ch * plane
+		for i := 0; i < plane; i++ {
+			out.Data[base+i] = in.Data[base+i]*scale + shift
+		}
+	}
+	return out
+}
+
+// lrn implements AlexNet-style local response normalization across
+// channels with the standard constants (k=2, alpha=1e-4, beta=0.75).
+func lrn(in *tensor.Tensor, size int) *tensor.Tensor {
+	out := tensor.New(in.Shape)
+	c, h, w := in.Shape.C(), in.Shape.H(), in.Shape.W()
+	plane := h * w
+	half := size / 2
+	for ch := 0; ch < c; ch++ {
+		lo, hi := ch-half, ch+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= c {
+			hi = c - 1
+		}
+		for i := 0; i < plane; i++ {
+			var sq float64
+			for cc := lo; cc <= hi; cc++ {
+				v := float64(in.Data[cc*plane+i])
+				sq += v * v
+			}
+			denom := math.Pow(2+1e-4*sq, 0.75)
+			out.Data[ch*plane+i] = float32(float64(in.Data[ch*plane+i]) / denom)
+		}
+	}
+	return out
+}
+
+func concat(ins []*tensor.Tensor, outShape tensor.Shape) *tensor.Tensor {
+	out := tensor.New(outShape)
+	off := 0
+	for _, in := range ins {
+		copy(out.Data[off:], in.Data)
+		off += len(in.Data)
+	}
+	return out
+}
+
+func add(ins []*tensor.Tensor) *tensor.Tensor {
+	out := ins[0].Clone()
+	for _, in := range ins[1:] {
+		for i, v := range in.Data {
+			out.Data[i] += v
+		}
+	}
+	return out
+}
+
+func softmax(in *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(in.Shape)
+	maxV := float32(math.Inf(-1))
+	for _, v := range in.Data {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range in.Data {
+		e := math.Exp(float64(v - maxV))
+		out.Data[i] = float32(e)
+		sum += e
+	}
+	for i := range out.Data {
+		out.Data[i] = float32(float64(out.Data[i]) / sum)
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel sets the worker count used by heavy layers (standard and
+// depthwise convolutions split their output channels across
+// goroutines; everything else is memory-bound and stays serial).
+// workers <= 0 selects GOMAXPROCS. Returns the model for chaining.
+// Results are bit-identical regardless of worker count: each output
+// element is written by exactly one goroutine.
+func (m *Model) Parallel(workers int) *Model {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m.workers = workers
+	return m
+}
+
+// parallelFor splits [0, n) into contiguous chunks, one goroutine per
+// chunk, and waits. With one worker (or tiny n) it runs inline.
+func parallelFor(workers, n int, body func(lo, hi int)) {
+	if workers <= 1 || n < 2 {
+		body(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,55 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"dnnjps/internal/dag"
+)
+
+// Parallel execution must be bit-identical to serial: every output
+// element is owned by exactly one goroutine, so no ordering effects.
+func TestParallelForwardBitIdentical(t *testing.T) {
+	for _, build := range []func(*testing.T) *dag.Graph{tinyCNN, tinyResidual} {
+		g := build(t)
+		in := seededInput(g.Node(g.Source()).OutShape)
+		serial, err := Load(g, 7).Forward(in.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8, 0 /* GOMAXPROCS */} {
+			par, err := Load(g, 7).Parallel(workers).Forward(in.Clone())
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			for i := range serial.Data {
+				if par.Data[i] != serial.Data[i] {
+					t.Fatalf("%s workers=%d: output[%d] differs: %g vs %g",
+						g.Name(), workers, i, par.Data[i], serial.Data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForChunking(t *testing.T) {
+	// Every index covered exactly once for assorted worker counts.
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 2, 5, 16, 17} {
+			hits := make([]int, n)
+			var mu sync.Mutex
+			parallelFor(workers, n, func(lo, hi int) {
+				mu.Lock()
+				defer mu.Unlock()
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"dnnjps/internal/core"
+	"dnnjps/internal/flowshop"
+	"dnnjps/internal/models"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/report"
+)
+
+// SchedulingAblationRow compares sequencing policies for a fixed JPS
+// partition: Johnson (optimal), FIFO (job order as generated), and the
+// adversarial worst order — quantifying how much the scheduling half
+// of the joint optimization contributes.
+type SchedulingAblationRow struct {
+	Model     string
+	Channel   string
+	JohnsonMs float64
+	FIFOMs    float64
+	WorstMs   float64
+}
+
+// AblationScheduling runs the sequencing comparison with a small n so
+// the exhaustive worst case stays tractable.
+func AblationScheduling(env Env, n int) ([]SchedulingAblationRow, error) {
+	if n <= 0 || n > 9 {
+		n = 7
+	}
+	var rows []SchedulingAblationRow
+	for _, model := range models.PaperModels() {
+		g := mustModel(model)
+		for _, ch := range netsim.Presets() {
+			curve := env.curveFor(g, ch)
+			plan, err := core.JPS(curve, n)
+			if err != nil {
+				return nil, err
+			}
+			jobs := core.JobsForCuts(curve, plan.Cuts)
+			// FIFO models an arbitrary arrival order (the planner
+			// emits jobs comm-heavy-first, which would make FIFO
+			// trivially equal Johnson); shuffle deterministically.
+			arrival := append([]flowshop.Job(nil), jobs...)
+			rng := rand.New(rand.NewSource(99))
+			rng.Shuffle(len(arrival), func(i, j int) { arrival[i], arrival[j] = arrival[j], arrival[i] })
+			_, worst := flowshop.WorstPermutation(jobs)
+			rows = append(rows, SchedulingAblationRow{
+				Model:     model,
+				Channel:   ch.Name,
+				JohnsonMs: flowshop.Makespan(flowshop.Johnson(jobs)),
+				FIFOMs:    flowshop.Makespan(arrival),
+				WorstMs:   worst,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationSchedulingTable renders the rows.
+func AblationSchedulingTable(rows []SchedulingAblationRow) *report.Table {
+	t := report.NewTable("Ablation — sequencing policy for fixed JPS partitions (makespan, ms)",
+		"Model", "Channel", "Johnson", "FIFO", "Worst")
+	for _, r := range rows {
+		t.AddRow(displayName(r.Model), r.Channel, r.JohnsonMs, r.FIFOMs, r.WorstMs)
+	}
+	return t
+}
+
+// MixAblationRow compares the split strategies over the same two
+// candidate layers: the paper's floored integer ratio, the balanced
+// split JPS uses, the exhaustive best mix, and the two-point optimum
+// over all layer pairs.
+type MixAblationRow struct {
+	Model        string
+	Channel      string
+	PaperRatioMs float64
+	BalancedMs   float64
+	BestMixMs    float64
+	TwoPointMs   float64
+}
+
+// AblationMixStrategies runs the mix comparison at env.NJobs.
+func AblationMixStrategies(env Env) ([]MixAblationRow, error) {
+	var rows []MixAblationRow
+	for _, model := range models.PaperModels() {
+		g := mustModel(model)
+		for _, ch := range netsim.Presets() {
+			curve := env.curveFor(g, ch)
+			paper, err := core.JPSPaperRatio(curve, env.NJobs)
+			if err != nil {
+				return nil, err
+			}
+			bal, err := core.JPS(curve, env.NJobs)
+			if err != nil {
+				return nil, err
+			}
+			best, err := core.JPSBestMix(curve, env.NJobs)
+			if err != nil {
+				return nil, err
+			}
+			two, err := core.BruteForceTwoPoint(curve, env.NJobs)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, MixAblationRow{
+				Model:        model,
+				Channel:      ch.Name,
+				PaperRatioMs: paper.Makespan,
+				BalancedMs:   bal.Makespan,
+				BestMixMs:    best.Makespan,
+				TwoPointMs:   two.Makespan,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationMixTable renders the rows.
+func AblationMixTable(rows []MixAblationRow) *report.Table {
+	t := report.NewTable("Ablation — two-point mix strategies (makespan, ms)",
+		"Model", "Channel", "PaperRatio", "Balanced(JPS)", "BestMix", "TwoPointOpt")
+	for _, r := range rows {
+		t.AddRow(displayName(r.Model), r.Channel, r.PaperRatioMs, r.BalancedMs, r.BestMixMs, r.TwoPointMs)
+	}
+	return t
+}
+
+// VirtualBlockAblationRow quantifies virtual-block clustering (§3.2):
+// candidate cut counts and two-point-optimal makespans with and
+// without the Pareto restriction, plus the planning time saved.
+type VirtualBlockAblationRow struct {
+	Model          string
+	Channel        string
+	RawCuts        int
+	ParetoCuts     int
+	RawMakespanMs  float64 // two-point optimum over ALL positions
+	ParetoMspanMs  float64 // two-point optimum over Pareto positions
+	RawPlanTime    time.Duration
+	ParetoPlanTime time.Duration
+}
+
+// AblationVirtualBlocks verifies the §3.2 claim that dominated cuts
+// can be dropped without losing the optimum: the two-point optimum on
+// the full curve must match the one on the Pareto-restricted curve.
+func AblationVirtualBlocks(env Env) ([]VirtualBlockAblationRow, error) {
+	var rows []VirtualBlockAblationRow
+	n := env.NJobs
+	for _, model := range models.PaperModels() {
+		g := mustModel(model)
+		for _, ch := range netsim.Presets() {
+			curve := env.curveFor(g, ch)
+			pareto := curve.ParetoCuts()
+
+			all := make([]int, curve.Len())
+			for i := range all {
+				all[i] = i
+			}
+
+			start := time.Now()
+			raw, err := core.TwoPointSearch(curve, n, all)
+			if err != nil {
+				return nil, err
+			}
+			rawTime := time.Since(start)
+
+			start = time.Now()
+			par, err := core.TwoPointSearch(curve, n, pareto)
+			if err != nil {
+				return nil, err
+			}
+			parTime := time.Since(start)
+
+			rows = append(rows, VirtualBlockAblationRow{
+				Model:          model,
+				Channel:        ch.Name,
+				RawCuts:        curve.Len(),
+				ParetoCuts:     len(pareto),
+				RawMakespanMs:  raw.Makespan,
+				ParetoMspanMs:  par.Makespan,
+				RawPlanTime:    rawTime,
+				ParetoPlanTime: parTime,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationVirtualBlocksTable renders the rows.
+func AblationVirtualBlocksTable(rows []VirtualBlockAblationRow) *report.Table {
+	t := report.NewTable("Ablation — virtual-block clustering (Pareto cut restriction)",
+		"Model", "Channel", "AllCuts", "ParetoCuts", "Opt(all)", "Opt(pareto)", "Plan(all)", "Plan(pareto)")
+	for _, r := range rows {
+		t.AddRow(displayName(r.Model), r.Channel, r.RawCuts, r.ParetoCuts,
+			r.RawMakespanMs, r.ParetoMspanMs, r.RawPlanTime.String(), r.ParetoPlanTime.String())
+	}
+	return t
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dnnjps/internal/netsim"
+)
+
+func env() Env { return DefaultEnv() }
+
+func TestFig4AlexNetShape(t *testing.T) {
+	rows := Fig4(env(), "alexnet", netsim.WiFi)
+	// The paper's Fig. 4 plots 8 AlexNet blocks.
+	if len(rows) != 8 {
+		t.Fatalf("got %d blocks, want 8", len(rows))
+	}
+	for _, r := range rows {
+		// Fig. 4(a): cloud computation negligible next to mobile.
+		if r.CloudMs > r.MobileMs {
+			t.Errorf("block %s: cloud %.2f > mobile %.2f", r.Block, r.CloudMs, r.MobileMs)
+		}
+	}
+	// Fig. 4(b) trend: communication volume decreases overall — the
+	// last communicating block ships far less than the first.
+	first, last := rows[0], rows[len(rows)-2] // last row ships nothing
+	if last.Bytes*4 > first.Bytes {
+		t.Errorf("comm volume should shrink strongly: first %d, late %d", first.Bytes, last.Bytes)
+	}
+	tbl := Fig4Table("alexnet", netsim.WiFi, rows)
+	if !strings.Contains(tbl.String(), "conv1") {
+		t.Error("table missing block names")
+	}
+}
+
+func TestFig11JPSNearOptimal(t *testing.T) {
+	rows, err := Fig11(env(), netsim.FourG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 2 models x 4 job counts
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// JPS+ (globalized two-type search) stays within 5% of the
+		// reference optimum at every scale. The binary-search JPS can
+		// trail further on our block-granular curves, whose adjacent
+		// positions differ drastically (outside Theorem 5.3's premise)
+		// — documented in EXPERIMENTS.md; bound it loosely.
+		if r.JPSPlusMs > r.BFMs*1.05 {
+			t.Errorf("%s n=%d: JPS+ %.1f vs BF %.1f (>5%% gap)", r.Model, r.N, r.JPSPlusMs, r.BFMs)
+		}
+		if r.JPSMs > r.BFMs*1.35 {
+			t.Errorf("%s n=%d: JPS %.1f vs BF %.1f (>35%% gap)", r.Model, r.N, r.JPSMs, r.BFMs)
+		}
+		if r.Exact && (r.JPSMs < r.BFMs*(1-1e-9) || r.JPSPlusMs < r.BFMs*(1-1e-9)) {
+			t.Errorf("%s n=%d: planner below exhaustive optimum (impossible): %+v", r.Model, r.N, r)
+		}
+	}
+	// Small-n exhaustive rows exist for both models.
+	exact := 0
+	for _, r := range rows {
+		if r.Exact {
+			exact++
+		}
+	}
+	if exact < 4 {
+		t.Errorf("only %d exhaustive BF rows; expected n=2 and n=8 for both models", exact)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	cells, err := Fig12(env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 { // 4 models x 3 channels
+		t.Fatalf("got %d cells", len(cells))
+	}
+	byKey := map[string]Fig12Cell{}
+	for _, c := range cells {
+		byKey[c.Model+"@"+c.Channel] = c
+		// JPS never loses to LO or CO, and not to PO beyond fuzz.
+		if c.JPSMs > c.LOMs*1.001 {
+			t.Errorf("%s@%s: JPS %.1f > LO %.1f", c.Model, c.Channel, c.JPSMs, c.LOMs)
+		}
+		if c.JPSMs > c.COMs*1.001 {
+			t.Errorf("%s@%s: JPS %.1f > CO %.1f", c.Model, c.Channel, c.JPSMs, c.COMs)
+		}
+		if c.JPSMs > c.POMs*1.02 {
+			t.Errorf("%s@%s: JPS %.1f > PO %.1f", c.Model, c.Channel, c.JPSMs, c.POMs)
+		}
+	}
+	// Paper: CO is omitted at 3G (upload alone > 4s) for the 224x224
+	// models.
+	for _, m := range []string{"alexnet", "googlenet", "mobilenetv2", "resnet18"} {
+		if byKey[m+"@3G"].COFeasible {
+			t.Errorf("%s@3G: CO should be infeasible (>4s), got %.0fms", m, byKey[m+"@3G"].COMs)
+		}
+	}
+	// Paper: at 3G, offloading barely helps ResNet18 but helps
+	// MobileNet-v2 a lot.
+	resGain := pct(byKey["resnet18@3G"].LOMs, byKey["resnet18@3G"].JPSMs)
+	mobGain := pct(byKey["mobilenetv2@3G"].LOMs, byKey["mobilenetv2@3G"].JPSMs)
+	if resGain > mobGain {
+		t.Errorf("3G: ResNet18 gain %.1f%% should be below MobileNet gain %.1f%%", resGain, mobGain)
+	}
+	// Gains grow with bandwidth for every model (paper: Fig. 12a->12c).
+	for _, m := range []string{"alexnet", "googlenet", "mobilenetv2", "resnet18"} {
+		g3 := pct(byKey[m+"@3G"].LOMs, byKey[m+"@3G"].JPSMs)
+		gw := pct(byKey[m+"@Wi-Fi"].LOMs, byKey[m+"@Wi-Fi"].JPSMs)
+		if gw+1e-9 < g3 {
+			t.Errorf("%s: Wi-Fi gain %.1f%% below 3G gain %.1f%%", m, gw, g3)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	cells, err := Fig12(env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Table1(cells)
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.POPct < 0 || r.POPct > 100 || r.JPSPct < 0 || r.JPSPct > 100 {
+			t.Errorf("%s@%s: reductions out of range: %+v", r.Model, r.Channel, r)
+		}
+		// Joint optimization never reduces less than partition-only
+		// (up to rounding fuzz).
+		if r.JPSPct < r.POPct-0.5 {
+			t.Errorf("%s@%s: JPS %.1f%% < PO %.1f%%", r.Model, r.Channel, r.JPSPct, r.POPct)
+		}
+	}
+	tbl := Table1Table(rows)
+	if !strings.Contains(tbl.String(), "AlexNet") {
+		t.Error("table missing model names")
+	}
+}
+
+func TestFig12Overhead(t *testing.T) {
+	rows, err := Fig12Overhead(env(), netsim.FourG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Fig. 12(d): overhead negligible — planning adds well under
+		// 10% to the makespan (the paper's bars sit near 1.0).
+		if r.OverheadRatio > 1.1 {
+			t.Errorf("%s: overhead ratio %.3f too high", r.Model, r.OverheadRatio)
+		}
+		if r.PlanMs <= 0 {
+			t.Errorf("%s: non-positive planning time", r.Model)
+		}
+	}
+}
+
+func TestFig13BenefitRange(t *testing.T) {
+	e := env()
+	e.NJobs = 50 // keep the sweep fast
+	bands := []float64{1, 2, 3, 5, 8, 12, 18, 25, 35, 50, 65, 80}
+	for _, model := range []string{"alexnet", "mobilenetv2"} {
+		rows, err := Fig13(e, model, bands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != len(bands) {
+			t.Fatalf("%s: got %d rows", model, len(rows))
+		}
+		// LO is bandwidth-independent; CO monotonically improves.
+		for i := 1; i < len(rows); i++ {
+			if rows[i].LOMs != rows[0].LOMs {
+				t.Errorf("%s: LO must not depend on bandwidth", model)
+			}
+			if rows[i].COMs > rows[i-1].COMs+1e-6 {
+				t.Errorf("%s: CO must improve with bandwidth", model)
+			}
+		}
+		// At 1 Mb/s offloading is hopeless: JPS ~ LO. At 80 Mb/s CO is
+		// competitive: JPS <= LO strictly.
+		if rows[0].JPSMs > rows[0].LOMs*1.001 {
+			t.Errorf("%s@1Mbps: JPS %.0f above LO %.0f", model, rows[0].JPSMs, rows[0].LOMs)
+		}
+		last := rows[len(rows)-1]
+		if last.JPSMs > last.LOMs {
+			t.Errorf("%s@80Mbps: JPS %.0f should beat LO %.0f", model, last.JPSMs, last.LOMs)
+		}
+		// The paper's [1,20] Mb/s speedup claim: JPS beats both LO and
+		// CO somewhere in that window.
+		lo, hi, ok := BenefitRange(rows, 0.01)
+		if !ok {
+			t.Fatalf("%s: no benefit range found", model)
+		}
+		if lo > 20 {
+			t.Errorf("%s: benefit range starts at %.0f Mb/s, expected within [1,20]", model, lo)
+		}
+		if hi < 18 {
+			t.Errorf("%s: benefit range ends at %.0f Mb/s, expected to cover Wi-Fi", model, hi)
+		}
+	}
+}
+
+func TestFig14RatioSweep(t *testing.T) {
+	e := env()
+	bands := []float64{9, 10, 11}
+	ratios := []float64{0.25, 0.5, 1, 2, 3, 5, 7, 9}
+	for _, model := range []string{"resnet18", "googlenet"} {
+		rows, err := Fig14(e, model, ratios, bands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != len(ratios) {
+			t.Fatalf("%s: got %d rows", model, len(rows))
+		}
+		for _, b := range bands {
+			best := BestRatio(rows, b)
+			if best == 0 {
+				t.Fatalf("%s: no best ratio at %g", model, b)
+			}
+		}
+	}
+	if _, err := Fig14(e, "resnet18", []float64{-1}, bands); err == nil {
+		t.Error("negative ratio must error")
+	}
+}
+
+func TestAblationScheduling(t *testing.T) {
+	rows, err := AblationScheduling(env(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.JohnsonMs > r.FIFOMs+1e-9 {
+			t.Errorf("%s@%s: Johnson %.1f > FIFO %.1f", r.Model, r.Channel, r.JohnsonMs, r.FIFOMs)
+		}
+		if r.FIFOMs > r.WorstMs+1e-9 {
+			t.Errorf("%s@%s: FIFO %.1f > worst %.1f", r.Model, r.Channel, r.FIFOMs, r.WorstMs)
+		}
+	}
+}
+
+func TestAblationMixStrategies(t *testing.T) {
+	e := env()
+	e.NJobs = 40
+	rows, err := AblationMixStrategies(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		const eps = 1e-9
+		if r.TwoPointMs > r.BestMixMs+eps {
+			t.Errorf("%s@%s: two-point %.1f > best mix %.1f", r.Model, r.Channel, r.TwoPointMs, r.BestMixMs)
+		}
+		if r.BestMixMs > r.BalancedMs+eps {
+			t.Errorf("%s@%s: best mix %.1f > balanced %.1f", r.Model, r.Channel, r.BestMixMs, r.BalancedMs)
+		}
+		if r.BalancedMs > r.PaperRatioMs+eps {
+			t.Errorf("%s@%s: balanced %.1f > paper ratio %.1f", r.Model, r.Channel, r.BalancedMs, r.PaperRatioMs)
+		}
+	}
+}
+
+func TestAblationVirtualBlocks(t *testing.T) {
+	e := env()
+	e.NJobs = 30
+	rows, err := AblationVirtualBlocks(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// §3.2's claim: dropping dominated cuts loses nothing.
+		if r.ParetoMspanMs > r.RawMakespanMs*(1+1e-9) {
+			t.Errorf("%s@%s: Pareto optimum %.2f worse than raw %.2f — clustering lost the optimum",
+				r.Model, r.Channel, r.ParetoMspanMs, r.RawMakespanMs)
+		}
+		if r.ParetoCuts >= r.RawCuts {
+			t.Errorf("%s@%s: clustering removed nothing (%d vs %d)",
+				r.Model, r.Channel, r.ParetoCuts, r.RawCuts)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dnnjps/internal/netsim"
+)
+
+func TestHeteroWorkload(t *testing.T) {
+	rows, err := HeteroWorkload(env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Joint planning never loses to any isolated baseline.
+		for name, base := range map[string]float64{"PO": r.POMs, "LO": r.LOMs, "CO": r.COMs} {
+			if r.JPSMs > base*1.02 {
+				t.Errorf("%s: JPS-hetero %.1f worse than %s %.1f", r.Channel, r.JPSMs, name, base)
+			}
+		}
+	}
+	// And strictly gains somewhere.
+	won := false
+	for _, r := range rows {
+		if r.JPSMs < r.POMs*0.99 {
+			won = true
+		}
+	}
+	if !won {
+		t.Error("hetero JPS shows no gain over PO at any channel")
+	}
+	if !strings.Contains(HeteroTable(rows).String(), "JPS-hetero") {
+		t.Error("table missing header")
+	}
+}
+
+func TestStreamExperiment(t *testing.T) {
+	e := env()
+	rows, err := Stream(e, "alexnet", netsim.FourG, []float64{0.5, 2, 4, 8}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Sojourn times grow with frame rate; once unsustainable, max
+	// sojourn blows past the sustainable points.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].P50SojournMs+1e-9 < rows[i-1].P50SojournMs {
+			t.Errorf("p50 sojourn should not fall as FPS rises: %+v -> %+v", rows[i-1], rows[i])
+		}
+	}
+	var sustMax, unsustMax float64
+	for _, r := range rows {
+		if r.Sustainable && r.MaxSojournMs > sustMax {
+			sustMax = r.MaxSojournMs
+		}
+		if !r.Sustainable && r.MaxSojournMs > unsustMax {
+			unsustMax = r.MaxSojournMs
+		}
+	}
+	if sustMax == 0 || unsustMax == 0 {
+		t.Fatalf("sweep must include sustainable and unsustainable rates: %+v", rows)
+	}
+	if unsustMax < 2*sustMax {
+		t.Errorf("overload should clearly queue up: sustainable max %.1f, overload max %.1f",
+			sustMax, unsustMax)
+	}
+	if _, err := Stream(e, "alexnet", netsim.FourG, []float64{-1}, 10); err == nil {
+		t.Error("negative fps must error")
+	}
+}
+
+func TestAblationDTypes(t *testing.T) {
+	rows, err := AblationDTypes(env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byModel := map[string][]DTypeRow{}
+	for _, r := range rows {
+		byModel[r.Model] = append(byModel[r.Model], r)
+	}
+	for model, rs := range byModel {
+		// Narrower wire formats can only help (g shrinks pointwise).
+		if rs[1].JPSMs > rs[0].JPSMs*1.001 || rs[2].JPSMs > rs[1].JPSMs*1.001 {
+			t.Errorf("%s: quantization should monotonically help: %+v", model, rs)
+		}
+		// float32 row is the baseline with shift 0; narrower formats
+		// never push the crossing later.
+		if rs[0].CutShift != 0 {
+			t.Errorf("%s: baseline shift = %d", model, rs[0].CutShift)
+		}
+		for _, r := range rs[1:] {
+			if r.CutShift > 0 {
+				t.Errorf("%s/%s: crossing moved later (%d) with a smaller wire format",
+					model, r.DType, r.CutShift)
+			}
+		}
+	}
+	if !strings.Contains(AblationDTypesTable(rows).String(), "float16") {
+		t.Error("table missing dtype rows")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if median(nil) != 0 {
+		t.Error("empty median must be 0")
+	}
+	if m := median([]float64{5, 1, 3}); m != 3 {
+		t.Errorf("median = %g, want 3", m)
+	}
+}

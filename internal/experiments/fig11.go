@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"errors"
+	"time"
+
+	"dnnjps/internal/core"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/report"
+)
+
+// Fig11Row compares JPS against the brute-force optimum for one job
+// count on AlexNet or the synthetic AlexNet′ (whose communication
+// curve is resampled from the fitted exponential — §6.3).
+type Fig11Row struct {
+	Model string
+	N     int
+	// JPSMs is the binary-search planner's makespan; JPSPlusMs is the
+	// globalized two-type search (see core.JPSPlus).
+	JPSMs     float64
+	JPSPlusMs float64
+	BFMs      float64
+	// Exact reports whether the BF column is the exhaustive multiset
+	// optimum (small n) or the two-point optimum (large n, where full
+	// enumeration is infeasible — the regime the paper's BF bars stop).
+	Exact   bool
+	Optimal bool // JPSPlus matched BF within float tolerance
+	JPSTime time.Duration
+	BFTime  time.Duration
+}
+
+// Fig11 runs the comparison for the paper's job counts n = 2^1, 2^3,
+// 2^7, 2^9 on both AlexNet and AlexNet′ at the given channel.
+func Fig11(env Env, ch netsim.Channel) ([]Fig11Row, error) {
+	curve := env.curveFor(mustModel("alexnet"), ch)
+	syn, err := curve.Synthetic()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig11Row
+	for _, c := range []*profile.Curve{curve, syn} {
+		for _, n := range []int{2, 8, 128, 512} {
+			row, err := fig11Row(c, n)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func fig11Row(c *profile.Curve, n int) (Fig11Row, error) {
+	row := Fig11Row{Model: c.Model, N: n}
+	start := time.Now()
+	jps, err := core.JPS(c, n)
+	if err != nil {
+		return row, err
+	}
+	row.JPSTime = time.Since(start)
+	row.JPSMs = jps.Makespan
+
+	plus, err := core.JPSPlus(c, n)
+	if err != nil {
+		return row, err
+	}
+	row.JPSPlusMs = plus.Makespan
+
+	start = time.Now()
+	bf, err := core.BruteForce(c, n, 200_000)
+	switch {
+	case err == nil:
+		row.Exact = true
+	case errors.Is(err, core.ErrSearchSpaceTooLarge):
+		if bf, err = core.BruteForceTwoPoint(c, n); err != nil {
+			return row, err
+		}
+	default:
+		return row, err
+	}
+	row.BFTime = time.Since(start)
+	row.BFMs = bf.Makespan
+	row.Optimal = row.JPSPlusMs <= row.BFMs*(1+1e-9)
+	return row, nil
+}
+
+// Fig11Table renders the rows.
+func Fig11Table(rows []Fig11Row) *report.Table {
+	t := report.NewTable("Fig. 11 — JPS vs brute force (makespan, ms)",
+		"Model", "N", "JPS(ms)", "JPS+(ms)", "BF(ms)", "BFKind", "JPS+=BF", "JPSPlanTime", "BFPlanTime")
+	for _, r := range rows {
+		kind := "two-point"
+		if r.Exact {
+			kind = "exhaustive"
+		}
+		t.AddRow(r.Model, r.N, r.JPSMs, r.JPSPlusMs, r.BFMs, kind, r.Optimal,
+			r.JPSTime.String(), r.BFTime.String())
+	}
+	return t
+}

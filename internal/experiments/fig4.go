@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/report"
+)
+
+// Fig4Row is one block of the AlexNet per-layer profile: mobile
+// compute, upload and cloud compute time of each block (Fig. 4 plots
+// these as grouped bars over 8 "layers").
+type Fig4Row struct {
+	Layer    int
+	Block    string
+	MobileMs float64
+	CommMs   float64
+	CloudMs  float64
+	Bytes    int
+}
+
+// Fig4 profiles a model block-by-block on a channel. The paper's
+// figure uses AlexNet; any zoo model works.
+func Fig4(env Env, model string, ch netsim.Channel) []Fig4Row {
+	g := mustModel(model)
+	stats := profile.BlockProfile(g, env.Mobile, env.Cloud, ch, env.DType)
+	rows := make([]Fig4Row, 0, len(stats))
+	layer := 0
+	for _, s := range stats {
+		if s.Label == "input" {
+			continue // the input pseudo-block costs nothing
+		}
+		layer++
+		rows = append(rows, Fig4Row{
+			Layer:    layer,
+			Block:    s.Label,
+			MobileMs: s.MobileMs,
+			CommMs:   s.CommMs,
+			CloudMs:  s.CloudMs,
+			Bytes:    s.Bytes,
+		})
+	}
+	return rows
+}
+
+// Fig4Table renders the rows.
+func Fig4Table(model string, ch netsim.Channel, rows []Fig4Row) *report.Table {
+	t := report.NewTable(
+		"Fig. 4 — per-layer time consumption of "+displayName(model)+" ("+ch.Name+")",
+		"Layer", "Block", "MobileComp(ms)", "Comm(ms)", "CloudComp(ms)", "CutBytes")
+	for _, r := range rows {
+		t.AddRow(r.Layer, r.Block, r.MobileMs, r.CommMs, r.CloudMs, r.Bytes)
+	}
+	return t
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dnnjps/internal/netsim"
+)
+
+func TestRobustnessSweep(t *testing.T) {
+	e := env()
+	e.NJobs = 40
+	errs := []float64{-50, -25, -10, 0, 10, 25, 50}
+	rows, err := Robustness(e, "alexnet", netsim.FourG, errs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(errs) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The oracle replans with true knowledge: nothing beats it.
+		if r.JPSActualMs < r.JPSOracleMs-1e-6 {
+			t.Errorf("err %+.0f%%: actual %.1f below oracle %.1f", r.ErrPct, r.JPSActualMs, r.JPSOracleMs)
+		}
+		if r.JPSRegretPct < 0 || r.PORegretPct < 0 {
+			t.Errorf("negative regret: %+v", r)
+		}
+	}
+	// Perfect estimate: zero regret.
+	for _, r := range rows {
+		if r.ErrPct == 0 && r.JPSRegretPct > 0.01 {
+			t.Errorf("zero error should have ~zero regret, got %.2f%%", r.JPSRegretPct)
+		}
+	}
+	// Stale JPS cuts (with requeued Johnson order) never trail the
+	// oracle by more than a modest factor across +-50% error.
+	for _, r := range rows {
+		if r.JPSRegretPct > 60 {
+			t.Errorf("err %+.0f%%: JPS regret %.1f%% too large", r.ErrPct, r.JPSRegretPct)
+		}
+	}
+	if !strings.Contains(RobustnessTable("alexnet", netsim.FourG, rows).String(), "regret") {
+		t.Error("table missing regret columns")
+	}
+}
+
+func TestRobustnessRejectsImpossibleError(t *testing.T) {
+	if _, err := Robustness(env(), "alexnet", netsim.FourG, []float64{-100}); err == nil {
+		t.Error("-100% bandwidth error must be rejected")
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dnnjps/internal/netsim"
+)
+
+// Render every experiment's table once — catching formatting panics
+// and keeping the render paths covered.
+func TestAllTablesRender(t *testing.T) {
+	e := env()
+	e.NJobs = 10
+
+	f4 := Fig4(e, "alexnet", netsim.WiFi)
+	mustRender(t, Fig4Table("alexnet", netsim.WiFi, f4).String(), "Fig. 4")
+
+	f11, err := Fig11(e, netsim.FourG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRender(t, Fig11Table(f11).String(), "Fig. 11")
+
+	cells, err := Fig12(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRender(t, Fig12Table(cells).String(), "Fig. 12")
+	mustRender(t, Table1Table(Table1(cells)).String(), "Table 1")
+
+	ov, err := Fig12Overhead(e, netsim.FourG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRender(t, Fig12OverheadTable(ov).String(), "Fig. 12(d)")
+
+	f13, err := Fig13(e, "alexnet", []float64{1, 10, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRender(t, Fig13Table("alexnet", f13).String(), "Fig. 13")
+
+	f14, err := Fig14(e, "resnet18", []float64{2, 4}, []float64{9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRender(t, Fig14Table("resnet18", []float64{9, 10}, f14).String(), "Fig. 14")
+
+	sched, err := AblationScheduling(e, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRender(t, AblationSchedulingTable(sched).String(), "Ablation")
+
+	mix, err := AblationMixStrategies(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRender(t, AblationMixTable(mix).String(), "Ablation")
+
+	vb, err := AblationVirtualBlocks(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRender(t, AblationVirtualBlocksTable(vb).String(), "Ablation")
+
+	st, err := Stream(e, "alexnet", netsim.FourG, []float64{1, 4}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRender(t, StreamTable("alexnet", netsim.FourG, st).String(), "Extension")
+
+	if len(DefaultBandwidths()) != 80 {
+		t.Errorf("DefaultBandwidths covers %d points, want 80", len(DefaultBandwidths()))
+	}
+}
+
+func mustRender(t *testing.T, out, wantSubstr string) {
+	t.Helper()
+	if !strings.Contains(out, wantSubstr) {
+		t.Errorf("rendered table missing %q:\n%s", wantSubstr, out)
+	}
+	if strings.Count(out, "\n") < 3 {
+		t.Errorf("table suspiciously short:\n%s", out)
+	}
+}
+
+func TestDisplayNames(t *testing.T) {
+	for in, want := range map[string]string{
+		"alexnet":     "AlexNet",
+		"googlenet":   "GoogLeNet",
+		"mobilenetv2": "MobileNet-v2",
+		"resnet18":    "ResNet18",
+		"vgg16":       "VGG16",
+		"nin":         "NiN",
+		"tinyyolov2":  "Tiny-YOLOv2",
+		"custom":      "custom",
+	} {
+		if got := displayName(in); got != want {
+			t.Errorf("displayName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if pct(100, 80) != 20 {
+		t.Error("pct(100,80) != 20")
+	}
+	if pct(100, 120) != 0 {
+		t.Error("negative reductions clamp to 0")
+	}
+	if pct(0, 5) != 0 {
+		t.Error("zero base yields 0")
+	}
+	if fmtMs(1.26) != "1.3" {
+		t.Errorf("fmtMs = %q", fmtMs(1.26))
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"dnnjps/internal/core"
+	"dnnjps/internal/models"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/report"
+)
+
+// ThreeTierRow compares two-tier vs three-tier planning for one model
+// and uplink.
+type ThreeTierRow struct {
+	Model     string
+	Uplink    string
+	TwoTierMs float64
+	ThreeMs   float64
+	GainPct   float64
+}
+
+// ThreeTierEnvDefault is the topology the extension experiment uses: a
+// quarter-speed edge box one wireless hop away, then a WAN backhaul to
+// the cloud at HALF the wireless bandwidth. The thin second hop is
+// what makes a middle tier pay off: in a two-tier plan the cut tensor
+// crosses both hops and the backhaul becomes the pipeline bottleneck,
+// while the three-tier plan lets the edge absorb the middle layers so
+// a much smaller tensor hits the slow hop. With a backhaul faster than
+// the uplink, two-tier is already near-optimal and the edge adds
+// nothing — reproduced by TestThreeTierFastBackhaulAddsNothing.
+func ThreeTierEnvDefault(env Env, uplink netsim.Channel) core.ThreeTierEnv {
+	return core.ThreeTierEnv{
+		Mobile: env.Mobile,
+		Edge:   env.Cloud.Scaled(0.25),
+		Cloud:  env.Cloud,
+		Uplink: uplink,
+		Backhaul: netsim.Channel{
+			Name:       "wan-backhaul",
+			UplinkMbps: uplink.UplinkMbps / 2,
+			SetupMs:    15,
+		},
+		DType: env.DType,
+	}
+}
+
+// ThreeTier runs the comparison over the paper models and preset
+// uplinks.
+func ThreeTier(env Env) ([]ThreeTierRow, error) {
+	var rows []ThreeTierRow
+	for _, model := range models.PaperModels() {
+		g := mustModel(model)
+		for _, ch := range netsim.Presets() {
+			tenv := ThreeTierEnvDefault(env, ch)
+			three, err := core.JPSThreeTier(g, tenv, env.NJobs)
+			if err != nil {
+				return nil, err
+			}
+			two, err := core.TwoTierAsThreeTier(g, tenv, env.NJobs)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ThreeTierRow{
+				Model:     model,
+				Uplink:    ch.Name,
+				TwoTierMs: two.AvgMs(),
+				ThreeMs:   three.AvgMs(),
+				GainPct:   pct(two.AvgMs(), three.AvgMs()),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ThreeTierTable renders the rows.
+func ThreeTierTable(rows []ThreeTierRow) *report.Table {
+	t := report.NewTable("Extension — three-tier mobile→edge→cloud vs two-tier (avg ms/job)",
+		"Model", "Uplink", "Two-tier", "Three-tier", "Gain %")
+	for _, r := range rows {
+		t.AddRow(displayName(r.Model), r.Uplink, r.TwoTierMs, r.ThreeMs, r.GainPct)
+	}
+	return t
+}

@@ -1,0 +1,186 @@
+package flowshop
+
+import "sort"
+
+// Three-machine flow shop support for the mobile→edge→cloud extension.
+// With three stages the makespan-minimal permutation problem is
+// NP-hard (Garey, Johnson & Sethi 1976); the Campbell–Dudek–Smith
+// (CDS) heuristic builds m-1 two-machine surrogate instances solved by
+// Johnson's rule and keeps the best, which is exact whenever one
+// machine dominates — the usual case here, where the cloud stage is
+// tiny.
+
+// Job3 is a three-stage job: A on the mobile CPU, B on the
+// mobile→edge uplink, C on the edge→cloud uplink (or edge compute —
+// any third serial resource).
+type Job3 struct {
+	ID      int
+	A, B, C float64
+}
+
+// Makespan3 evaluates the exact three-machine permutation flow-shop
+// makespan recurrence for a sequence.
+func Makespan3(seq []Job3) float64 {
+	var c1, c2, c3 float64
+	for _, j := range seq {
+		c1 += j.A
+		if c1 > c2 {
+			c2 = c1
+		}
+		c2 += j.B
+		if c2 > c3 {
+			c3 = c2
+		}
+		c3 += j.C
+	}
+	return c3
+}
+
+// Completions3 returns per-job completion times in sequence order.
+func Completions3(seq []Job3) []float64 {
+	out := make([]float64, len(seq))
+	var c1, c2, c3 float64
+	for i, j := range seq {
+		c1 += j.A
+		if c1 > c2 {
+			c2 = c1
+		}
+		c2 += j.B
+		if c2 > c3 {
+			c3 = c2
+		}
+		c3 += j.C
+		out[i] = c3
+	}
+	return out
+}
+
+// CDS orders jobs with the Campbell–Dudek–Smith heuristic: two
+// surrogate two-machine instances (A vs B+C and A+B vs C) are
+// sequenced by Johnson's rule and the better makespan wins. The input
+// is not modified.
+func CDS(jobs []Job3) []Job3 {
+	if len(jobs) == 0 {
+		return nil
+	}
+	build := func(first bool) []Job3 {
+		two := make([]Job, len(jobs))
+		for i, j := range jobs {
+			if first {
+				two[i] = Job{ID: i, A: j.A, B: j.B + j.C}
+			} else {
+				two[i] = Job{ID: i, A: j.A + j.B, B: j.C}
+			}
+		}
+		order := Johnson(two)
+		seq := make([]Job3, len(order))
+		for i, o := range order {
+			seq[i] = jobs[o.ID]
+		}
+		return seq
+	}
+	s1, s2 := build(true), build(false)
+	if Makespan3(s1) <= Makespan3(s2) {
+		return s1
+	}
+	return s2
+}
+
+// NEH orders jobs with the Nawaz–Enscore–Ham insertion heuristic:
+// jobs sorted by decreasing total processing time are inserted one at
+// a time at the position minimizing the partial makespan. O(n³) in
+// this direct form — fine for batch sizes here — and consistently
+// tighter than CDS on hard instances.
+func NEH(jobs []Job3) []Job3 {
+	if len(jobs) == 0 {
+		return nil
+	}
+	order := append([]Job3(nil), jobs...)
+	sort.SliceStable(order, func(i, j int) bool {
+		ti := order[i].A + order[i].B + order[i].C
+		tj := order[j].A + order[j].B + order[j].C
+		if ti != tj {
+			return ti > tj
+		}
+		return order[i].ID < order[j].ID
+	})
+	seq := make([]Job3, 0, len(order))
+	for _, j := range order {
+		bestPos, bestSpan := 0, -1.0
+		for pos := 0; pos <= len(seq); pos++ {
+			trial := make([]Job3, 0, len(seq)+1)
+			trial = append(trial, seq[:pos]...)
+			trial = append(trial, j)
+			trial = append(trial, seq[pos:]...)
+			if span := Makespan3(trial); bestSpan < 0 || span < bestSpan {
+				bestPos, bestSpan = pos, span
+			}
+		}
+		seq = append(seq[:bestPos], append([]Job3{j}, seq[bestPos:]...)...)
+	}
+	return seq
+}
+
+// Schedule3 is the production three-machine sequencer: the better of
+// the CDS and NEH sequences, polished by pairwise-swap descent.
+func Schedule3(jobs []Job3) []Job3 {
+	cds := CDS(jobs)
+	neh := NEH(jobs)
+	seq := cds
+	if Makespan3(neh) < Makespan3(cds) {
+		seq = neh
+	}
+	return swapDescent(seq)
+}
+
+// swapDescent applies first-improvement pairwise swaps until a local
+// optimum; O(n²) per pass and a handful of passes in practice.
+func swapDescent(seq []Job3) []Job3 {
+	cur := append([]Job3(nil), seq...)
+	span := Makespan3(cur)
+	for improved := true; improved; {
+		improved = false
+		for i := 0; i < len(cur); i++ {
+			for j := i + 1; j < len(cur); j++ {
+				cur[i], cur[j] = cur[j], cur[i]
+				if s := Makespan3(cur); s < span-1e-12 {
+					span = s
+					improved = true
+				} else {
+					cur[i], cur[j] = cur[j], cur[i]
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// BestPermutation3 exhaustively finds a makespan-minimal sequence
+// (validation only, n ≤ ~9).
+func BestPermutation3(jobs []Job3) ([]Job3, float64) {
+	best := append([]Job3(nil), jobs...)
+	bestSpan := Makespan3(best)
+	perm := append([]Job3(nil), jobs...)
+	var heaps func(k int)
+	heaps = func(k int) {
+		if k == 1 {
+			if span := Makespan3(perm); span < bestSpan {
+				bestSpan = span
+				copy(best, perm)
+			}
+			return
+		}
+		for i := 0; i < k; i++ {
+			heaps(k - 1)
+			if k%2 == 0 {
+				perm[i], perm[k-1] = perm[k-1], perm[i]
+			} else {
+				perm[0], perm[k-1] = perm[k-1], perm[0]
+			}
+		}
+	}
+	if len(perm) > 0 {
+		heaps(len(perm))
+	}
+	return best, bestSpan
+}

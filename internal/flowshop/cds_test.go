@@ -1,0 +1,130 @@
+package flowshop
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakespan3Recurrence(t *testing.T) {
+	// Hand-checked: jobs (2,3,1), (4,1,2).
+	// c1: 2,6. c2: max(0,2)+3=5; max(5,6)+1=7. c3: max(0,5)+1=6; max(6,7)+2=9.
+	seq := []Job3{{A: 2, B: 3, C: 1}, {A: 4, B: 1, C: 2}}
+	if got := Makespan3(seq); got != 9 {
+		t.Errorf("makespan3 = %g, want 9", got)
+	}
+	comps := Completions3(seq)
+	if comps[0] != 6 || comps[1] != 9 {
+		t.Errorf("completions = %v, want [6 9]", comps)
+	}
+	if Makespan3(nil) != 0 {
+		t.Error("empty must be 0")
+	}
+}
+
+func TestCDSPreservesJobs(t *testing.T) {
+	jobs := []Job3{{ID: 0, A: 1, B: 2, C: 3}, {ID: 1, A: 3, B: 2, C: 1}, {ID: 2, A: 2, B: 2, C: 2}}
+	seq := CDS(jobs)
+	if len(seq) != 3 {
+		t.Fatalf("len = %d", len(seq))
+	}
+	seen := map[int]bool{}
+	for _, j := range seq {
+		seen[j.ID] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("CDS dropped or duplicated jobs: %v", seq)
+	}
+	if CDS(nil) != nil {
+		t.Error("empty input must return nil")
+	}
+}
+
+func TestSchedule3NearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	worstCDS, worstBest := 1.0, 1.0
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		jobs := make([]Job3, n)
+		for i := range jobs {
+			jobs[i] = Job3{ID: i, A: rng.Float64() * 10, B: rng.Float64() * 10, C: rng.Float64() * 10}
+		}
+		_, best := BestPermutation3(jobs)
+		cds := Makespan3(CDS(jobs))
+		combined := Makespan3(Schedule3(jobs))
+		if combined < best-1e-9 {
+			t.Fatalf("trial %d: Schedule3 %g below exhaustive optimum %g", trial, combined, best)
+		}
+		if combined > cds+1e-9 {
+			t.Fatalf("trial %d: Schedule3 %g worse than plain CDS %g", trial, combined, cds)
+		}
+		if r := cds / best; r > worstCDS {
+			worstCDS = r
+		}
+		if r := combined / best; r > worstBest {
+			worstBest = r
+		}
+	}
+	// Plain CDS strays up to ~30% on adversarial random instances;
+	// the CDS+NEH combination stays within a few percent.
+	if worstBest > 1.06 {
+		t.Errorf("Schedule3 worst ratio %.3f over 200 trials, expected <= 1.06 (CDS alone: %.3f)",
+			worstBest, worstCDS)
+	}
+}
+
+func TestNEHPreservesJobs(t *testing.T) {
+	jobs := []Job3{{ID: 0, A: 9, B: 1, C: 1}, {ID: 1, A: 1, B: 9, C: 1}, {ID: 2, A: 1, B: 1, C: 9}}
+	seq := NEH(jobs)
+	seen := map[int]bool{}
+	for _, j := range seq {
+		seen[j.ID] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("NEH dropped or duplicated jobs: %v", seq)
+	}
+	if NEH(nil) != nil {
+		t.Error("empty input must return nil")
+	}
+}
+
+func TestCDSExactWhenThirdStageNegligible(t *testing.T) {
+	// With C ≈ 0 the instance degenerates to two machines, where the
+	// first CDS surrogate IS Johnson's rule: exact.
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(6)
+		jobs := make([]Job3, n)
+		for i := range jobs {
+			jobs[i] = Job3{ID: i, A: rng.Float64() * 10, B: rng.Float64() * 10, C: rng.Float64() * 1e-9}
+		}
+		_, best := BestPermutation3(jobs)
+		if got := Makespan3(CDS(jobs)); math.Abs(got-best) > 1e-6 {
+			t.Fatalf("trial %d: CDS %g != optimum %g with negligible stage 3", trial, got, best)
+		}
+	}
+}
+
+// Property: the 3-machine makespan is bounded below by every stage sum
+// and above by the serial sum.
+func TestMakespan3BoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		jobs := make([]Job3, n)
+		var sa, sb, sc, serial float64
+		for i := range jobs {
+			jobs[i] = Job3{ID: i, A: rng.Float64() * 5, B: rng.Float64() * 5, C: rng.Float64() * 5}
+			sa += jobs[i].A
+			sb += jobs[i].B
+			sc += jobs[i].C
+			serial += jobs[i].A + jobs[i].B + jobs[i].C
+		}
+		span := Makespan3(CDS(jobs))
+		return span >= sa-1e-9 && span >= sb-1e-9 && span >= sc-1e-9 && span <= serial+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

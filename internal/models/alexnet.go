@@ -1,0 +1,97 @@
+package models
+
+import (
+	"strconv"
+
+	"dnnjps/internal/dag"
+	"dnnjps/internal/tensor"
+)
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+// AlexNet builds the torchvision variant of AlexNet (the PyTorch model
+// the paper's testbed runs): five convolutional blocks followed by
+// three fully connected blocks on a 3x224x224 input. Eight blocks
+// total, matching the 8-point x-axis of Fig. 4.
+func AlexNet() *dag.Graph {
+	c := newChain("alexnet", tensor.NewCHW(3, 224, 224))
+	c.Conv("conv1/conv", 64, 11, 4, 2).ReLU("conv1/relu").MaxPool("conv1/pool", 3, 2, 0)
+	c.Conv("conv2/conv", 192, 5, 1, 2).ReLU("conv2/relu").MaxPool("conv2/pool", 3, 2, 0)
+	c.Conv("conv3/conv", 384, 3, 1, 1).ReLU("conv3/relu")
+	c.Conv("conv4/conv", 256, 3, 1, 1).ReLU("conv4/relu")
+	c.Conv("conv5/conv", 256, 3, 1, 1).ReLU("conv5/relu").MaxPool("conv5/pool", 3, 2, 0)
+	c.Flatten("fc6/flatten").Dropout("fc6/dropout", 0.5).Dense("fc6/fc", 4096).ReLU("fc6/relu")
+	c.Dropout("fc7/dropout", 0.5).Dense("fc7/fc", 4096).ReLU("fc7/relu")
+	c.Dense("fc8/fc", 1000).Softmax("fc8/softmax")
+	return c.Done()
+}
+
+// VGG16 builds the 16-layer VGGNet, the canonical line-structure DNN
+// the paper cites (Simonyan & Zisserman).
+func VGG16() *dag.Graph {
+	c := newChain("vgg16", tensor.NewCHW(3, 224, 224))
+	block := func(name string, convs, outC int) {
+		for i := 1; i <= convs; i++ {
+			c.Conv(name+"/conv"+itoa(i), outC, 3, 1, 1).ReLU(name + "/relu" + itoa(i))
+		}
+		c.MaxPool(name+"/pool", 2, 2, 0)
+	}
+	block("block1", 2, 64)
+	block("block2", 2, 128)
+	block("block3", 3, 256)
+	block("block4", 3, 512)
+	block("block5", 3, 512)
+	c.Flatten("fc6/flatten").Dense("fc6/fc", 4096).ReLU("fc6/relu").Dropout("fc6/dropout", 0.5)
+	c.Dense("fc7/fc", 4096).ReLU("fc7/relu").Dropout("fc7/dropout", 0.5)
+	c.Dense("fc8/fc", 1000).Softmax("fc8/softmax")
+	return c.Done()
+}
+
+// NiN builds the Network-in-Network model (Lin et al.): three
+// mlpconv blocks and a global-average-pooling classifier head.
+func NiN() *dag.Graph {
+	c := newChain("nin", tensor.NewCHW(3, 224, 224))
+	mlpconv := func(name string, outC, k, stride, pad int) {
+		c.Conv(name+"/conv", outC, k, stride, pad).ReLU(name + "/relu")
+		c.Conv(name+"/cccp1", outC, 1, 1, 0).ReLU(name + "/cccp1_relu")
+		c.Conv(name+"/cccp2", outC, 1, 1, 0).ReLU(name + "/cccp2_relu")
+	}
+	mlpconv("block1", 96, 11, 4, 0)
+	c.MaxPool("block1/pool", 3, 2, 0)
+	mlpconv("block2", 256, 5, 1, 2)
+	c.MaxPool("block2/pool", 3, 2, 0)
+	mlpconv("block3", 384, 3, 1, 1)
+	c.MaxPool("block3/pool", 3, 2, 0)
+	c.Dropout("block4/dropout", 0.5)
+	mlpconv("block4", 1000, 3, 1, 1)
+	c.GlobalAvgPool("block4/gap").Softmax("block4/softmax")
+	return c.Done()
+}
+
+// TinyYOLOv2 builds the 9-convolution Tiny YOLOv2 detector backbone
+// (Redmon & Farhadi) on the standard 416x416 input.
+func TinyYOLOv2() *dag.Graph {
+	c := newChain("tinyyolov2", tensor.NewCHW(3, 416, 416))
+	convBN := func(name string, outC int) {
+		c.ConvNoBias(name+"/conv", outC, 3, 1, 1).BN(name + "/bn").ReLU(name + "/leaky")
+	}
+	outCs := []int{16, 32, 64, 128, 256, 512}
+	for i, oc := range outCs {
+		name := "conv" + itoa(i+1)
+		convBN(name, oc)
+		if i == len(outCs)-1 {
+			// Darknet's final stride-1 size-2 pool uses asymmetric
+			// "same" padding to keep the 13x13 grid; we model it as a
+			// 3x3 stride-1 pool with symmetric padding, which preserves
+			// the grid identically.
+			c.MaxPool(name+"/pool", 3, 1, 1)
+		} else {
+			c.MaxPool(name+"/pool", 2, 2, 0)
+		}
+	}
+	convBN("conv7", 1024)
+	convBN("conv8", 1024)
+	// Detection head: 125 = 5 anchors x (20 classes + 5 box terms).
+	c.Conv("conv9/conv", 125, 1, 1, 0)
+	return c.Done()
+}

@@ -1,0 +1,101 @@
+// Package models is the model zoo: faithful layer-by-layer builders
+// for the networks the paper evaluates (AlexNet, MobileNet-v2,
+// ResNet-18, GoogLeNet) plus the other line-structure networks it
+// cites (VGG-16, NiN, Tiny-YOLOv2). Layer names are hierarchical
+// ("conv1/conv", "conv1/relu"): the prefix before the slash is the
+// block label used by Fig. 4-style per-block profiles and by
+// virtual-block clustering.
+package models
+
+import (
+	"strings"
+
+	"dnnjps/internal/dag"
+	"dnnjps/internal/nn"
+	"dnnjps/internal/tensor"
+)
+
+// BlockOf returns the block label of a hierarchical layer name (the
+// prefix before the first slash; the whole name when there is none).
+func BlockOf(layerName string) string {
+	if i := strings.IndexByte(layerName, '/'); i >= 0 {
+		return layerName[:i]
+	}
+	return layerName
+}
+
+// chain is a fluent builder for sequential graph sections. Each method
+// appends a layer after the current tip and returns the chain for
+// chaining; Tip exposes the current node ID for manual branching.
+type chain struct {
+	g   *dag.Graph
+	tip int
+}
+
+func newChain(name string, input tensor.Shape) *chain {
+	g := dag.New(name)
+	tip := g.Add(&nn.Input{LayerName: "input", Shape: input})
+	return &chain{g: g, tip: tip}
+}
+
+// Tip returns the current node ID.
+func (c *chain) Tip() int { return c.tip }
+
+// SetTip repositions the chain after an explicit branch/merge.
+func (c *chain) SetTip(id int) *chain { c.tip = id; return c }
+
+// Attach appends an arbitrary layer after the tip.
+func (c *chain) Attach(l nn.Layer) *chain {
+	c.tip = c.g.Add(l, c.tip)
+	return c
+}
+
+// AttachAfter appends a layer after explicit predecessors (for merge
+// nodes) and moves the tip there.
+func (c *chain) AttachAfter(l nn.Layer, preds ...int) *chain {
+	c.tip = c.g.Add(l, preds...)
+	return c
+}
+
+func (c *chain) Conv(name string, outC, k, stride, pad int) *chain {
+	return c.Attach(&nn.Conv2D{LayerName: name, OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad, Bias: true})
+}
+
+func (c *chain) ConvNoBias(name string, outC, k, stride, pad int) *chain {
+	return c.Attach(&nn.Conv2D{LayerName: name, OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad})
+}
+
+func (c *chain) DwConv(name string, k, stride, pad int) *chain {
+	return c.Attach(&nn.DepthwiseConv2D{LayerName: name, KH: k, KW: k, Stride: stride, Pad: pad})
+}
+
+func (c *chain) ReLU(name string) *chain  { return c.Attach(nn.NewActivation(name, nn.ReLU)) }
+func (c *chain) ReLU6(name string) *chain { return c.Attach(nn.NewActivation(name, nn.ReLU6)) }
+func (c *chain) BN(name string) *chain    { return c.Attach(nn.NewBatchNorm(name)) }
+func (c *chain) LRN(name string, size int) *chain {
+	return c.Attach(nn.NewLRN(name, size))
+}
+func (c *chain) MaxPool(name string, k, s, p int) *chain {
+	return c.Attach(nn.NewMaxPool2D(name, k, s, p))
+}
+func (c *chain) AvgPool(name string, k, s, p int) *chain {
+	return c.Attach(nn.NewAvgPool2D(name, k, s, p))
+}
+func (c *chain) GlobalAvgPool(name string) *chain {
+	return c.Attach(&nn.GlobalAvgPool2D{LayerName: name})
+}
+func (c *chain) Flatten(name string) *chain {
+	return c.Attach(&nn.Flatten{LayerName: name})
+}
+func (c *chain) Dropout(name string, rate float64) *chain {
+	return c.Attach(nn.NewDropout(name, rate))
+}
+func (c *chain) Dense(name string, out int) *chain {
+	return c.Attach(&nn.Dense{LayerName: name, Out: out, Bias: true})
+}
+func (c *chain) Softmax(name string) *chain {
+	return c.Attach(nn.NewSoftmax(name))
+}
+
+// Done finalizes and returns the graph.
+func (c *chain) Done() *dag.Graph { return c.g.MustFinalize() }

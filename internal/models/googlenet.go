@@ -1,0 +1,87 @@
+package models
+
+import (
+	"dnnjps/internal/dag"
+	"dnnjps/internal/nn"
+	"dnnjps/internal/tensor"
+)
+
+// inceptionCfg holds the per-module filter counts of GoogLeNet
+// (Szegedy et al., Table 1): the 1x1 branch, the 3x3 reduce/expand
+// branch, the 5x5 reduce/expand branch, and the pool-projection branch.
+type inceptionCfg struct {
+	name                       string
+	c1, c3r, c3, c5r, c5, pool int
+}
+
+// GoogLeNet builds the 22-layer Inception-v1 network: a convolutional
+// stem followed by nine Inception modules. Modules are genuine
+// parallel regions (their intermediate tensors are smaller than the
+// module input, so per-branch cut-points pay off — §6.1), which makes
+// GoogLeNet the paper's general-structure test case.
+func GoogLeNet() *dag.Graph {
+	c := newChain("googlenet", tensor.NewCHW(3, 224, 224))
+	c.Conv("stem1/conv", 64, 7, 2, 3).ReLU("stem1/relu").MaxPool("stem1/pool", 3, 2, 1)
+	c.LRN("stem1/lrn", 5)
+	c.Conv("stem2/reduce", 64, 1, 1, 0).ReLU("stem2/reduce_relu")
+	c.Conv("stem2/conv", 192, 3, 1, 1).ReLU("stem2/relu")
+	c.LRN("stem2/lrn", 5).MaxPool("stem2/pool", 3, 2, 1)
+
+	cfgs := []inceptionCfg{
+		{"inc3a", 64, 96, 128, 16, 32, 32},
+		{"inc3b", 128, 128, 192, 32, 96, 64},
+	}
+	for _, cfg := range cfgs {
+		inception(c, cfg)
+	}
+	c.MaxPool("pool3", 3, 2, 1)
+	cfgs = []inceptionCfg{
+		{"inc4a", 192, 96, 208, 16, 48, 64},
+		{"inc4b", 160, 112, 224, 24, 64, 64},
+		{"inc4c", 128, 128, 256, 24, 64, 64},
+		{"inc4d", 112, 144, 288, 32, 64, 64},
+		{"inc4e", 256, 160, 320, 32, 128, 128},
+	}
+	for _, cfg := range cfgs {
+		inception(c, cfg)
+	}
+	c.MaxPool("pool4", 3, 2, 1)
+	cfgs = []inceptionCfg{
+		{"inc5a", 256, 160, 320, 32, 128, 128},
+		{"inc5b", 384, 192, 384, 48, 128, 128},
+	}
+	for _, cfg := range cfgs {
+		inception(c, cfg)
+	}
+	c.GlobalAvgPool("head/gap").Dropout("head/dropout", 0.4)
+	c.Dense("head/fc", 1000).Softmax("head/softmax")
+	return c.Done()
+}
+
+// inception appends one Inception module: four parallel branches
+// merged by a channel concat.
+func inception(c *chain, cfg inceptionCfg) {
+	entry := c.Tip()
+	n := cfg.name
+
+	c.SetTip(entry)
+	c.Conv(n+"/b1_conv", cfg.c1, 1, 1, 0).ReLU(n + "/b1_relu")
+	b1 := c.Tip()
+
+	c.SetTip(entry)
+	c.Conv(n+"/b2_reduce", cfg.c3r, 1, 1, 0).ReLU(n + "/b2_reduce_relu")
+	c.Conv(n+"/b2_conv", cfg.c3, 3, 1, 1).ReLU(n + "/b2_relu")
+	b2 := c.Tip()
+
+	c.SetTip(entry)
+	c.Conv(n+"/b3_reduce", cfg.c5r, 1, 1, 0).ReLU(n + "/b3_reduce_relu")
+	c.Conv(n+"/b3_conv", cfg.c5, 5, 1, 2).ReLU(n + "/b3_relu")
+	b3 := c.Tip()
+
+	c.SetTip(entry)
+	c.MaxPool(n+"/b4_pool", 3, 1, 1)
+	c.Conv(n+"/b4_proj", cfg.pool, 1, 1, 0).ReLU(n + "/b4_relu")
+	b4 := c.Tip()
+
+	c.AttachAfter(&nn.Concat{LayerName: n + "/concat"}, b1, b2, b3, b4)
+}

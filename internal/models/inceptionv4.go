@@ -1,0 +1,214 @@
+package models
+
+import (
+	"fmt"
+
+	"dnnjps/internal/dag"
+	"dnnjps/internal/nn"
+	"dnnjps/internal/tensor"
+)
+
+// InceptionV4 builds Inception-v4 (Szegedy et al. 2017) — the network
+// whose module the paper's Fig. 3(a) uses to illustrate
+// general-structure DAGs. Factorized 1x7/7x1 and 1x3/3x1 convolutions
+// make heavy use of rectangular kernels with per-axis padding. 299x299
+// input, ~42.7M parameters.
+func InceptionV4() *dag.Graph {
+	c := newChain("inceptionv4", tensor.NewCHW(3, 299, 299))
+	stemV4(c)
+	for i := 1; i <= 4; i++ {
+		inceptionA(c, fmt.Sprintf("incA%d", i))
+	}
+	reductionA(c)
+	for i := 1; i <= 7; i++ {
+		inceptionB(c, fmt.Sprintf("incB%d", i))
+	}
+	reductionB(c)
+	for i := 1; i <= 3; i++ {
+		inceptionC(c, fmt.Sprintf("incC%d", i))
+	}
+	c.GlobalAvgPool("head/gap").Dropout("head/dropout", 0.2)
+	c.Dense("head/fc", 1000).Softmax("head/softmax")
+	return c.Done()
+}
+
+// convRelu appends a conv (square or rectangular) + ReLU.
+func convRelu(c *chain, name string, outC, kh, kw, stride, padH, padW int) {
+	c.Attach(&nn.Conv2D{
+		LayerName: name, OutC: outC, KH: kh, KW: kw,
+		Stride: stride, PadH: padH, PadW: padW, Bias: true,
+	})
+	c.ReLU(name + "_relu")
+}
+
+// stemV4 is the Inception-v4 stem: three mixed branch/merge stages
+// shrinking 299x299x3 to 35x35x384.
+func stemV4(c *chain) {
+	convRelu(c, "stem/conv1", 32, 3, 3, 2, 0, 0) // 149x149
+	convRelu(c, "stem/conv2", 32, 3, 3, 1, 0, 0) // 147x147
+	convRelu(c, "stem/conv3", 64, 3, 3, 1, 1, 1) // 147x147
+
+	// Mixed 3a: maxpool || conv stride 2 -> 73x73x160.
+	fork := c.Tip()
+	c.MaxPool("stem/m3a_pool", 3, 2, 0)
+	p := c.Tip()
+	c.SetTip(fork)
+	convRelu(c, "stem/m3a_conv", 96, 3, 3, 2, 0, 0)
+	c.AttachAfter(&nn.Concat{LayerName: "stem/m3a_concat"}, p, c.Tip())
+
+	// Mixed 4a: two conv towers -> 71x71x192.
+	fork = c.Tip()
+	convRelu(c, "stem/m4a_b1_1x1", 64, 1, 1, 1, 0, 0)
+	convRelu(c, "stem/m4a_b1_3x3", 96, 3, 3, 1, 0, 0)
+	b1 := c.Tip()
+	c.SetTip(fork)
+	convRelu(c, "stem/m4a_b2_1x1", 64, 1, 1, 1, 0, 0)
+	convRelu(c, "stem/m4a_b2_1x7", 64, 1, 7, 1, -1, 3)
+	convRelu(c, "stem/m4a_b2_7x1", 64, 7, 1, 1, 3, -1)
+	convRelu(c, "stem/m4a_b2_3x3", 96, 3, 3, 1, 0, 0)
+	c.AttachAfter(&nn.Concat{LayerName: "stem/m4a_concat"}, b1, c.Tip())
+
+	// Mixed 5a: conv stride 2 || maxpool -> 35x35x384.
+	fork = c.Tip()
+	convRelu(c, "stem/m5a_conv", 192, 3, 3, 2, 0, 0)
+	cv := c.Tip()
+	c.SetTip(fork)
+	c.MaxPool("stem/m5a_pool", 3, 2, 0)
+	c.AttachAfter(&nn.Concat{LayerName: "stem/m5a_concat"}, cv, c.Tip())
+}
+
+// inceptionA: 35x35x384 -> 35x35x384, four branches.
+func inceptionA(c *chain, n string) {
+	entry := c.Tip()
+
+	c.AvgPool(n+"/b1_pool", 3, 1, 1)
+	convRelu(c, n+"/b1_proj", 96, 1, 1, 1, 0, 0)
+	b1 := c.Tip()
+
+	c.SetTip(entry)
+	convRelu(c, n+"/b2_1x1", 96, 1, 1, 1, 0, 0)
+	b2 := c.Tip()
+
+	c.SetTip(entry)
+	convRelu(c, n+"/b3_1x1", 64, 1, 1, 1, 0, 0)
+	convRelu(c, n+"/b3_3x3", 96, 3, 3, 1, 1, 1)
+	b3 := c.Tip()
+
+	c.SetTip(entry)
+	convRelu(c, n+"/b4_1x1", 64, 1, 1, 1, 0, 0)
+	convRelu(c, n+"/b4_3x3a", 96, 3, 3, 1, 1, 1)
+	convRelu(c, n+"/b4_3x3b", 96, 3, 3, 1, 1, 1)
+	b4 := c.Tip()
+
+	c.AttachAfter(&nn.Concat{LayerName: n + "/concat"}, b1, b2, b3, b4)
+}
+
+// reductionA: 35x35x384 -> 17x17x1024, three branches.
+func reductionA(c *chain) {
+	entry := c.Tip()
+	n := "redA"
+
+	c.MaxPool(n+"/b1_pool", 3, 2, 0)
+	b1 := c.Tip()
+
+	c.SetTip(entry)
+	convRelu(c, n+"/b2_3x3", 384, 3, 3, 2, 0, 0)
+	b2 := c.Tip()
+
+	c.SetTip(entry)
+	convRelu(c, n+"/b3_1x1", 192, 1, 1, 1, 0, 0)
+	convRelu(c, n+"/b3_3x3a", 224, 3, 3, 1, 1, 1)
+	convRelu(c, n+"/b3_3x3b", 256, 3, 3, 2, 0, 0)
+	b3 := c.Tip()
+
+	c.AttachAfter(&nn.Concat{LayerName: n + "/concat"}, b1, b2, b3)
+}
+
+// inceptionB: 17x17x1024 -> 17x17x1024, four branches with 1x7/7x1
+// factorized convolutions.
+func inceptionB(c *chain, n string) {
+	entry := c.Tip()
+
+	c.AvgPool(n+"/b1_pool", 3, 1, 1)
+	convRelu(c, n+"/b1_proj", 128, 1, 1, 1, 0, 0)
+	b1 := c.Tip()
+
+	c.SetTip(entry)
+	convRelu(c, n+"/b2_1x1", 384, 1, 1, 1, 0, 0)
+	b2 := c.Tip()
+
+	c.SetTip(entry)
+	convRelu(c, n+"/b3_1x1", 192, 1, 1, 1, 0, 0)
+	convRelu(c, n+"/b3_1x7", 224, 1, 7, 1, -1, 3)
+	convRelu(c, n+"/b3_7x1", 256, 7, 1, 1, 3, -1)
+	b3 := c.Tip()
+
+	c.SetTip(entry)
+	convRelu(c, n+"/b4_1x1", 192, 1, 1, 1, 0, 0)
+	convRelu(c, n+"/b4_1x7a", 192, 1, 7, 1, -1, 3)
+	convRelu(c, n+"/b4_7x1a", 224, 7, 1, 1, 3, -1)
+	convRelu(c, n+"/b4_1x7b", 224, 1, 7, 1, -1, 3)
+	convRelu(c, n+"/b4_7x1b", 256, 7, 1, 1, 3, -1)
+	b4 := c.Tip()
+
+	c.AttachAfter(&nn.Concat{LayerName: n + "/concat"}, b1, b2, b3, b4)
+}
+
+// reductionB: 17x17x1024 -> 8x8x1536.
+func reductionB(c *chain) {
+	entry := c.Tip()
+	n := "redB"
+
+	c.MaxPool(n+"/b1_pool", 3, 2, 0)
+	b1 := c.Tip()
+
+	c.SetTip(entry)
+	convRelu(c, n+"/b2_1x1", 192, 1, 1, 1, 0, 0)
+	convRelu(c, n+"/b2_3x3", 192, 3, 3, 2, 0, 0)
+	b2 := c.Tip()
+
+	c.SetTip(entry)
+	convRelu(c, n+"/b3_1x1", 256, 1, 1, 1, 0, 0)
+	convRelu(c, n+"/b3_1x7", 256, 1, 7, 1, -1, 3)
+	convRelu(c, n+"/b3_7x1", 320, 7, 1, 1, 3, -1)
+	convRelu(c, n+"/b3_3x3", 320, 3, 3, 2, 0, 0)
+	b3 := c.Tip()
+
+	c.AttachAfter(&nn.Concat{LayerName: n + "/concat"}, b1, b2, b3)
+}
+
+// inceptionC: 8x8x1536 -> 8x8x1536; two branches end in parallel
+// 1x3/3x1 pairs (the exact structure of the paper's Fig. 3(a)).
+func inceptionC(c *chain, n string) {
+	entry := c.Tip()
+
+	c.AvgPool(n+"/b1_pool", 3, 1, 1)
+	convRelu(c, n+"/b1_proj", 256, 1, 1, 1, 0, 0)
+	b1 := c.Tip()
+
+	c.SetTip(entry)
+	convRelu(c, n+"/b2_1x1", 256, 1, 1, 1, 0, 0)
+	b2 := c.Tip()
+
+	c.SetTip(entry)
+	convRelu(c, n+"/b3_1x1", 384, 1, 1, 1, 0, 0)
+	mid3 := c.Tip()
+	convRelu(c, n+"/b3_1x3", 256, 1, 3, 1, -1, 1)
+	b3a := c.Tip()
+	c.SetTip(mid3)
+	convRelu(c, n+"/b3_3x1", 256, 3, 1, 1, 1, -1)
+	b3b := c.Tip()
+
+	c.SetTip(entry)
+	convRelu(c, n+"/b4_1x1", 384, 1, 1, 1, 0, 0)
+	convRelu(c, n+"/b4_1x3", 448, 1, 3, 1, -1, 1)
+	convRelu(c, n+"/b4_3x1", 512, 3, 1, 1, 1, -1)
+	mid4 := c.Tip()
+	convRelu(c, n+"/b4_out_3x1", 256, 3, 1, 1, 1, -1)
+	b4a := c.Tip()
+	c.SetTip(mid4)
+	convRelu(c, n+"/b4_out_1x3", 256, 1, 3, 1, -1, 1)
+	b4b := c.Tip()
+
+	c.AttachAfter(&nn.Concat{LayerName: n + "/concat"}, b1, b2, b3a, b3b, b4a, b4b)
+}

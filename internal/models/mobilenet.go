@@ -1,0 +1,65 @@
+package models
+
+import (
+	"fmt"
+
+	"dnnjps/internal/dag"
+	"dnnjps/internal/nn"
+	"dnnjps/internal/tensor"
+)
+
+// MobileNetV2 builds MobileNet-v2 (Sandler et al.): a conv stem, 17
+// inverted-bottleneck residual modules, and a 1x1 conv + GAP + FC
+// head. Blocks with stride 1 and matching channel counts carry the
+// bypass link of Fig. 10, so the raw graph is NOT a line structure;
+// the paper (and our planner) clusters each bottleneck as a virtual
+// block, after which the model is treated as a line DAG.
+func MobileNetV2() *dag.Graph {
+	c := newChain("mobilenetv2", tensor.NewCHW(3, 224, 224))
+	c.ConvNoBias("stem/conv", 32, 3, 2, 1).BN("stem/bn").ReLU6("stem/relu")
+
+	inC := 32
+	blockIdx := 0
+	// (expansion t, output channels c, repeats n, first stride s) per
+	// the MobileNet-v2 paper, Table 2.
+	cfg := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	for _, row := range cfg {
+		for rep := 0; rep < row.n; rep++ {
+			stride := 1
+			if rep == 0 {
+				stride = row.s
+			}
+			inC = bottleneck(c, blockIdx, inC, row.c, row.t, stride)
+			blockIdx++
+		}
+	}
+	c.ConvNoBias("head/conv", 1280, 1, 1, 0).BN("head/bn").ReLU6("head/relu")
+	c.GlobalAvgPool("head/gap").Dense("head/fc", 1000).Softmax("head/softmax")
+	return c.Done()
+}
+
+// bottleneck appends one inverted-residual module (Fig. 10 of the ICPP
+// paper): 1x1 expand → 3x3 depthwise → 1x1 project, with a bypass Add
+// when the shapes allow it. Returns the output channel count.
+func bottleneck(c *chain, idx, inC, outC, expand, stride int) int {
+	name := fmt.Sprintf("bneck%d", idx)
+	entry := c.Tip()
+	hidden := inC * expand
+	if expand != 1 {
+		c.ConvNoBias(name+"/expand", hidden, 1, 1, 0).BN(name + "/expand_bn").ReLU6(name + "/expand_relu")
+	}
+	c.DwConv(name+"/dwise", 3, stride, 1).BN(name + "/dwise_bn").ReLU6(name + "/dwise_relu")
+	c.ConvNoBias(name+"/project", outC, 1, 1, 0).BN(name + "/project_bn")
+	if stride == 1 && inC == outC {
+		c.AttachAfter(&nn.Add{LayerName: name + "/add"}, c.Tip(), entry)
+	}
+	return outC
+}

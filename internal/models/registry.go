@@ -1,0 +1,55 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"dnnjps/internal/dag"
+)
+
+// builders maps canonical model names to constructors.
+var builders = map[string]func() *dag.Graph{
+	"alexnet":     AlexNet,
+	"vgg16":       VGG16,
+	"nin":         NiN,
+	"tinyyolov2":  TinyYOLOv2,
+	"mobilenetv2": MobileNetV2,
+	"resnet18":    ResNet18,
+	"googlenet":   GoogLeNet,
+	"squeezenet":  SqueezeNet,
+	"inceptionv4": InceptionV4,
+}
+
+// Build constructs a model by name.
+func Build(name string) (*dag.Graph, error) {
+	b, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+	return b(), nil
+}
+
+// MustBuild is Build for callers with hard-coded names.
+func MustBuild(name string) *dag.Graph {
+	g, err := Build(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Names lists the available model names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperModels returns the four models of the paper's evaluation
+// (Fig. 12 and Table 1) in the paper's presentation order.
+func PaperModels() []string {
+	return []string{"alexnet", "googlenet", "mobilenetv2", "resnet18"}
+}

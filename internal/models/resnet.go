@@ -1,0 +1,56 @@
+package models
+
+import (
+	"fmt"
+
+	"dnnjps/internal/dag"
+	"dnnjps/internal/nn"
+	"dnnjps/internal/tensor"
+)
+
+// ResNet18 builds the 18-layer residual network (He et al.): a 7x7
+// conv stem, four stages of two basic blocks each, and a GAP + FC
+// head. Residual Adds make the raw graph general-structure; each
+// basic block keeps its input spatial volume, so blocks cluster into
+// virtual blocks and the planner treats the model as a line DAG, as
+// the paper does.
+func ResNet18() *dag.Graph {
+	c := newChain("resnet18", tensor.NewCHW(3, 224, 224))
+	c.ConvNoBias("stem/conv", 64, 7, 2, 3).BN("stem/bn").ReLU("stem/relu")
+	c.MaxPool("stem/pool", 3, 2, 1)
+
+	inC := 64
+	stages := []struct{ outC, stride int }{
+		{64, 1}, {128, 2}, {256, 2}, {512, 2},
+	}
+	for si, st := range stages {
+		for b := 0; b < 2; b++ {
+			stride := 1
+			if b == 0 {
+				stride = st.stride
+			}
+			inC = basicBlock(c, fmt.Sprintf("stage%d_block%d", si+1, b), inC, st.outC, stride)
+		}
+	}
+	c.GlobalAvgPool("head/gap").Dense("head/fc", 1000).Softmax("head/softmax")
+	return c.Done()
+}
+
+// basicBlock appends one ResNet basic block: conv3x3(s) → bn → relu →
+// conv3x3 → bn, plus an identity or 1x1-projection shortcut, merged by
+// an Add and a trailing ReLU. Returns the output channel count.
+func basicBlock(c *chain, name string, inC, outC, stride int) int {
+	entry := c.Tip()
+	c.ConvNoBias(name+"/conv1", outC, 3, stride, 1).BN(name + "/bn1").ReLU(name + "/relu1")
+	c.ConvNoBias(name+"/conv2", outC, 3, 1, 1).BN(name + "/bn2")
+	body := c.Tip()
+	shortcut := entry
+	if stride != 1 || inC != outC {
+		c.SetTip(entry)
+		c.ConvNoBias(name+"/down_conv", outC, 1, stride, 0).BN(name + "/down_bn")
+		shortcut = c.Tip()
+	}
+	c.AttachAfter(&nn.Add{LayerName: name + "/add"}, body, shortcut)
+	c.ReLU(name + "/relu2")
+	return outC
+}

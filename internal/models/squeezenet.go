@@ -1,0 +1,48 @@
+package models
+
+import (
+	"dnnjps/internal/dag"
+	"dnnjps/internal/nn"
+	"dnnjps/internal/tensor"
+)
+
+// SqueezeNet builds SqueezeNet 1.0 (Iandola et al.): a conv stem and
+// eight Fire modules. A Fire module squeezes channels with a 1x1 conv,
+// then expands through parallel 1x1 and 3x3 branches merged by a
+// concat — like Inception, its internal tensors are smaller than the
+// module output, so Fire modules are genuine general-structure
+// parallel regions rather than virtual blocks.
+func SqueezeNet() *dag.Graph {
+	c := newChain("squeezenet", tensor.NewCHW(3, 224, 224))
+	c.Conv("stem/conv", 96, 7, 2, 2).ReLU("stem/relu").MaxPool("stem/pool", 3, 2, 0)
+	fire(c, "fire2", 16, 64, 64)
+	fire(c, "fire3", 16, 64, 64)
+	fire(c, "fire4", 32, 128, 128)
+	c.MaxPool("pool4", 3, 2, 0)
+	fire(c, "fire5", 32, 128, 128)
+	fire(c, "fire6", 48, 192, 192)
+	fire(c, "fire7", 48, 192, 192)
+	fire(c, "fire8", 64, 256, 256)
+	c.MaxPool("pool8", 3, 2, 0)
+	fire(c, "fire9", 64, 256, 256)
+	c.Dropout("head/dropout", 0.5)
+	c.Conv("head/conv10", 1000, 1, 1, 0).ReLU("head/relu")
+	c.GlobalAvgPool("head/gap").Softmax("head/softmax")
+	return c.Done()
+}
+
+// fire appends one Fire module: squeeze 1x1 → {expand 1x1, expand 3x3}
+// → concat.
+func fire(c *chain, name string, squeeze, e1, e3 int) {
+	c.Conv(name+"/squeeze", squeeze, 1, 1, 0).ReLU(name + "/squeeze_relu")
+	mid := c.Tip()
+
+	c.Conv(name+"/expand1", e1, 1, 1, 0).ReLU(name + "/expand1_relu")
+	b1 := c.Tip()
+
+	c.SetTip(mid)
+	c.Conv(name+"/expand3", e3, 3, 1, 1).ReLU(name + "/expand3_relu")
+	b3 := c.Tip()
+
+	c.AttachAfter(&nn.Concat{LayerName: name + "/concat"}, b1, b3)
+}

@@ -1,0 +1,55 @@
+package netsim
+
+import (
+	"net"
+	"time"
+)
+
+// ShapedConn wraps a net.Conn and paces writes to a target bandwidth,
+// the in-process equivalent of the paper's wondershaper-limited link.
+// Pacing uses a virtual send clock with debt accounting so many small
+// writes cost the same as one large write. TimeScale compresses the
+// simulated time axis (0.001 = 1000× faster than real time) so
+// integration tests can exercise slow channels quickly.
+type ShapedConn struct {
+	net.Conn
+	bytesPerSec float64
+	timeScale   float64
+	sleep       func(time.Duration)
+	debt        time.Duration // accumulated unsent pacing time
+}
+
+// Shape wraps conn at the channel's uplink bandwidth. timeScale <= 0
+// defaults to 1 (real time).
+func Shape(conn net.Conn, ch Channel, timeScale float64) *ShapedConn {
+	if timeScale <= 0 {
+		timeScale = 1
+	}
+	return &ShapedConn{
+		Conn:        conn,
+		bytesPerSec: ch.BytesPerSec(),
+		timeScale:   timeScale,
+		sleep:       time.Sleep,
+	}
+}
+
+// Write paces the payload at the configured bandwidth, then forwards
+// it to the underlying conn.
+func (s *ShapedConn) Write(p []byte) (int, error) {
+	d := time.Duration(float64(len(p)) / s.bytesPerSec * float64(time.Second) * s.timeScale)
+	s.debt += d
+	// Sleep in one shot once debt is observable; sub-millisecond debts
+	// accumulate to keep pacing accurate without thousands of tiny
+	// sleeps.
+	if s.debt >= time.Millisecond {
+		s.sleep(s.debt)
+		s.debt = 0
+	}
+	return s.Conn.Write(p)
+}
+
+// Delay sleeps for the channel-scale duration d (e.g. per-message
+// setup latency), compressed by the shaper's time scale.
+func (s *ShapedConn) Delay(d time.Duration) {
+	s.sleep(time.Duration(float64(d) * s.timeScale))
+}

@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"fmt"
+
+	"dnnjps/internal/tensor"
+)
+
+// Dense is a fully connected layer. It accepts either a feature vector
+// or a CHW activation (implicitly flattened, as frameworks do when a
+// classifier head follows a convolutional trunk).
+type Dense struct {
+	LayerName string
+	Out       int
+	Bias      bool
+}
+
+func (l *Dense) Name() string { return l.LayerName }
+func (l *Dense) Kind() Kind   { return KindDense }
+
+func (l *Dense) OutputShape(inputs []tensor.Shape) (tensor.Shape, error) {
+	in, err := one(l.LayerName, inputs)
+	if err != nil {
+		return nil, err
+	}
+	if in.Elems() == 0 {
+		return nil, fmt.Errorf("nn: dense %q has empty input %v", l.LayerName, in)
+	}
+	if l.Out <= 0 {
+		return nil, fmt.Errorf("nn: dense %q has non-positive output size %d", l.LayerName, l.Out)
+	}
+	return tensor.NewVec(l.Out), nil
+}
+
+func (l *Dense) FLOPs(inputs []tensor.Shape) float64 {
+	if _, err := l.OutputShape(inputs); err != nil {
+		return 0
+	}
+	return 2 * float64(inputs[0].Elems()) * float64(l.Out)
+}
+
+func (l *Dense) ParamCount(inputs []tensor.Shape) int64 {
+	if _, err := l.OutputShape(inputs); err != nil {
+		return 0
+	}
+	p := int64(inputs[0].Elems()) * int64(l.Out)
+	if l.Bias {
+		p += int64(l.Out)
+	}
+	return p
+}
+
+// Flatten reshapes a CHW activation into a feature vector. It is a
+// zero-cost layer kept explicit so cut-points around classifier heads
+// line up with the paper's layer indexing.
+type Flatten struct {
+	LayerName string
+}
+
+func (l *Flatten) Name() string { return l.LayerName }
+func (l *Flatten) Kind() Kind   { return KindFlatten }
+
+func (l *Flatten) OutputShape(inputs []tensor.Shape) (tensor.Shape, error) {
+	in, err := one(l.LayerName, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.NewVec(in.Elems()), nil
+}
+
+func (l *Flatten) FLOPs([]tensor.Shape) float64    { return 0 }
+func (l *Flatten) ParamCount([]tensor.Shape) int64 { return 0 }

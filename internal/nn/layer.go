@@ -1,0 +1,125 @@
+// Package nn is the layer library underlying the model zoo. Each layer
+// knows how to infer its output shape from input shapes and how to
+// report its computational weight (FLOPs) and parameter count. The
+// profiler (internal/profile) turns those into per-device latencies;
+// the engine (internal/engine) executes a numeric forward pass for the
+// subset of layers the runtime needs.
+package nn
+
+import (
+	"fmt"
+
+	"dnnjps/internal/tensor"
+)
+
+// Kind classifies a layer for cost modeling: devices have different
+// effective throughput per kind (convolutions are compute-bound,
+// dense layers memory-bound, pooling cheap, ...).
+type Kind int
+
+const (
+	KindInput Kind = iota
+	KindConv
+	KindDepthwiseConv
+	KindMaxPool
+	KindAvgPool
+	KindGlobalAvgPool
+	KindDense
+	KindActivation
+	KindBatchNorm
+	KindLRN
+	KindDropout
+	KindFlatten
+	KindConcat
+	KindAdd
+	KindSoftmax
+)
+
+var kindNames = map[Kind]string{
+	KindInput:         "input",
+	KindConv:          "conv",
+	KindDepthwiseConv: "dwconv",
+	KindMaxPool:       "maxpool",
+	KindAvgPool:       "avgpool",
+	KindGlobalAvgPool: "gavgpool",
+	KindDense:         "dense",
+	KindActivation:    "act",
+	KindBatchNorm:     "bn",
+	KindLRN:           "lrn",
+	KindDropout:       "dropout",
+	KindFlatten:       "flatten",
+	KindConcat:        "concat",
+	KindAdd:           "add",
+	KindSoftmax:       "softmax",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Layer is the common contract of all DNN layers. Inputs are the
+// shapes of all incoming tensors in graph order; most layers accept
+// exactly one input, Concat and Add accept several.
+type Layer interface {
+	// Name is a human-readable identifier, unique within a model.
+	Name() string
+	// Kind classifies the layer for cost modeling.
+	Kind() Kind
+	// OutputShape infers the output tensor shape from the inputs or
+	// returns an error when the inputs are incompatible.
+	OutputShape(inputs []tensor.Shape) (tensor.Shape, error)
+	// FLOPs estimates the floating-point operations needed to compute
+	// the layer's output for the given inputs (multiply-accumulate
+	// counted as two operations). Returns 0 for incompatible inputs.
+	FLOPs(inputs []tensor.Shape) float64
+	// ParamCount is the number of learned parameters for the given
+	// inputs (convolution weights depend on the input channel count).
+	// Returns 0 for incompatible inputs.
+	ParamCount(inputs []tensor.Shape) int64
+}
+
+// one extracts the single input shape or errors.
+func one(name string, inputs []tensor.Shape) (tensor.Shape, error) {
+	if len(inputs) != 1 {
+		return nil, fmt.Errorf("nn: layer %q expects exactly 1 input, got %d", name, len(inputs))
+	}
+	return inputs[0], nil
+}
+
+// chw extracts the single CHW input shape or errors.
+func chw(name string, inputs []tensor.Shape) (tensor.Shape, error) {
+	in, err := one(name, inputs)
+	if err != nil {
+		return nil, err
+	}
+	if in.Rank() != 3 {
+		return nil, fmt.Errorf("nn: layer %q expects a CHW input, got %v", name, in)
+	}
+	return in, nil
+}
+
+// Input is the source pseudo-layer: it emits the model input tensor
+// and costs nothing.
+type Input struct {
+	LayerName string
+	Shape     tensor.Shape
+}
+
+func (l *Input) Name() string { return l.LayerName }
+func (l *Input) Kind() Kind   { return KindInput }
+func (l *Input) OutputShape(inputs []tensor.Shape) (tensor.Shape, error) {
+	if len(inputs) != 0 {
+		return nil, fmt.Errorf("nn: input layer %q takes no inputs, got %d", l.LayerName, len(inputs))
+	}
+	return l.Shape.Clone(), nil
+}
+func (l *Input) FLOPs([]tensor.Shape) float64    { return 0 }
+func (l *Input) ParamCount([]tensor.Shape) int64 { return 0 }
+
+// convOut computes one spatial output dimension.
+func convOut(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}

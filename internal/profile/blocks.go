@@ -1,0 +1,90 @@
+package profile
+
+import (
+	"dnnjps/internal/dag"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/tensor"
+)
+
+// BlockStat is one row of a Fig. 4-style per-block profile: the mobile
+// and cloud computation time of a named block and the upload time of
+// the tensor leaving it.
+type BlockStat struct {
+	Label    string
+	MobileMs float64
+	CloudMs  float64
+	CommMs   float64
+	Bytes    int
+}
+
+// BlockProfile aggregates the line view of a graph by block label,
+// reproducing the per-layer breakdown of Fig. 4 (where each x-axis
+// "layer" is a block of conv/pool/activation operations).
+func BlockProfile(g *dag.Graph, mobile, cloud Device, ch netsim.Channel, dt tensor.DType) []BlockStat {
+	units := LineView(g)
+	var stats []BlockStat
+	for _, u := range units {
+		m := mobile.NodesTimeMs(g, u.Nodes)
+		c := cloud.NodesTimeMs(g, u.Nodes)
+		b := g.OutBytes(u.Exit, dt)
+		if len(stats) > 0 && stats[len(stats)-1].Label == u.Label {
+			last := &stats[len(stats)-1]
+			last.MobileMs += m
+			last.CloudMs += c
+			last.Bytes = b
+			last.CommMs = ch.TxMs(b)
+			continue
+		}
+		stats = append(stats, BlockStat{
+			Label:    u.Label,
+			MobileMs: m,
+			CloudMs:  c,
+			CommMs:   ch.TxMs(b),
+			Bytes:    b,
+		})
+	}
+	// The sink block keeps its result locally; no upload.
+	if len(stats) > 0 {
+		stats[len(stats)-1].CommMs = 0
+		stats[len(stats)-1].Bytes = 0
+	}
+	return stats
+}
+
+// PathCurve profiles one independent path of a converted
+// general-structure DAG (Alg. 3): index i means "cut this path after
+// its i-th node". F cumulates the path's own nodes (the scheduler
+// deduplicates shared prefixes later, per the paper's modified
+// Alg. 1); G is the upload time of the i-th node's tensor.
+func PathCurve(g *dag.Graph, path []int, mobile, cloud Device, ch netsim.Channel, dt tensor.DType) *Curve {
+	n := len(path)
+	c := &Curve{
+		Model:   g.Name() + "/path",
+		Channel: ch,
+		F:       make([]float64, n),
+		G:       make([]float64, n),
+		CloudMs: make([]float64, n),
+		Bytes:   make([]int, n),
+		Labels:  make([]string, n),
+	}
+	var totalCloud float64
+	for _, id := range path {
+		totalCloud += cloud.LayerTimeMs(g, id)
+	}
+	var fCum, cloudCum float64
+	for i, id := range path {
+		fCum += mobile.LayerTimeMs(g, id)
+		cloudCum += cloud.LayerTimeMs(g, id)
+		c.F[i] = fCum
+		c.CloudMs[i] = max(totalCloud-cloudCum, 0)
+		c.Labels[i] = g.Node(id).Layer.Name()
+		if i == n-1 {
+			c.Bytes[i] = 0
+			c.G[i] = 0
+		} else {
+			c.Bytes[i] = g.OutBytes(id, dt)
+			c.G[i] = ch.TxMs(c.Bytes[i])
+		}
+	}
+	return c
+}

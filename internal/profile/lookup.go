@@ -1,0 +1,68 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// LookupTable caches profiled curves keyed by model and channel — the
+// paper's pre-built computation-time lookup table (§6.1), persisted as
+// JSON so the scheduler loads it at startup instead of re-profiling.
+type LookupTable struct {
+	Entries map[string]*Curve `json:"entries"`
+}
+
+// NewLookupTable returns an empty table.
+func NewLookupTable() *LookupTable {
+	return &LookupTable{Entries: make(map[string]*Curve)}
+}
+
+func key(model, channel string) string { return model + "@" + channel }
+
+// Put stores a curve under its model and channel names.
+func (t *LookupTable) Put(c *Curve) {
+	t.Entries[key(c.Model, c.Channel.Name)] = c
+}
+
+// Get retrieves a curve by model and channel name.
+func (t *LookupTable) Get(model, channel string) (*Curve, bool) {
+	c, ok := t.Entries[key(model, channel)]
+	return c, ok
+}
+
+// Keys lists stored entries in sorted order.
+func (t *LookupTable) Keys() []string {
+	out := make([]string, 0, len(t.Entries))
+	for k := range t.Entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Save writes the table as indented JSON.
+func (t *LookupTable) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// LoadLookupTable reads a table written by Save and validates every
+// curve.
+func LoadLookupTable(r io.Reader) (*LookupTable, error) {
+	var t LookupTable
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("profile: decoding lookup table: %w", err)
+	}
+	if t.Entries == nil {
+		t.Entries = make(map[string]*Curve)
+	}
+	for k, c := range t.Entries {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("profile: lookup entry %q: %w", k, err)
+		}
+	}
+	return &t, nil
+}

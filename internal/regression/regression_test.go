@@ -1,0 +1,212 @@
+package regression
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatalf("FitLinear: %v", err)
+	}
+	if !approx(fit.W0, 3, 1e-9) || !approx(fit.W1, 2, 1e-9) {
+		t.Errorf("fit = %v, want y=3+2x", fit)
+	}
+	if !approx(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %g, want 1", fit.R2)
+	}
+	if got := fit.Eval(10); !approx(got, 23, 1e-9) {
+		t.Errorf("Eval(10) = %g", got)
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 5+0.5*x+rng.NormFloat64()*0.1)
+	}
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatalf("FitLinear: %v", err)
+	}
+	if !approx(fit.W0, 5, 0.1) || !approx(fit.W1, 0.5, 0.01) {
+		t.Errorf("fit = %v, want ~y=5+0.5x", fit)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %g too low", fit.R2)
+	}
+}
+
+func TestFitLinearErrors(t *testing.T) {
+	if _, err := FitLinear([]float64{1}, []float64{2}); !errors.Is(err, ErrDegenerate) {
+		t.Error("single point must be degenerate")
+	}
+	if _, err := FitLinear([]float64{1, 1}, []float64{2, 3}); !errors.Is(err, ErrDegenerate) {
+		t.Error("zero x-variance must be degenerate")
+	}
+	if _, err := FitLinear([]float64{1, 2}, []float64{2}); !errors.Is(err, ErrDegenerate) {
+		t.Error("mismatched lengths must be degenerate")
+	}
+}
+
+func TestFitExponentialExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 100 * math.Exp(-0.7*x)
+	}
+	fit, err := FitExponential(xs, ys)
+	if err != nil {
+		t.Fatalf("FitExponential: %v", err)
+	}
+	if !approx(fit.A, 100, 1e-6) || !approx(fit.B, -0.7, 1e-9) {
+		t.Errorf("fit = %v, want y=100*exp(-0.7x)", fit)
+	}
+	if fit.R2 < 0.9999 {
+		t.Errorf("R2 = %g", fit.R2)
+	}
+}
+
+func TestFitExponentialRejectsNonPositive(t *testing.T) {
+	if _, err := FitExponential([]float64{0, 1}, []float64{1, 0}); !errors.Is(err, ErrDegenerate) {
+		t.Error("zero y must be rejected")
+	}
+	if _, err := FitExponential([]float64{0, 1}, []float64{1, -2}); !errors.Is(err, ErrDegenerate) {
+		t.Error("negative y must be rejected")
+	}
+}
+
+func TestInterpolator(t *testing.T) {
+	it, err := NewInterpolator([]float64{0, 1, 3}, []float64{0, 10, 30})
+	if err != nil {
+		t.Fatalf("NewInterpolator: %v", err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {0.5, 5}, {1, 10}, {2, 20}, {3, 30},
+		{-1, -10}, // extrapolation with first segment slope
+		{4, 40},   // extrapolation with last segment slope
+	}
+	for _, c := range cases {
+		if got := it.Eval(c.x); !approx(got, c.want, 1e-9) {
+			t.Errorf("Eval(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+	lo, hi := it.Domain()
+	if lo != 0 || hi != 3 {
+		t.Errorf("Domain = (%g,%g)", lo, hi)
+	}
+}
+
+func TestInterpolatorErrors(t *testing.T) {
+	if _, err := NewInterpolator([]float64{1}, []float64{1}); !errors.Is(err, ErrDegenerate) {
+		t.Error("single point must be degenerate")
+	}
+	if _, err := NewInterpolator([]float64{2, 1}, []float64{1, 2}); !errors.Is(err, ErrDegenerate) {
+		t.Error("unsorted xs must be degenerate")
+	}
+	if _, err := NewInterpolator([]float64{1, 1}, []float64{1, 2}); !errors.Is(err, ErrDegenerate) {
+		t.Error("duplicate xs must be degenerate")
+	}
+}
+
+func TestCrossingPoint(t *testing.T) {
+	f := func(x float64) float64 { return 2 * x }    // increasing
+	g := func(x float64) float64 { return 10 - 3*x } // decreasing
+	x, ok := CrossingPoint(f, g, 0, 10)              // cross at x=2
+	if !ok || !approx(x, 2, 1e-9) {
+		t.Errorf("crossing = %g ok=%v, want 2", x, ok)
+	}
+}
+
+func TestCrossingPointEndpoints(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	g := func(x float64) float64 { return 0.0 }
+	if x, ok := CrossingPoint(f, g, 0, 5); !ok || x != 0 {
+		t.Errorf("crossing at lower endpoint: %g ok=%v", x, ok)
+	}
+	g5 := func(float64) float64 { return 5.0 }
+	if x, ok := CrossingPoint(f, g5, 0, 5); !ok || x != 5 {
+		t.Errorf("crossing at upper endpoint: %g ok=%v", x, ok)
+	}
+}
+
+func TestCrossingPointNoSignChange(t *testing.T) {
+	f := func(x float64) float64 { return x + 10 }
+	g := func(x float64) float64 { return -x }
+	if _, ok := CrossingPoint(f, g, 0, 5); ok {
+		t.Error("no crossing must return ok=false")
+	}
+}
+
+// Property: FitLinear recovers arbitrary lines exactly (within float
+// tolerance) from noiseless samples.
+func TestFitLinearRecoveryProperty(t *testing.T) {
+	f := func(w0i, w1i int8) bool {
+		w0, w1 := float64(w0i), float64(w1i)
+		xs := []float64{0, 1, 2, 5, 9}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = w0 + w1*x
+		}
+		fit, err := FitLinear(xs, ys)
+		if err != nil {
+			return false
+		}
+		return approx(fit.W0, w0, 1e-6) && approx(fit.W1, w1, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the interpolator reproduces its sample points exactly and
+// is monotone between samples of a monotone series.
+func TestInterpolatorMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(6)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		y := 100.0
+		for i := 0; i < n; i++ {
+			xs[i] = float64(i)
+			y -= rng.Float64() * 10 // non-increasing
+			ys[i] = y
+		}
+		it, err := NewInterpolator(xs, ys)
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			if !approx(it.Eval(xs[i]), ys[i], 1e-9) {
+				return false
+			}
+		}
+		prev := it.Eval(0)
+		for x := 0.1; x < float64(n-1); x += 0.1 {
+			cur := it.Eval(x)
+			if cur > prev+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package report renders experiment results as aligned text tables,
+// CSV files, and ASCII Gantt charts — the output layer of the
+// reproduction harness.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v (float64 with
+// %.2f).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Headers, "\t"))
+	sep := make([]string, len(t.Headers))
+	for i, h := range t.Headers {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	return tw.Flush()
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}
+
+// WriteCSV emits the table (headers + rows, no title) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// GanttBar is one labeled interval on a Gantt lane.
+type GanttBar struct {
+	Label      string
+	Start, End float64
+}
+
+// Gantt renders labeled lanes of intervals as ASCII art, scaled to
+// width columns. Useful for eyeballing how a schedule pipelines the
+// mobile CPU against the uplink (Fig. 1/Fig. 2 style).
+func Gantt(w io.Writer, lanes map[string][]GanttBar, order []string, width int) error {
+	if width <= 10 {
+		width = 72
+	}
+	var maxEnd float64
+	for _, bars := range lanes {
+		for _, b := range bars {
+			if b.End > maxEnd {
+				maxEnd = b.End
+			}
+		}
+	}
+	if maxEnd == 0 {
+		_, err := fmt.Fprintln(w, "(empty schedule)")
+		return err
+	}
+	scale := float64(width) / maxEnd
+	labelW := 0
+	for _, name := range order {
+		if len(name) > labelW {
+			labelW = len(name)
+		}
+	}
+	for _, name := range order {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, b := range lanes[name] {
+			s := int(b.Start * scale)
+			e := int(b.End * scale)
+			if e <= s {
+				e = s + 1
+			}
+			if e > width {
+				e = width
+			}
+			mark := byte('#')
+			if len(b.Label) > 0 {
+				mark = b.Label[0]
+			}
+			for i := s; i < e; i++ {
+				line[i] = mark
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s|\n", labelW, name, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s  0%*s%.1fms\n", labelW, "", width-3, "", maxEnd)
+	return err
+}

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "Model", "Latency", "N")
+	tb.AddRow("alexnet", 123.456, 100)
+	tb.AddRow("resnet18", 7.0, 2)
+	out := tb.String()
+	for _, want := range []string{"== Demo ==", "Model", "123.46", "resnet18", "100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "A")
+	tb.AddRow("x")
+	if strings.Contains(tb.String(), "==") {
+		t.Error("untitled table must not render a title banner")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", 2.5)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2.50\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	var buf bytes.Buffer
+	lanes := map[string][]GanttBar{
+		"mobile": {{Label: "0", Start: 0, End: 4}, {Label: "1", Start: 4, End: 11}},
+		"uplink": {{Label: "0", Start: 4, End: 10}, {Label: "1", Start: 11, End: 13}},
+	}
+	if err := Gantt(&buf, lanes, []string{"mobile", "uplink"}, 52); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "mobile") || !strings.Contains(out, "uplink") {
+		t.Fatalf("missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "13.0ms") {
+		t.Errorf("missing time axis:\n%s", out)
+	}
+	// Mobile lane busy from t=0; uplink idle at t=0.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "|0") {
+		t.Errorf("mobile lane should start busy: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "|.") {
+		t.Errorf("uplink lane should start idle: %q", lines[1])
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Gantt(&buf, nil, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty schedule message missing")
+	}
+}

@@ -1,0 +1,237 @@
+package runtime
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dnnjps/internal/core"
+	"dnnjps/internal/engine"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/regression"
+	"dnnjps/internal/tensor"
+)
+
+// Client is the mobile side: it executes mobile prefixes locally,
+// uploads boundary tensors over a bandwidth-shaped link, and collects
+// results. Computation and communication are pipelined exactly as the
+// scheduler models them: one compute worker (the mobile CPU) and one
+// upload worker (the uplink) connected by a queue.
+type Client struct {
+	model  *engine.Model
+	units  []profile.Unit
+	conn   *netsim.ShapedConn
+	rw     *bufio.ReadWriter
+	ch     netsim.Channel
+	scale  float64
+	writeM sync.Mutex
+}
+
+// NewClient wraps a connection to a Server. timeScale compresses
+// simulated network time (see netsim.Shape); pass 1 for real time.
+func NewClient(conn net.Conn, m *engine.Model, ch netsim.Channel, timeScale float64) *Client {
+	shaped := netsim.Shape(conn, ch, timeScale)
+	return &Client{
+		model: m,
+		units: profile.LineView(m.Graph()),
+		conn:  shaped,
+		rw: bufio.NewReadWriter(
+			bufio.NewReaderSize(conn, 1<<16),
+			bufio.NewWriterSize(shaped, 1<<16)),
+		ch:    ch,
+		scale: timeScale,
+	}
+}
+
+// Units returns the number of cut positions of the client's model.
+func (c *Client) Units() int { return len(c.units) }
+
+// JobResult is the outcome of one inference job.
+type JobResult struct {
+	JobID    int
+	Class    int
+	Cut      int
+	MobileMs float64 // measured local compute time
+	CommMs   float64 // measured upload + reply time minus server compute
+	CloudMs  float64 // server-reported compute time
+	Done     time.Time
+}
+
+// RunJob executes a single job synchronously: prefix locally, upload,
+// remote suffix. A cut at the last unit runs fully local; a cut at 0
+// ships the raw input (cloud-only).
+func (c *Client) RunJob(jobID, cut int, input *tensor.Tensor) (*JobResult, error) {
+	boundary, res, err := c.computePrefix(jobID, cut, input)
+	if err != nil {
+		return nil, err
+	}
+	if boundary == nil {
+		return res, nil // fully local
+	}
+	if err := c.upload(res, cut, boundary); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// computePrefix runs the mobile part. Returns a nil boundary when the
+// job completed locally.
+func (c *Client) computePrefix(jobID, cut int, input *tensor.Tensor) (*tensor.Tensor, *JobResult, error) {
+	if cut < 0 || cut >= len(c.units) {
+		return nil, nil, fmt.Errorf("runtime: cut %d out of range [0,%d)", cut, len(c.units))
+	}
+	res := &JobResult{JobID: jobID, Cut: cut}
+	var prefix []int
+	for _, u := range c.units[:cut+1] {
+		prefix = append(prefix, u.Nodes...)
+	}
+	start := time.Now()
+	acts := map[int]*tensor.Tensor{}
+	if err := c.model.Execute(acts, input, prefix); err != nil {
+		return nil, nil, err
+	}
+	res.MobileMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	if cut == len(c.units)-1 {
+		res.Class = engine.Argmax(acts[c.model.Graph().Sink()])
+		res.Done = time.Now()
+		return nil, res, nil
+	}
+	return acts[c.units[cut].Exit], res, nil
+}
+
+// upload ships the boundary tensor and fills in the reply fields. The
+// per-message channel setup latency is applied through the shaper so
+// it honors the time scale, matching g(l) = w0 + bytes/bandwidth.
+func (c *Client) upload(res *JobResult, cut int, boundary *tensor.Tensor) error {
+	c.writeM.Lock()
+	defer c.writeM.Unlock()
+	start := time.Now()
+	c.conn.Delay(time.Duration(c.ch.SetupMs * float64(time.Millisecond)))
+	req := &inferRequest{JobID: uint32(res.JobID), Cut: uint32(cut), Tensor: boundary}
+	if err := writeInferRequest(c.rw.Writer, req); err != nil {
+		return err
+	}
+	if err := c.rw.Flush(); err != nil {
+		return err
+	}
+	rep, err := readInferReply(c.rw.Reader)
+	if err != nil {
+		return err
+	}
+	if rep.JobID != uint32(res.JobID) {
+		return fmt.Errorf("runtime: reply for job %d, want %d", rep.JobID, res.JobID)
+	}
+	total := float64(time.Since(start).Nanoseconds()) / 1e6
+	res.CloudMs = float64(rep.CloudNs) / 1e6
+	res.CommMs = total - res.CloudMs // the paper's td − tc
+	res.Class = int(rep.Class)
+	res.Done = time.Now()
+	return nil
+}
+
+// Report aggregates a pipelined run.
+type Report struct {
+	Results    []*JobResult
+	MakespanMs float64
+}
+
+// RunPlan executes a whole plan with pipelining: jobs are computed in
+// schedule order on the compute worker while completed boundary
+// tensors stream to the upload worker — the two-resource pipeline of
+// §3.1. inputs[i] feeds job i (Plan job IDs index inputs).
+func (c *Client) RunPlan(p *core.Plan, inputs []*tensor.Tensor) (*Report, error) {
+	if len(inputs) != len(p.Cuts) {
+		return nil, fmt.Errorf("runtime: %d inputs for %d jobs", len(inputs), len(p.Cuts))
+	}
+	type pending struct {
+		res      *JobResult
+		cut      int
+		boundary *tensor.Tensor
+	}
+	queue := make(chan pending, len(p.Cuts))
+	errCh := make(chan error, 2)
+	results := make([]*JobResult, 0, len(p.Cuts))
+	var mu sync.Mutex
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // upload worker: the uplink resource
+		defer wg.Done()
+		for pend := range queue {
+			if pend.boundary == nil {
+				mu.Lock()
+				results = append(results, pend.res)
+				mu.Unlock()
+				continue
+			}
+			if err := c.upload(pend.res, pend.cut, pend.boundary); err != nil {
+				errCh <- err
+				return
+			}
+			mu.Lock()
+			results = append(results, pend.res)
+			mu.Unlock()
+		}
+	}()
+
+	// Compute worker: the mobile CPU, in Johnson order.
+	for _, fj := range p.Sequence {
+		cut := p.Cuts[fj.ID]
+		boundary, res, err := c.computePrefix(fj.ID, cut, inputs[fj.ID])
+		if err != nil {
+			close(queue)
+			return nil, err
+		}
+		queue <- pending{res: res, cut: cut, boundary: boundary}
+	}
+	close(queue)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	rep := &Report{Results: results}
+	for _, r := range results {
+		if ms := float64(r.Done.Sub(start).Nanoseconds()) / 1e6; ms > rep.MakespanMs {
+			rep.MakespanMs = ms
+		}
+	}
+	return rep, nil
+}
+
+// CalibrateComm measures upload latency for a ladder of payload sizes
+// and fits the paper's linear model t = w0 + w1·s (per-byte form; with
+// bandwidth b fixed, w1 = 8/b). The fitted line feeds the scheduler's
+// communication estimates.
+func (c *Client) CalibrateComm(sizes []int, rounds int) (regression.Linear, error) {
+	if rounds <= 0 {
+		rounds = 1
+	}
+	var xs, ys []float64
+	c.writeM.Lock()
+	defer c.writeM.Unlock()
+	for _, size := range sizes {
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			c.conn.Delay(time.Duration(c.ch.SetupMs * float64(time.Millisecond)))
+			if err := writePing(c.rw.Writer, size); err != nil {
+				return regression.Linear{}, err
+			}
+			if err := c.rw.Flush(); err != nil {
+				return regression.Linear{}, err
+			}
+			if err := readPong(c.rw.Reader); err != nil {
+				return regression.Linear{}, err
+			}
+			xs = append(xs, float64(size))
+			ys = append(ys, float64(time.Since(start).Nanoseconds())/1e6)
+		}
+	}
+	return regression.FitLinear(xs, ys)
+}

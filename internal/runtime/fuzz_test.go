@@ -1,0 +1,71 @@
+package runtime
+
+import (
+	"bytes"
+	"testing"
+
+	"dnnjps/internal/tensor"
+)
+
+// FuzzReadTensor drives the wire decoder with arbitrary bytes: it must
+// never panic and never allocate absurd buffers; on valid frames it
+// must round-trip. Seed corpus covers the interesting shapes; run
+// `go test -fuzz=FuzzReadTensor ./internal/runtime` for a deep fuzz.
+func FuzzReadTensor(f *testing.F) {
+	// A valid 1-D tensor frame.
+	var valid bytes.Buffer
+	_ = writeTensor(&valid, mustVec(3, 1, 2, 3))
+	f.Add(valid.Bytes())
+	// Truncations and garbage.
+	f.Add(valid.Bytes()[:3])
+	f.Add([]byte{0})
+	f.Add([]byte{9, 1, 2, 3})
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0x7F}) // giant dim
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tt, err := readTensor(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Successful parses must be internally consistent and re-encode.
+		if tt.Shape.Elems() != len(tt.Data) {
+			t.Fatalf("decoded tensor inconsistent: %v vs %d", tt.Shape, len(tt.Data))
+		}
+		var buf bytes.Buffer
+		if err := writeTensor(&buf, tt); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzHandleConn drives the whole server loop with arbitrary frames.
+func FuzzHandleConn(f *testing.F) {
+	var infer bytes.Buffer
+	_ = writeInferRequest(&infer, &inferRequest{JobID: 1, Cut: 0, Tensor: mustVec(2, 1, 2)})
+	f.Add(infer.Bytes())
+	var ping bytes.Buffer
+	_ = writePing(&ping, 8)
+	f.Add(ping.Bytes())
+	var set bytes.Buffer
+	_ = writeInferSetRequest(&set, &inferSetRequest{
+		JobID:   2,
+		Nodes:   []int32{0},
+		Tensors: []*tensor.Tensor{mustVec(2, 1, 2)},
+	})
+	f.Add(set.Bytes())
+	f.Add([]byte{0xAB, 0xCD})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv := NewServer(testModel(t))
+		conn := &rwBuffer{in: bytes.NewReader(data)}
+		_ = srv.HandleConn(conn) // must not panic
+	})
+}
+
+// mustVec builds a small 1-D tensor for frame seeds.
+func mustVec(n int, vals ...float32) *tensor.Tensor {
+	t := tensor.New(tensor.NewVec(n))
+	copy(t.Data, vals)
+	return t
+}

@@ -1,0 +1,217 @@
+package runtime
+
+// General-structure execution: a partition of a DAG model is a set of
+// cut nodes (one per converted path — Alg. 3), so the client must ship
+// SEVERAL boundary tensors and the server resumes from all of them.
+// The wire frame is a msgInferSet: a count followed by (nodeID,
+// tensor) pairs; the server executes every node outside the shipped
+// set's ancestor closure, in topological order.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dnnjps/internal/engine"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/tensor"
+)
+
+const msgInferSet = byte(3) // client -> server: multi-tensor boundary set
+
+const maxBoundaryTensors = 64
+
+// inferSetRequest carries one job's boundary activations.
+type inferSetRequest struct {
+	JobID   uint32
+	Nodes   []int32
+	Tensors []*tensor.Tensor
+}
+
+func writeInferSetRequest(w io.Writer, req *inferSetRequest) error {
+	if len(req.Nodes) != len(req.Tensors) {
+		return fmt.Errorf("runtime: %d nodes vs %d tensors", len(req.Nodes), len(req.Tensors))
+	}
+	if err := binary.Write(w, binary.LittleEndian, msgInferSet); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, req.JobID); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(req.Nodes))); err != nil {
+		return err
+	}
+	for i, node := range req.Nodes {
+		if err := binary.Write(w, binary.LittleEndian, node); err != nil {
+			return err
+		}
+		if err := writeTensor(w, req.Tensors[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readInferSetRequestBody(r io.Reader) (*inferSetRequest, error) {
+	var req inferSetRequest
+	if err := binary.Read(r, binary.LittleEndian, &req.JobID); err != nil {
+		return nil, err
+	}
+	var count uint16
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if count == 0 || count > maxBoundaryTensors {
+		return nil, fmt.Errorf("runtime: bad boundary count %d", count)
+	}
+	for i := 0; i < int(count); i++ {
+		var node int32
+		if err := binary.Read(r, binary.LittleEndian, &node); err != nil {
+			return nil, err
+		}
+		t, err := readTensor(r)
+		if err != nil {
+			return nil, err
+		}
+		req.Nodes = append(req.Nodes, node)
+		req.Tensors = append(req.Tensors, t)
+	}
+	return &req, nil
+}
+
+// inferSet resumes the model from an arbitrary boundary set.
+func (s *Server) inferSet(req *inferSetRequest) (*inferReply, error) {
+	g := s.model.Graph()
+	acts := map[int]*tensor.Tensor{}
+	boundary := make([]int, 0, len(req.Nodes))
+	for i, node := range req.Nodes {
+		id := int(node)
+		if id < 0 || id >= g.Len() {
+			return nil, fmt.Errorf("runtime: boundary node %d out of range", id)
+		}
+		want := g.Node(id).OutShape
+		if !req.Tensors[i].Shape.Equal(want) {
+			return nil, fmt.Errorf("runtime: boundary %d tensor %v, want %v",
+				id, req.Tensors[i].Shape, want)
+		}
+		acts[id] = req.Tensors[i]
+		boundary = append(boundary, id)
+	}
+	// The server executes everything outside the mobile side (the
+	// ancestor closure of the boundary set).
+	mobile := g.Ancestors(boundary...)
+	var suffix []int
+	for _, id := range g.Topo() {
+		if !mobile[id] {
+			suffix = append(suffix, id)
+		}
+	}
+	start := time.Now()
+	if err := s.model.Execute(acts, nil, suffix); err != nil {
+		return nil, err
+	}
+	out := acts[g.Sink()]
+	return &inferReply{
+		JobID:   req.JobID,
+		Class:   int32(engine.Argmax(out)),
+		CloudNs: time.Since(start).Nanoseconds(),
+	}, nil
+}
+
+// GeneralClient executes set-partitioned jobs against a Server: the
+// mobile side computes the ancestor closure of a cut-node set with the
+// real engine, ships every boundary tensor whose consumer is remote,
+// and reads back the class.
+type GeneralClient struct {
+	model *engine.Model
+	conn  *netsim.ShapedConn
+	rw    *bufio.ReadWriter
+	ch    netsim.Channel
+	mu    sync.Mutex
+}
+
+// NewGeneralClient wraps a connection to a server holding the same
+// model and seed.
+func NewGeneralClient(conn net.Conn, m *engine.Model, ch netsim.Channel, timeScale float64) *GeneralClient {
+	shaped := netsim.Shape(conn, ch, timeScale)
+	return &GeneralClient{
+		model: m,
+		conn:  shaped,
+		rw: bufio.NewReadWriter(
+			bufio.NewReaderSize(conn, 1<<16),
+			bufio.NewWriterSize(shaped, 1<<16)),
+		ch: ch,
+	}
+}
+
+// RunJob executes one job cut at the given node set (the partition
+// P_j of §3.1: those nodes and their ancestors run locally). An empty
+// set is rejected; use the node set {sink} for a fully local run.
+func (c *GeneralClient) RunJob(jobID int, cutNodes []int, input *tensor.Tensor) (*JobResult, error) {
+	if len(cutNodes) == 0 {
+		return nil, fmt.Errorf("runtime: empty cut set")
+	}
+	g := c.model.Graph()
+	mobile := g.Ancestors(cutNodes...)
+	res := &JobResult{JobID: jobID}
+
+	// Local prefix in topological order.
+	var prefix []int
+	for _, id := range g.Topo() {
+		if mobile[id] {
+			prefix = append(prefix, id)
+		}
+	}
+	start := time.Now()
+	acts := map[int]*tensor.Tensor{}
+	if err := c.model.Execute(acts, input, prefix); err != nil {
+		return nil, err
+	}
+	res.MobileMs = float64(time.Since(start).Nanoseconds()) / 1e6
+
+	// Boundary = mobile nodes with at least one remote consumer.
+	req := &inferSetRequest{JobID: uint32(jobID)}
+	for _, id := range prefix {
+		for _, s := range g.Succs(id) {
+			if !mobile[s] {
+				req.Nodes = append(req.Nodes, int32(id))
+				req.Tensors = append(req.Tensors, acts[id])
+				break
+			}
+		}
+	}
+	if len(req.Nodes) == 0 {
+		// Fully local: the sink is on the mobile side.
+		res.Class = engine.Argmax(acts[g.Sink()])
+		res.Done = time.Now()
+		return res, nil
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sendStart := time.Now()
+	c.conn.Delay(time.Duration(c.ch.SetupMs * float64(time.Millisecond)))
+	if err := writeInferSetRequest(c.rw.Writer, req); err != nil {
+		return nil, err
+	}
+	if err := c.rw.Flush(); err != nil {
+		return nil, err
+	}
+	rep, err := readInferReply(c.rw.Reader)
+	if err != nil {
+		return nil, err
+	}
+	if rep.JobID != uint32(jobID) {
+		return nil, fmt.Errorf("runtime: reply for job %d, want %d", rep.JobID, jobID)
+	}
+	total := float64(time.Since(sendStart).Nanoseconds()) / 1e6
+	res.CloudMs = float64(rep.CloudNs) / 1e6
+	res.CommMs = total - res.CloudMs
+	res.Class = int(rep.Class)
+	res.Done = time.Now()
+	return res, nil
+}

@@ -1,0 +1,139 @@
+package runtime
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"dnnjps/internal/core"
+	"dnnjps/internal/dag"
+	"dnnjps/internal/engine"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/nn"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/tensor"
+)
+
+// branchedModel has two parallel branches, so cut sets can require
+// shipping two boundary tensors at once.
+func branchedModel(t *testing.T) *engine.Model {
+	t.Helper()
+	g := dag.New("branched")
+	in := g.Add(&nn.Input{LayerName: "input", Shape: tensor.NewCHW(3, 16, 16)})
+	stem := g.Add(&nn.Conv2D{LayerName: "stem", OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, Bias: true}, in)
+	a1 := g.Add(&nn.Conv2D{LayerName: "a1", OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, Bias: true}, stem)
+	a2 := g.Add(nn.NewActivation("a2", nn.ReLU), a1)
+	b1 := g.Add(&nn.Conv2D{LayerName: "b1", OutC: 8, KH: 1, KW: 1, Stride: 1, Bias: true}, stem)
+	j := g.Add(&nn.Add{LayerName: "join"}, a2, b1)
+	gp := g.Add(&nn.GlobalAvgPool2D{LayerName: "gap"}, j)
+	fc := g.Add(&nn.Dense{LayerName: "fc", Out: 6, Bias: true}, gp)
+	g.Add(nn.NewSoftmax("softmax"), fc)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return engine.Load(g, 77)
+}
+
+func startGeneralPair(t *testing.T, m *engine.Model) *GeneralClient {
+	t.Helper()
+	cConn, sConn := net.Pipe()
+	srv := NewServer(m)
+	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
+	t.Cleanup(func() { cConn.Close() })
+	return NewGeneralClient(cConn, m, netsim.WiFi, 1e-6)
+}
+
+func TestGeneralClientMultiBoundaryCut(t *testing.T) {
+	m := branchedModel(t)
+	cl := startGeneralPair(t, m)
+	g := m.Graph()
+	in := input(5)
+	want, err := m.Forward(in.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClass := engine.Argmax(want)
+
+	a2, _ := g.NodeByName("a2")
+	b1, _ := g.NodeByName("b1")
+	stem, _ := g.NodeByName("stem")
+	inN, _ := g.NodeByName("input")
+	sink := g.Sink()
+
+	cases := []struct {
+		name string
+		cuts []int
+	}{
+		{"two-branch boundary", []int{a2.ID, b1.ID}},
+		{"one branch deep, one shallow", []int{a2.ID, stem.ID}},
+		{"cloud-only", []int{inN.ID}},
+		{"stem only", []int{stem.ID}},
+		{"fully local", []int{sink}},
+	}
+	for _, c := range cases {
+		res, err := cl.RunJob(3, c.cuts, in.Clone())
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if res.Class != wantClass {
+			t.Errorf("%s: class %d, want %d", c.name, res.Class, wantClass)
+		}
+	}
+}
+
+func TestGeneralClientRejectsEmptyCutSet(t *testing.T) {
+	m := branchedModel(t)
+	cl := startGeneralPair(t, m)
+	if _, err := cl.RunJob(0, nil, input(0)); err == nil {
+		t.Error("empty cut set must error")
+	}
+}
+
+func TestGeneralClientRunsPlanGeneralCuts(t *testing.T) {
+	// The cut sets an Algorithm 3 plan emits execute end to end.
+	m := branchedModel(t)
+	g := m.Graph()
+	cl := startGeneralPair(t, m)
+	pi, gpu := profile.RaspberryPi4(), profile.CloudGPU()
+	gp, err := core.PlanGeneral(g, pi, gpu, netsim.WiFi, tensor.Float32, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := input(9)
+	want, _ := m.Forward(in.Clone())
+	for job, cuts := range gp.CutNodes {
+		res, err := cl.RunJob(job, cuts, in.Clone())
+		if err != nil {
+			t.Fatalf("job %d cuts %v: %v", job, cuts, err)
+		}
+		if res.Class != engine.Argmax(want) {
+			t.Errorf("job %d: class %d, want %d", job, res.Class, engine.Argmax(want))
+		}
+	}
+}
+
+func TestInferSetRejectsGarbage(t *testing.T) {
+	m := branchedModel(t)
+	srv := NewServer(m)
+	// Zero boundary count.
+	var buf bytes.Buffer
+	buf.WriteByte(msgInferSet)
+	buf.Write([]byte{1, 0, 0, 0}) // job id
+	buf.Write([]byte{0, 0})       // count 0
+	if err := srv.HandleConn(&rwBuffer{in: bytes.NewReader(buf.Bytes())}); err == nil {
+		t.Error("zero boundary count must error")
+	}
+	// Node out of range.
+	if _, err := srv.inferSet(&inferSetRequest{
+		JobID: 1, Nodes: []int32{999}, Tensors: []*tensor.Tensor{tensor.New(tensor.NewVec(1))},
+	}); err == nil {
+		t.Error("out-of-range node must error")
+	}
+	// Wrong tensor shape.
+	stem, _ := m.Graph().NodeByName("stem")
+	if _, err := srv.inferSet(&inferSetRequest{
+		JobID: 1, Nodes: []int32{int32(stem.ID)}, Tensors: []*tensor.Tensor{tensor.New(tensor.NewVec(1))},
+	}); err == nil {
+		t.Error("wrong boundary shape must error")
+	}
+}

@@ -1,0 +1,203 @@
+// Package runtime is the executable offloading system: a cloud-side
+// server and a mobile-side client that really run partitioned
+// inferences over a net.Conn, mirroring the paper's PyTorch + gRPC
+// testbed. The client computes the mobile prefix with the real engine,
+// serializes the boundary tensor, ships it over a bandwidth-shaped
+// link, and the server finishes the inference and returns the class
+// plus its measured compute time (the paper's tc field, used to
+// separate communication delay from cloud delay).
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"dnnjps/internal/tensor"
+)
+
+// Message types on the wire.
+const (
+	msgInfer = byte(1) // client -> server: boundary tensor at a cut
+	msgPing  = byte(2) // client -> server: calibration payload, echoed as a reply header
+)
+
+const maxTensorBytes = 256 << 20 // defensive cap against corrupt frames
+
+// inferRequest is the client's upload: which unit the model was cut
+// after, plus the boundary activation tensor.
+type inferRequest struct {
+	JobID  uint32
+	Cut    uint32
+	Tensor *tensor.Tensor
+}
+
+// inferReply is the server's answer: predicted class and the server's
+// own measured compute time in nanoseconds.
+type inferReply struct {
+	JobID   uint32
+	Class   int32
+	CloudNs int64
+}
+
+func writeInferRequest(w io.Writer, req *inferRequest) error {
+	if err := binary.Write(w, binary.LittleEndian, msgInfer); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, req.JobID); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, req.Cut); err != nil {
+		return err
+	}
+	return writeTensor(w, req.Tensor)
+}
+
+func writeTensor(w io.Writer, t *tensor.Tensor) error {
+	if err := binary.Write(w, binary.LittleEndian, uint8(t.Shape.Rank())); err != nil {
+		return err
+	}
+	for _, d := range t.Shape {
+		if err := binary.Write(w, binary.LittleEndian, int32(d)); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 4*len(t.Data))
+	for i, v := range t.Data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readTensor(r io.Reader) (*tensor.Tensor, error) {
+	var rank uint8
+	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+		return nil, err
+	}
+	if rank == 0 || rank > 4 {
+		return nil, fmt.Errorf("runtime: bad tensor rank %d", rank)
+	}
+	shape := make(tensor.Shape, rank)
+	elems := int64(1)
+	for i := range shape {
+		var d int32
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			return nil, err
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("runtime: bad tensor dim %d", d)
+		}
+		shape[i] = int(d)
+		// Guard the running product in int64 so adversarial dims can
+		// neither overflow int nor drive a huge allocation.
+		elems *= int64(d)
+		if elems*4 > maxTensorBytes {
+			return nil, fmt.Errorf("runtime: tensor too large: %v", shape[:i+1])
+		}
+	}
+	buf := make([]byte, 4*shape.Elems())
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	t := tensor.New(shape)
+	for i := range t.Data {
+		t.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return t, nil
+}
+
+func readInferRequestBody(r io.Reader) (*inferRequest, error) {
+	var req inferRequest
+	if err := binary.Read(r, binary.LittleEndian, &req.JobID); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &req.Cut); err != nil {
+		return nil, err
+	}
+	t, err := readTensor(r)
+	if err != nil {
+		return nil, err
+	}
+	req.Tensor = t
+	return &req, nil
+}
+
+func writeInferReply(w io.Writer, rep *inferReply) error {
+	if err := binary.Write(w, binary.LittleEndian, msgInfer); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, rep.JobID); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, rep.Class); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, rep.CloudNs)
+}
+
+func readInferReply(r io.Reader) (*inferReply, error) {
+	var typ byte
+	if err := binary.Read(r, binary.LittleEndian, &typ); err != nil {
+		return nil, err
+	}
+	if typ != msgInfer {
+		return nil, fmt.Errorf("runtime: unexpected reply type %d", typ)
+	}
+	var rep inferReply
+	if err := binary.Read(r, binary.LittleEndian, &rep.JobID); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &rep.Class); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &rep.CloudNs); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// writePing sends a calibration payload of the given size.
+func writePing(w io.Writer, payload int) error {
+	if err := binary.Write(w, binary.LittleEndian, msgPing); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(payload)); err != nil {
+		return err
+	}
+	_, err := w.Write(make([]byte, payload))
+	return err
+}
+
+// readPingBody consumes a ping payload and returns its size.
+func readPingBody(r io.Reader) (int, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return 0, err
+	}
+	if n > maxTensorBytes {
+		return 0, fmt.Errorf("runtime: ping payload too large: %d", n)
+	}
+	if _, err := io.CopyN(io.Discard, r, int64(n)); err != nil {
+		return 0, err
+	}
+	return int(n), nil
+}
+
+// writePong acknowledges a ping.
+func writePong(w io.Writer) error {
+	return binary.Write(w, binary.LittleEndian, msgPing)
+}
+
+// readPong consumes a ping acknowledgment.
+func readPong(r io.Reader) error {
+	var typ byte
+	if err := binary.Read(r, binary.LittleEndian, &typ); err != nil {
+		return err
+	}
+	if typ != msgPing {
+		return fmt.Errorf("runtime: unexpected pong type %d", typ)
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package runtime
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+
+	"dnnjps/internal/core"
+	"dnnjps/internal/engine"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/tensor"
+)
+
+// The server must never panic on malformed input — garbage frames,
+// truncated requests, absurd sizes all surface as errors.
+func TestServerSurvivesGarbageFrames(t *testing.T) {
+	m := testModel(t)
+	srv := NewServer(m)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		conn := &rwBuffer{in: bytes.NewReader(buf)}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: server panicked on %x: %v", trial, buf, r)
+				}
+			}()
+			_ = srv.HandleConn(conn)
+		}()
+	}
+}
+
+func TestServerRejectsHugePing(t *testing.T) {
+	m := testModel(t)
+	srv := NewServer(m)
+	var req bytes.Buffer
+	req.WriteByte(2)                                    // msgPing
+	req.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F})           // ~2GB payload claim
+	conn := &rwBuffer{in: bytes.NewReader(req.Bytes())} // no actual payload
+	if err := srv.HandleConn(conn); err == nil {
+		t.Error("oversized ping must error")
+	}
+}
+
+func TestServerRejectsUnknownMessageType(t *testing.T) {
+	m := testModel(t)
+	srv := NewServer(m)
+	conn := &rwBuffer{in: bytes.NewReader([]byte{0xAB})}
+	if err := srv.HandleConn(conn); err == nil {
+		t.Error("unknown message type must error")
+	}
+}
+
+// rwBuffer adapts a reader + discard writer to io.ReadWriter.
+type rwBuffer struct {
+	in io.Reader
+}
+
+func (b *rwBuffer) Read(p []byte) (int, error)  { return b.in.Read(p) }
+func (b *rwBuffer) Write(p []byte) (int, error) { return len(p), nil }
+
+// Several clients may hit one server concurrently (one goroutine per
+// connection); results must stay correct and isolated.
+func TestConcurrentClients(t *testing.T) {
+	m := testModel(t)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback unavailable: %v", err)
+	}
+	defer lis.Close()
+	srv := NewServer(m)
+	go func() { _ = srv.Serve(lis) }()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", lis.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			cl := NewClient(conn, m, netsim.WiFi, 1e-6)
+			in := input(c)
+			want, _ := m.Forward(in.Clone())
+			for cut := 0; cut < cl.Units(); cut += 2 {
+				res, err := cl.RunJob(c*100+cut, cut, in.Clone())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Class != engine.Argmax(want) {
+					t.Errorf("client %d cut %d: class %d, want %d", c, cut, res.Class, engine.Argmax(want))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// Pipelined plans with many jobs stress the queue path.
+func TestRunPlanManyJobs(t *testing.T) {
+	m := testModel(t)
+	cl := startPair(t, m, netsim.WiFi)
+	curve := profile.BuildCurve(m.Graph(), profile.RaspberryPi4(), profile.CloudGPU(),
+		netsim.WiFi, tensor.Float32)
+	plan, err := core.JPS(curve, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]*tensor.Tensor, 24)
+	for i := range inputs {
+		inputs[i] = input(i)
+	}
+	rep, err := cl.RunPlan(plan, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 24 {
+		t.Fatalf("got %d results", len(rep.Results))
+	}
+}

@@ -1,0 +1,271 @@
+package runtime
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"dnnjps/internal/core"
+	"dnnjps/internal/dag"
+	"dnnjps/internal/engine"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/nn"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/tensor"
+)
+
+// testModel is a small line CNN shared by the runtime tests.
+func testModel(t *testing.T) *engine.Model {
+	t.Helper()
+	g := dag.New("rttest")
+	in := g.Add(&nn.Input{LayerName: "input", Shape: tensor.NewCHW(3, 16, 16)})
+	c1 := g.Add(&nn.Conv2D{LayerName: "conv1", OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, Bias: true}, in)
+	r1 := g.Add(nn.NewActivation("relu1", nn.ReLU), c1)
+	p1 := g.Add(nn.NewMaxPool2D("pool1", 2, 2, 0), r1)
+	c2 := g.Add(&nn.Conv2D{LayerName: "conv2", OutC: 16, KH: 3, KW: 3, Stride: 1, Pad: 1, Bias: true}, p1)
+	r2 := g.Add(nn.NewActivation("relu2", nn.ReLU), c2)
+	gp := g.Add(&nn.GlobalAvgPool2D{LayerName: "gap"}, r2)
+	fc := g.Add(&nn.Dense{LayerName: "fc", Out: 5, Bias: true}, gp)
+	g.Add(nn.NewSoftmax("softmax"), fc)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return engine.Load(g, 1234)
+}
+
+// startPair wires a client and server over net.Pipe with a fast time
+// scale.
+func startPair(t *testing.T, m *engine.Model, ch netsim.Channel) *Client {
+	t.Helper()
+	cConn, sConn := net.Pipe()
+	srv := NewServer(m)
+	go func() {
+		defer sConn.Close()
+		_ = srv.HandleConn(sConn)
+	}()
+	t.Cleanup(func() { cConn.Close() })
+	return NewClient(cConn, m, ch, 1e-6)
+}
+
+func input(i int) *tensor.Tensor {
+	in := tensor.New(tensor.NewCHW(3, 16, 16))
+	for j := range in.Data {
+		in.Data[j] = float32((j+i*7)%13)/13 - 0.4
+	}
+	return in
+}
+
+func TestTensorWireRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	orig := input(3)
+	if err := writeTensor(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readTensor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Shape.Equal(orig.Shape) {
+		t.Fatalf("shape %v != %v", got.Shape, orig.Shape)
+	}
+	for i := range orig.Data {
+		if got.Data[i] != orig.Data[i] {
+			t.Fatal("payload corrupted")
+		}
+	}
+}
+
+func TestReadTensorRejectsGarbage(t *testing.T) {
+	// Rank 0.
+	if _, err := readTensor(bytes.NewReader([]byte{0})); err == nil {
+		t.Error("rank 0 must error")
+	}
+	// Rank 9.
+	if _, err := readTensor(bytes.NewReader([]byte{9})); err == nil {
+		t.Error("rank 9 must error")
+	}
+	// Negative dim.
+	var buf bytes.Buffer
+	buf.WriteByte(1)
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // -1 little endian
+	if _, err := readTensor(&buf); err == nil {
+		t.Error("negative dim must error")
+	}
+	// Truncated payload.
+	var buf2 bytes.Buffer
+	_ = writeTensor(&buf2, input(0))
+	trunc := buf2.Bytes()[:buf2.Len()-10]
+	if _, err := readTensor(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated payload must error")
+	}
+}
+
+func TestRunJobEveryCutMatchesLocalForward(t *testing.T) {
+	m := testModel(t)
+	cl := startPair(t, m, netsim.WiFi)
+	in := input(1)
+	want, err := m.Forward(in.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClass := engine.Argmax(want)
+	for cut := 0; cut < cl.Units(); cut++ {
+		res, err := cl.RunJob(cut, cut, in.Clone())
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if res.Class != wantClass {
+			t.Errorf("cut %d: class %d, want %d", cut, res.Class, wantClass)
+		}
+		if res.MobileMs < 0 || res.CommMs < 0 {
+			t.Errorf("cut %d: negative timings %+v", cut, res)
+		}
+	}
+}
+
+func TestRunJobLocalOnlySkipsNetwork(t *testing.T) {
+	m := testModel(t)
+	// No server behind the pipe: a local-only job must still succeed.
+	cConn, _ := net.Pipe()
+	defer cConn.Close()
+	cl := NewClient(cConn, m, netsim.WiFi, 1e-6)
+	res, err := cl.RunJob(0, cl.Units()-1, input(2))
+	if err != nil {
+		t.Fatalf("local-only: %v", err)
+	}
+	if res.CommMs != 0 || res.CloudMs != 0 {
+		t.Errorf("local-only must not touch the network: %+v", res)
+	}
+}
+
+func TestRunJobRejectsBadCut(t *testing.T) {
+	m := testModel(t)
+	cl := startPair(t, m, netsim.WiFi)
+	if _, err := cl.RunJob(0, cl.Units(), input(0)); err == nil {
+		t.Error("out-of-range cut must error")
+	}
+	if _, err := cl.RunJob(0, -1, input(0)); err == nil {
+		t.Error("negative cut must error")
+	}
+}
+
+func TestRunPlanPipelined(t *testing.T) {
+	m := testModel(t)
+	cl := startPair(t, m, netsim.FourG)
+	g := m.Graph()
+	curve := profile.BuildCurve(g, profile.RaspberryPi4(), profile.CloudGPU(), netsim.FourG, tensor.Float32)
+	n := 6
+	plan, err := core.JPS(curve, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]*tensor.Tensor, n)
+	for i := range inputs {
+		inputs[i] = input(i)
+	}
+	rep, err := cl.RunPlan(plan, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != n {
+		t.Fatalf("got %d results, want %d", len(rep.Results), n)
+	}
+	if rep.MakespanMs <= 0 {
+		t.Error("non-positive makespan")
+	}
+	// Every job classified identically to a pure local run.
+	seen := map[int]bool{}
+	for _, r := range rep.Results {
+		if seen[r.JobID] {
+			t.Fatalf("duplicate result for job %d", r.JobID)
+		}
+		seen[r.JobID] = true
+		want, _ := m.Forward(inputs[r.JobID].Clone())
+		if r.Class != engine.Argmax(want) {
+			t.Errorf("job %d: class %d, want %d", r.JobID, r.Class, engine.Argmax(want))
+		}
+	}
+}
+
+func TestRunPlanInputCountMismatch(t *testing.T) {
+	m := testModel(t)
+	cl := startPair(t, m, netsim.WiFi)
+	curve := profile.BuildCurve(m.Graph(), profile.RaspberryPi4(), profile.CloudGPU(), netsim.WiFi, tensor.Float32)
+	plan, _ := core.JPS(curve, 3)
+	if _, err := cl.RunPlan(plan, nil); err == nil {
+		t.Error("input count mismatch must error")
+	}
+}
+
+func TestCalibrateComm(t *testing.T) {
+	m := testModel(t)
+	// 8 Mb/s channel = 1e6 bytes/s; time scale 1e-3.
+	ch := netsim.Channel{Name: "cal", UplinkMbps: 8, SetupMs: 10}
+	cConn, sConn := net.Pipe()
+	srv := NewServer(m)
+	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
+	defer cConn.Close()
+	// Scale chosen so shaped sleeps (tens of ms) dominate the
+	// scheduling noise floor (tens of µs per pipe round trip).
+	scale := 1e-2
+	cl := NewClient(cConn, m, ch, scale)
+
+	fit, err := cl.CalibrateComm([]int{200_000, 600_000, 1_200_000, 2_000_000}, 2)
+	if err != nil {
+		t.Fatalf("CalibrateComm: %v", err)
+	}
+	// Expected slope: scale * 1000 ms/s / 1e6 B/s = 1e-5 ms/byte.
+	// Under -race the pipe copy itself adds measurable per-byte time,
+	// so accept up to ~2.5x; the structural claims (positive intercept,
+	// linear fit) are what matter.
+	wantSlope := scale * 1000 / ch.BytesPerSec()
+	if fit.W1 < wantSlope*0.6 || fit.W1 > wantSlope*2.5 {
+		t.Errorf("slope = %g, want within [0.6, 2.5]x of %g", fit.W1, wantSlope)
+	}
+	// Intercept reflects the (scaled) setup latency, positive.
+	if fit.W0 <= 0 {
+		t.Errorf("intercept = %g, want > 0", fit.W0)
+	}
+	if fit.R2 < 0.95 {
+		t.Errorf("R2 = %g, calibration too noisy", fit.R2)
+	}
+}
+
+func TestServeOverTCP(t *testing.T) {
+	m := testModel(t)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	defer lis.Close()
+	srv := NewServer(m)
+	go func() { _ = srv.Serve(lis) }()
+
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	cl := NewClient(conn, m, netsim.WiFi, 1e-6)
+	in := input(4)
+	want, _ := m.Forward(in.Clone())
+	res, err := cl.RunJob(0, 2, in.Clone())
+	if err != nil {
+		t.Fatalf("RunJob over TCP: %v", err)
+	}
+	if res.Class != engine.Argmax(want) {
+		t.Errorf("class %d, want %d", res.Class, engine.Argmax(want))
+	}
+}
+
+func TestServerRejectsBadBoundary(t *testing.T) {
+	m := testModel(t)
+	srv := NewServer(m)
+	// Wrong shape for cut 1.
+	if _, err := srv.infer(&inferRequest{JobID: 1, Cut: 1, Tensor: tensor.New(tensor.NewCHW(1, 2, 2))}); err == nil {
+		t.Error("wrong boundary shape must error")
+	}
+	if _, err := srv.infer(&inferRequest{JobID: 1, Cut: 999, Tensor: tensor.New(tensor.NewCHW(1, 2, 2))}); err == nil {
+		t.Error("out-of-range cut must error")
+	}
+}

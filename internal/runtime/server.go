@@ -1,0 +1,136 @@
+package runtime
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"dnnjps/internal/engine"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/tensor"
+)
+
+// Server is the cloud side: it holds the same deterministic model as
+// the client and finishes inferences from any cut point of the line
+// view.
+type Server struct {
+	model *engine.Model
+	units []profile.Unit
+	// suffix[cut] lists the nodes the server executes for a job cut
+	// after unit 'cut', in topological order.
+	suffix [][]int
+}
+
+// NewServer builds a server for the model.
+func NewServer(m *engine.Model) *Server {
+	g := m.Graph()
+	units := profile.LineView(g)
+	suffix := make([][]int, len(units))
+	for cut := range units {
+		var nodes []int
+		for _, u := range units[cut+1:] {
+			nodes = append(nodes, u.Nodes...)
+		}
+		suffix[cut] = nodes
+	}
+	return &Server{model: m, units: units, suffix: suffix}
+}
+
+// Serve accepts connections until the listener closes, handling each
+// connection on its own goroutine.
+func (s *Server) Serve(lis net.Listener) error {
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = s.HandleConn(conn)
+		}()
+	}
+}
+
+// HandleConn processes requests on one connection until EOF. Each
+// inference reply carries the server's measured compute time so the
+// client can isolate the communication delay (the paper's td − tc).
+func (s *Server) HandleConn(conn io.ReadWriter) error {
+	r := bufio.NewReaderSize(conn, 1<<16)
+	w := bufio.NewWriterSize(conn, 1<<16)
+	for {
+		var typ byte
+		if err := binary.Read(r, binary.LittleEndian, &typ); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch typ {
+		case msgInfer:
+			req, err := readInferRequestBody(r)
+			if err != nil {
+				return err
+			}
+			rep, err := s.infer(req)
+			if err != nil {
+				return err
+			}
+			if err := writeInferReply(w, rep); err != nil {
+				return err
+			}
+		case msgInferSet:
+			req, err := readInferSetRequestBody(r)
+			if err != nil {
+				return err
+			}
+			rep, err := s.inferSet(req)
+			if err != nil {
+				return err
+			}
+			if err := writeInferReply(w, rep); err != nil {
+				return err
+			}
+		case msgPing:
+			if _, err := readPingBody(r); err != nil {
+				return err
+			}
+			if err := writePong(w); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("runtime: unknown message type %d", typ)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// infer resumes the model from the request's cut and returns the
+// predicted class.
+func (s *Server) infer(req *inferRequest) (*inferReply, error) {
+	cut := int(req.Cut)
+	if cut < 0 || cut >= len(s.units) {
+		return nil, fmt.Errorf("runtime: cut %d out of range [0,%d)", cut, len(s.units))
+	}
+	boundary := s.units[cut].Exit
+	wantShape := s.model.Graph().Node(boundary).OutShape
+	if !req.Tensor.Shape.Equal(wantShape) {
+		return nil, fmt.Errorf("runtime: boundary tensor %v, cut %d wants %v",
+			req.Tensor.Shape, cut, wantShape)
+	}
+	start := time.Now()
+	acts := map[int]*tensor.Tensor{boundary: req.Tensor}
+	if err := s.model.Execute(acts, nil, s.suffix[cut]); err != nil {
+		return nil, err
+	}
+	out := acts[s.model.Graph().Sink()]
+	return &inferReply{
+		JobID:   req.JobID,
+		Class:   int32(engine.Argmax(out)),
+		CloudNs: time.Since(start).Nanoseconds(),
+	}, nil
+}

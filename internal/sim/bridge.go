@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"dnnjps/internal/core"
+)
+
+// Resource names used by the plan bridges.
+const (
+	ResMobile = "mobile"
+	ResUplink = "uplink"
+	ResCloud  = "cloud"
+)
+
+// FromPlan expands a line-structure plan into simulator jobs: each
+// inference job becomes mobile→uplink→cloud stages with the plan's
+// f/g/cloud durations, prioritized by its position in the Johnson
+// sequence.
+func FromPlan(p *core.Plan) []JobSpec {
+	jobs := make([]JobSpec, 0, len(p.Sequence))
+	for pos, fj := range p.Sequence {
+		cut := p.Cuts[fj.ID]
+		jobs = append(jobs, JobSpec{
+			ID:       fj.ID,
+			Priority: pos,
+			Stages: []StageSpec{
+				{Resource: ResMobile, Ms: fj.A},
+				{Resource: ResUplink, Ms: fj.B},
+				{Resource: ResCloud, Ms: p.Curve.CloudMs[cut]},
+			},
+		})
+	}
+	return jobs
+}
+
+// FromStreamPlan expands a streaming plan: each frame becomes
+// mobile→uplink→cloud stages released at its arrival time, run in
+// arrival order.
+func FromStreamPlan(p *core.StreamPlan) []JobSpec {
+	jobs := make([]JobSpec, 0, len(p.Jobs))
+	for i, sj := range p.Jobs {
+		jobs = append(jobs, JobSpec{
+			ID:        sj.ID,
+			Priority:  i,
+			ReleaseMs: sj.ReleaseMs,
+			Stages: []StageSpec{
+				{Resource: ResMobile, Ms: sj.F},
+				{Resource: ResUplink, Ms: sj.G},
+				{Resource: ResCloud, Ms: sj.CloudMs},
+			},
+		})
+	}
+	return jobs
+}
+
+// FromGeneralPlan expands an Algorithm 3 plan: each path job becomes
+// mobile→uplink stages with its deduplicated durations (cloud time is
+// folded into a final zero-or-more stage only when the plan carries
+// it; path granularity has no per-path cloud estimate, matching the
+// paper's two-stage treatment).
+func FromGeneralPlan(gp *core.GeneralPlan) []JobSpec {
+	jobs := make([]JobSpec, 0, len(gp.Sequence))
+	for pos, pj := range gp.Sequence {
+		jobs = append(jobs, JobSpec{
+			ID:       pos,
+			Priority: pos,
+			Stages: []StageSpec{
+				{Resource: ResMobile, Ms: pj.ActualF},
+				{Resource: ResUplink, Ms: pj.ActualG},
+			},
+		})
+	}
+	return jobs
+}

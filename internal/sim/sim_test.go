@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dnnjps/internal/core"
+	"dnnjps/internal/flowshop"
+	"dnnjps/internal/models"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/tensor"
+)
+
+func twoStage(seq []flowshop.Job) []JobSpec {
+	jobs := make([]JobSpec, len(seq))
+	for i, j := range seq {
+		jobs[i] = JobSpec{
+			ID:       j.ID,
+			Priority: i,
+			Stages: []StageSpec{
+				{Resource: ResMobile, Ms: j.A},
+				{Resource: ResUplink, Ms: j.B},
+			},
+		}
+	}
+	return jobs
+}
+
+func TestRunMatchesFlowshopRecurrence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(12)
+		seq := make([]flowshop.Job, n)
+		for i := range seq {
+			seq[i] = flowshop.Job{ID: i, A: rng.Float64() * 10, B: rng.Float64() * 10}
+		}
+		res, err := Run(twoStage(seq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := flowshop.Makespan(seq); math.Abs(res.Makespan-want) > 1e-9 {
+			t.Fatalf("trial %d: sim %g != recurrence %g", trial, res.Makespan, want)
+		}
+		comps := flowshop.Completions(seq)
+		for i, j := range seq {
+			if math.Abs(res.Completions[j.ID]-comps[i]) > 1e-9 {
+				t.Fatalf("trial %d: job %d completion %g != %g", trial, j.ID, res.Completions[j.ID], comps[i])
+			}
+		}
+	}
+}
+
+func TestRunPaperExample(t *testing.T) {
+	seq := []flowshop.Job{{ID: 0, A: 4, B: 6}, {ID: 1, A: 7, B: 2}}
+	res, err := Run(twoStage(seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 13 {
+		t.Errorf("makespan = %g, want 13", res.Makespan)
+	}
+}
+
+func TestResourceExclusivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	seq := make([]flowshop.Job, 10)
+	for i := range seq {
+		seq[i] = flowshop.Job{ID: i, A: rng.Float64() * 5, B: rng.Float64() * 5}
+	}
+	res, err := Run(twoStage(seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for resName, ivs := range res.Gantt {
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Start < ivs[i-1].End-1e-9 {
+				t.Errorf("%s: overlapping intervals %+v %+v", resName, ivs[i-1], ivs[i])
+			}
+		}
+	}
+}
+
+func TestBusyAndUtilization(t *testing.T) {
+	seq := []flowshop.Job{{ID: 0, A: 3, B: 1}, {ID: 1, A: 2, B: 4}}
+	res, err := Run(twoStage(seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BusyMs[ResMobile] != 5 || res.BusyMs[ResUplink] != 5 {
+		t.Errorf("busy = %v", res.BusyMs)
+	}
+	if u := res.Utilization(ResMobile); u <= 0 || u > 1 {
+		t.Errorf("utilization = %g", u)
+	}
+	if res.Utilization("nonexistent") != 0 {
+		t.Error("unknown resource utilization must be 0")
+	}
+	empty := &Result{}
+	if empty.Utilization(ResMobile) != 0 {
+		t.Error("empty result utilization must be 0")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run([]JobSpec{{Stages: []StageSpec{{Resource: "", Ms: 1}}}}); err == nil {
+		t.Error("empty resource name must error")
+	}
+	if _, err := Run([]JobSpec{{Stages: []StageSpec{{Resource: "r", Ms: -1}}}}); err == nil {
+		t.Error("negative duration must error")
+	}
+}
+
+func TestEmptyAndStagelessJobs(t *testing.T) {
+	res, err := Run(nil)
+	if err != nil || res.Makespan != 0 {
+		t.Errorf("empty run: %v %v", res, err)
+	}
+	res, err = Run([]JobSpec{{ID: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions[7] != 0 {
+		t.Error("stageless job completes at 0")
+	}
+}
+
+func TestZeroDurationStagesPreserveOrder(t *testing.T) {
+	jobs := []JobSpec{
+		{ID: 0, Priority: 0, Stages: []StageSpec{{ResMobile, 0}, {ResUplink, 5}}},
+		{ID: 1, Priority: 1, Stages: []StageSpec{{ResMobile, 0}, {ResUplink, 5}}},
+	}
+	res, err := Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions[0] != 5 || res.Completions[1] != 10 {
+		t.Errorf("completions = %v, want 5/10 in priority order", res.Completions)
+	}
+	// Zero stages leave no Gantt footprint.
+	if len(res.Gantt[ResMobile]) != 0 {
+		t.Errorf("zero-duration stages must not appear in Gantt: %v", res.Gantt[ResMobile])
+	}
+}
+
+func TestPriorityBreaksSimultaneousReady(t *testing.T) {
+	jobs := []JobSpec{
+		{ID: 0, Priority: 2, Stages: []StageSpec{{ResMobile, 3}}},
+		{ID: 1, Priority: 1, Stages: []StageSpec{{ResMobile, 3}}},
+		{ID: 2, Priority: 0, Stages: []StageSpec{{ResMobile, 3}}},
+	}
+	res, err := Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions[2] != 3 || res.Completions[1] != 6 || res.Completions[0] != 9 {
+		t.Errorf("priority order violated: %v", res.Completions)
+	}
+}
+
+// The headline validation: for every paper model and channel, the
+// three-stage simulation of a JPS plan matches the two-stage analytic
+// makespan up to the (small) cloud tail.
+func TestThreeStageSimMatchesAnalyticPlans(t *testing.T) {
+	pi, gpu := profile.RaspberryPi4(), profile.CloudGPU()
+	for _, name := range models.PaperModels() {
+		g := models.MustBuild(name)
+		for _, ch := range netsim.Presets() {
+			curve := profile.BuildCurve(g, pi, gpu, ch, tensor.Float32)
+			for _, plan := range plansFor(t, curve, 24) {
+				res, err := Run(FromPlan(plan))
+				if err != nil {
+					t.Fatalf("%s@%s %s: %v", name, ch.Name, plan.Method, err)
+				}
+				// Simulated >= analytic (cloud adds), and the excess is
+				// bounded by the whole-model cloud time.
+				excess := res.Makespan - plan.Makespan
+				if excess < -1e-6 {
+					t.Errorf("%s@%s %s: sim %g below analytic %g",
+						name, ch.Name, plan.Method, res.Makespan, plan.Makespan)
+				}
+				if maxCloud := curve.CloudMs[0]; excess > maxCloud+1e-6 {
+					t.Errorf("%s@%s %s: cloud excess %g exceeds whole-model cloud %g",
+						name, ch.Name, plan.Method, excess, maxCloud)
+				}
+			}
+		}
+	}
+}
+
+func plansFor(t *testing.T, curve *profile.Curve, n int) []*core.Plan {
+	t.Helper()
+	var out []*core.Plan
+	for _, fn := range []func(*profile.Curve, int) (*core.Plan, error){core.JPS, core.PO, core.CO, core.LO} {
+		p, err := fn(curve, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestFromGeneralPlan(t *testing.T) {
+	g := models.MustBuild("googlenet")
+	pi, gpu := profile.RaspberryPi4(), profile.CloudGPU()
+	gp, err := core.PlanGeneral(g, pi, gpu, netsim.WiFi, tensor.Float32, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(FromGeneralPlan(gp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-gp.Makespan) > 1e-6 {
+		t.Errorf("sim %g != general plan makespan %g", res.Makespan, gp.Makespan)
+	}
+}
+
+// Property: makespan is always >= the busiest resource's total work
+// and >= any single job's serial length.
+func TestMakespanLowerBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		jobs := make([]JobSpec, n)
+		for i := range jobs {
+			jobs[i] = JobSpec{
+				ID: i, Priority: i,
+				Stages: []StageSpec{
+					{ResMobile, rng.Float64() * 5},
+					{ResUplink, rng.Float64() * 5},
+					{ResCloud, rng.Float64() * 2},
+				},
+			}
+		}
+		res, err := Run(jobs)
+		if err != nil {
+			return false
+		}
+		for _, busy := range res.BusyMs {
+			if res.Makespan < busy-1e-9 {
+				return false
+			}
+		}
+		for _, j := range jobs {
+			var serial float64
+			for _, s := range j.Stages {
+				serial += s.Ms
+			}
+			if res.Makespan < serial-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,210 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDTypeSize(t *testing.T) {
+	cases := []struct {
+		d    DType
+		want int
+	}{
+		{Float32, 4},
+		{Float16, 2},
+		{Int8, 1},
+	}
+	for _, c := range cases {
+		if got := c.d.Size(); got != c.want {
+			t.Errorf("%v.Size() = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDTypeSizeUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown dtype")
+		}
+	}()
+	DType(99).Size()
+}
+
+func TestDTypeString(t *testing.T) {
+	if Float32.String() != "float32" || Float16.String() != "float16" || Int8.String() != "int8" {
+		t.Errorf("unexpected dtype strings: %v %v %v", Float32, Float16, Int8)
+	}
+	if DType(42).String() != "dtype(42)" {
+		t.Errorf("unknown dtype string = %q", DType(42).String())
+	}
+}
+
+func TestShapeElems(t *testing.T) {
+	cases := []struct {
+		s    Shape
+		want int
+	}{
+		{NewCHW(3, 224, 224), 3 * 224 * 224},
+		{NewVec(4096), 4096},
+		{Shape{}, 0},
+		{NewCHW(1, 1, 1), 1},
+		{NewCHW(0, 5, 5), 0},
+	}
+	for _, c := range cases {
+		if got := c.s.Elems(); got != c.want {
+			t.Errorf("%v.Elems() = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestShapeElemsNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	Shape{-1, 2}.Elems()
+}
+
+func TestShapeBytes(t *testing.T) {
+	s := NewCHW(3, 224, 224)
+	if got := s.Bytes(Float32); got != 3*224*224*4 {
+		t.Errorf("Bytes(Float32) = %d", got)
+	}
+	if got := s.Bytes(Int8); got != 3*224*224 {
+		t.Errorf("Bytes(Int8) = %d", got)
+	}
+}
+
+func TestShapeAccessors(t *testing.T) {
+	s := NewCHW(64, 56, 28)
+	if s.C() != 64 || s.H() != 56 || s.W() != 28 {
+		t.Errorf("accessors: got (%d,%d,%d)", s.C(), s.H(), s.W())
+	}
+	if s.Rank() != 3 {
+		t.Errorf("Rank = %d, want 3", s.Rank())
+	}
+}
+
+func TestShapeAccessorsOnVectorPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic calling C() on a vector shape")
+		}
+	}()
+	NewVec(10).C()
+}
+
+func TestShapeEqualClone(t *testing.T) {
+	a := NewCHW(3, 4, 5)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone should equal original")
+	}
+	b[0] = 99
+	if a.Equal(b) {
+		t.Fatal("mutating clone must not affect original")
+	}
+	if a.Equal(NewVec(60)) {
+		t.Fatal("different ranks must not be equal")
+	}
+	if a.Equal(NewCHW(3, 4, 6)) {
+		t.Fatal("different dims must not be equal")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if got := NewCHW(3, 224, 224).String(); got != "[3x224x224]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NewVec(1000).String(); got != "[1000]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTensorNewAndIndexing(t *testing.T) {
+	tt := New(NewCHW(2, 3, 4))
+	if len(tt.Data) != 24 {
+		t.Fatalf("data len = %d, want 24", len(tt.Data))
+	}
+	tt.Set(1, 2, 3, 42)
+	if got := tt.At(1, 2, 3); got != 42 {
+		t.Errorf("At = %v, want 42", got)
+	}
+	// Row-major CHW layout: index = (c*H+h)*W + w.
+	if tt.Data[(1*3+2)*4+3] != 42 {
+		t.Error("Set wrote to the wrong linear index")
+	}
+}
+
+func TestTensorIndexOutOfRangePanics(t *testing.T) {
+	tt := New(NewCHW(2, 3, 4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	tt.At(2, 0, 0)
+}
+
+func TestNewFrom(t *testing.T) {
+	data := []float32{1, 2, 3, 4, 5, 6}
+	tt, err := NewFrom(NewCHW(1, 2, 3), data)
+	if err != nil {
+		t.Fatalf("NewFrom: %v", err)
+	}
+	if tt.At(0, 1, 2) != 6 {
+		t.Errorf("At(0,1,2) = %v, want 6", tt.At(0, 1, 2))
+	}
+	if _, err := NewFrom(NewCHW(2, 2, 2), data); err == nil {
+		t.Fatal("expected error for mismatched length")
+	}
+}
+
+func TestTensorFillCloneFlatten(t *testing.T) {
+	tt := New(NewCHW(2, 2, 2))
+	tt.Fill(7)
+	cl := tt.Clone()
+	tt.Set(0, 0, 0, 1)
+	if cl.At(0, 0, 0) != 7 {
+		t.Error("Clone must be independent of original")
+	}
+	fl := cl.Flatten()
+	if fl.Shape.Rank() != 1 || fl.Shape.Elems() != 8 {
+		t.Errorf("Flatten shape = %v", fl.Shape)
+	}
+	// Flatten is a view: data is shared.
+	fl.Data[0] = 9
+	if cl.At(0, 0, 0) != 9 {
+		t.Error("Flatten must share data with the source tensor")
+	}
+}
+
+// Property: Bytes is always Elems * dtype size, and Elems is the
+// product of dimensions, for arbitrary small shapes.
+func TestShapeBytesProperty(t *testing.T) {
+	f := func(c, h, w uint8) bool {
+		s := NewCHW(int(c), int(h), int(w))
+		want := int(c) * int(h) * int(w)
+		return s.Elems() == want &&
+			s.Bytes(Float32) == 4*want &&
+			s.Bytes(Float16) == 2*want &&
+			s.Bytes(Int8) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Set followed by At round-trips for in-range coordinates.
+func TestTensorSetAtProperty(t *testing.T) {
+	tt := New(NewCHW(4, 5, 6))
+	f := func(c, h, w uint8, v float32) bool {
+		ci, hi, wi := int(c)%4, int(h)%5, int(w)%6
+		tt.Set(ci, hi, wi, v)
+		return tt.At(ci, hi, wi) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package dnnjps
+
+import (
+	"net"
+	"testing"
+)
+
+// The facade smoke test: the whole public surface works together the
+// way the package doc advertises.
+func TestFacadeEndToEnd(t *testing.T) {
+	g, err := BuildModel("alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := BuildCurve(g, RaspberryPi4(), CloudGPU(), FourG, Float32)
+	plan, err := JPS(curve, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := LO(curve, 8)
+	if plan.Makespan >= lo.Makespan {
+		t.Errorf("JPS %v should beat LO %v at 4G", plan.Makespan, lo.Makespan)
+	}
+	simMs, err := Simulate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simMs < plan.Makespan-1e-6 {
+		t.Errorf("sim %v below analytic %v", simMs, plan.Makespan)
+	}
+}
+
+func TestFacadeModelNames(t *testing.T) {
+	names := ModelNames()
+	if len(names) != 9 {
+		t.Fatalf("ModelNames = %v", names)
+	}
+	if _, err := BuildModel("nonexistent"); err == nil {
+		t.Error("unknown model must error")
+	}
+}
+
+func TestFacadeChannels(t *testing.T) {
+	if ThreeG.UplinkMbps != 1.1 || FourG.UplinkMbps != 5.85 || WiFi.UplinkMbps != 18.88 {
+		t.Error("paper channels drifted")
+	}
+	if ChannelAt(10).UplinkMbps != 10 {
+		t.Error("ChannelAt broken")
+	}
+}
+
+func TestFacadeGeneralPlanner(t *testing.T) {
+	g, err := BuildModel("googlenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := PlanGeneralBest(g, RaspberryPi4(), CloudGPU(), WiFi, Float32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Makespan <= 0 {
+		t.Error("non-positive makespan")
+	}
+	pure, err := PlanGeneral(g, RaspberryPi4(), CloudGPU(), WiFi, Float32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Makespan > pure.Makespan+1e-9 {
+		t.Error("best must not exceed pure Alg. 3")
+	}
+}
+
+func TestFacadeRuntime(t *testing.T) {
+	g, err := BuildModel("alexnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exercise only construction wiring here (full round trips are
+	// covered by internal/runtime tests; AlexNet forward passes are
+	// too slow for a smoke test).
+	m := LoadModel(g, 7)
+	if NewServer(m) == nil {
+		t.Fatal("NewServer returned nil")
+	}
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if NewClient(c1, m, WiFi, 0.001) == nil {
+		t.Fatal("NewClient returned nil")
+	}
+}
+
+func TestFacadeCalibration(t *testing.T) {
+	// Calibrate on the compact bench CNN (fast), then plan with the
+	// fitted device through the public API.
+	dev, err := CalibrateLocalDevice("thismachine", benchNet(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.DefaultFperMs <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+	curve := BuildCurve(benchNet(), dev, CloudGPU(), WiFi, Float32)
+	if _, err := JPS(curve, 4); err != nil {
+		t.Fatalf("planning with calibrated device: %v", err)
+	}
+}
