@@ -1,11 +1,17 @@
 // Command jpsprofile dumps Fig. 4-style per-block profiles for a model
 // and can persist the curves for all preset channels as a JSON lookup
-// table (the artifact the paper's scheduler loads at startup).
+// table (the artifact the paper's scheduler loads at startup). With
+// -calibrate it times real engine forward passes on this machine
+// instead, printing ns/layer and a fitted device model; -engine picks
+// the kernel path (the default GEMM kernels or the direct reference
+// loops) so the two can be compared layer by layer.
 //
 // Usage:
 //
 //	jpsprofile -model alexnet
 //	jpsprofile -model mobilenetv2 -o lookup.json
+//	jpsprofile -model alexnet -calibrate -engine=gemm -workers 0
+//	jpsprofile -model alexnet -calibrate -engine=direct
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"os"
 
 	"dnnjps/internal/core"
+	"dnnjps/internal/engine"
 	"dnnjps/internal/measure"
 	"dnnjps/internal/models"
 	"dnnjps/internal/netsim"
@@ -24,15 +31,22 @@ import (
 
 func main() {
 	var (
-		model = flag.String("model", "alexnet", "model name: "+fmt.Sprint(models.Names()))
-		mbps  = flag.Float64("mbps", 18.88, "bandwidth for the block profile")
-		out   = flag.String("o", "", "write a JSON lookup table (all preset channels) to this file")
-		dot   = flag.String("dot", "", "write the model's Graphviz DOT to this file")
-		cal   = flag.Bool("calibrate", false, "calibrate a device model by timing real engine runs on this machine")
+		model   = flag.String("model", "alexnet", "model name: "+fmt.Sprint(models.Names()))
+		mbps    = flag.Float64("mbps", 18.88, "bandwidth for the block profile")
+		out     = flag.String("o", "", "write a JSON lookup table (all preset channels) to this file")
+		dot     = flag.String("dot", "", "write the model's Graphviz DOT to this file")
+		cal     = flag.Bool("calibrate", false, "calibrate a device model by timing real engine runs on this machine")
+		eng     = flag.String("engine", "gemm", "engine kernel path for -calibrate: gemm (im2col+SGEMM) or direct (reference loops)")
+		workers = flag.Int("workers", 1, "engine worker goroutines for -calibrate; 0 = GOMAXPROCS")
 	)
 	flag.Parse()
 	if *cal {
-		if err := calibrate(*model, *mbps); err != nil {
+		kernel, err := engine.ParseKernelPath(*eng)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jpsprofile:", err)
+			os.Exit(1)
+		}
+		if err := calibrate(*model, *mbps, kernel, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "jpsprofile:", err)
 			os.Exit(1)
 		}
@@ -46,18 +60,31 @@ func main() {
 
 // calibrate times real engine runs of the model on this machine, fits
 // a device model, and shows the resulting plan for a small batch.
-func calibrate(model string, mbps float64) error {
+func calibrate(model string, mbps float64, kernel engine.KernelPath, workers int) error {
 	g, err := models.Build(model)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("calibrating local device on %s (this runs real forward passes)...\n", model)
-	dev, err := measure.CalibrateDevice("local", g, 42, 3)
+	fmt.Printf("calibrating local device on %s with the %s engine (this runs real forward passes)...\n",
+		model, kernel)
+	dev, samples, err := measure.CalibrateDeviceCfg("local", g, 42, measure.Config{
+		Reps: 3, Workers: workers, Kernel: kernel,
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("fitted device %q: default %.2f MFLOPs/ms, per-layer overhead %.3f ms\n",
 		dev.Name, dev.DefaultFperMs/1e6, dev.LayerOverheadMs)
+
+	lt := report.NewTable(fmt.Sprintf("Per-layer timings (%s kernels, best of 3)", kernel),
+		"Layer", "Kind", "MFLOPs", "ns/layer")
+	for _, s := range samples {
+		lt.AddRow(s.Layer, s.Kind.String(), s.FLOPs/1e6, s.Ms*1e6)
+	}
+	if err := lt.Render(os.Stdout); err != nil {
+		return err
+	}
+
 	t := report.NewTable("Fitted per-kind throughput", "Kind", "MFLOPs/ms")
 	for kind, tput := range dev.ThroughputFperMs {
 		t.AddRow(kind.String(), tput/1e6)

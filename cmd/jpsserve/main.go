@@ -21,24 +21,27 @@ import (
 
 func main() {
 	var (
-		model = flag.String("model", "alexnet", "model name: "+fmt.Sprint(models.Names()))
-		addr  = flag.String("addr", "127.0.0.1:7443", "listen address")
-		seed  = flag.Int64("seed", 42, "weight seed (must match the client)")
+		model   = flag.String("model", "alexnet", "model name: "+fmt.Sprint(models.Names()))
+		addr    = flag.String("addr", "127.0.0.1:7443", "listen address")
+		seed    = flag.Int64("seed", 42, "weight seed (must match the client)")
+		workers = flag.Int("workers", 0, "engine worker goroutines per layer; 0 = GOMAXPROCS")
 	)
 	flag.Parse()
-	if err := run(*model, *addr, *seed); err != nil {
+	if err := run(*model, *addr, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "jpsserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, addr string, seed int64) error {
+func run(model, addr string, seed int64, workers int) error {
 	g, err := models.Build(model)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("loading %s (seed %d)...\n", model, seed)
-	m := engine.Load(g, seed)
+	// The cloud side uses all cores: the paper's server is the fast
+	// machine, and the GEMM kernels scale over row panels.
+	m := engine.Load(g, seed).Parallel(workers)
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

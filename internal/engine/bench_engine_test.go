@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"dnnjps/internal/dag"
+	"dnnjps/internal/models"
+	"dnnjps/internal/nn"
+	"dnnjps/internal/tensor"
+)
+
+// Engine microbenchmarks: run with
+//
+//	go test -bench 'Conv2D|Forward_' -benchmem ./internal/engine/
+//
+// Each heavy benchmark compares the GEMM path against the direct
+// reference at GOMAXPROCS workers. Results are recorded in the
+// "Engine performance" section of EXPERIMENTS.md.
+
+func benchModel(b *testing.B, g *dag.Graph, k KernelPath, workers int) {
+	b.Helper()
+	m := Load(g, 1).WithKernel(k).Parallel(workers)
+	in := randInput(g.Node(g.Source()).OutShape, 7)
+	if _, err := m.Forward(in); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Forward(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBothKernels(b *testing.B, g *dag.Graph) {
+	b.Helper()
+	workers := runtime.GOMAXPROCS(0)
+	b.Run("gemm", func(b *testing.B) { benchModel(b, g, KernelGEMM, workers) })
+	b.Run("direct", func(b *testing.B) { benchModel(b, g, KernelDirect, workers) })
+}
+
+func convGraph(b *testing.B, inC, hw int, l nn.Conv2D) *dag.Graph {
+	b.Helper()
+	g := dag.New("bench")
+	in := g.Add(&nn.Input{LayerName: "in", Shape: tensor.NewCHW(inC, hw, hw)})
+	l.LayerName = "conv"
+	g.Add(&l, in)
+	if err := g.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkConv2D_3x3_64x56(b *testing.B) {
+	benchBothKernels(b, convGraph(b, 64, 56, nn.Conv2D{OutC: 64, KH: 3, KW: 3, Stride: 1, Pad: 1, Bias: true}))
+}
+
+func BenchmarkConv2D_1x1_256x28(b *testing.B) {
+	benchBothKernels(b, convGraph(b, 256, 28, nn.Conv2D{OutC: 64, KH: 1, KW: 1, Stride: 1}))
+}
+
+func BenchmarkConv2D_11x11s4_alexstem(b *testing.B) {
+	benchBothKernels(b, convGraph(b, 3, 224, nn.Conv2D{OutC: 64, KH: 11, KW: 11, Stride: 4, Pad: 2, Bias: true}))
+}
+
+func BenchmarkDWConv2D_3x3_144x56(b *testing.B) {
+	g := dag.New("bench")
+	in := g.Add(&nn.Input{LayerName: "in", Shape: tensor.NewCHW(144, 56, 56)})
+	g.Add(&nn.DepthwiseConv2D{LayerName: "dw", KH: 3, KW: 3, Stride: 1, Pad: 1, Bias: true}, in)
+	if err := g.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	benchBothKernels(b, g)
+}
+
+func BenchmarkDense_4096x4096(b *testing.B) {
+	g := dag.New("bench")
+	in := g.Add(&nn.Input{LayerName: "in", Shape: tensor.NewVec(4096)})
+	g.Add(&nn.Dense{LayerName: "fc", Out: 4096, Bias: true}, in)
+	if err := g.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	benchBothKernels(b, g)
+}
+
+func BenchmarkForward_alexnet(b *testing.B) {
+	benchBothKernels(b, models.MustBuild("alexnet"))
+}
+
+func BenchmarkForward_mobilenetv2(b *testing.B) {
+	benchBothKernels(b, models.MustBuild("mobilenetv2"))
+}
+
+// TestForwardSteadyStateAllocs is the -benchmem assertion of the
+// acceptance criteria: once the arena is warm, a Forward pass performs
+// O(1) tensor allocations — the sink tensor it hands to the caller
+// plus fixed per-call bookkeeping — instead of one buffer per layer.
+func TestForwardSteadyStateAllocs(t *testing.T) {
+	g := dag.New("alloc")
+	in := g.Add(&nn.Input{LayerName: "in", Shape: tensor.NewCHW(16, 48, 48)})
+	prev := in
+	// Enough conv/activation pairs that per-layer allocation would be
+	// obvious: each activation is 16·48·48·4 ≈ 147 KiB.
+	for i := 0; i < 6; i++ {
+		c := g.Add(&nn.Conv2D{LayerName: fmt.Sprintf("c%d", i), OutC: 16, KH: 3, KW: 3, Stride: 1, Pad: 1, Bias: true}, prev)
+		prev = g.Add(nn.NewActivation(fmt.Sprintf("r%d", i), nn.ReLU), c)
+	}
+	gp := g.Add(&nn.GlobalAvgPool2D{LayerName: "gap"}, prev)
+	g.Add(&nn.Dense{LayerName: "fc", Out: 10, Bias: true}, gp)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	m := Load(g, 1) // workers=1: goroutine spawns would count as allocations
+	input := randInput(tensor.NewCHW(16, 48, 48), 3)
+	for i := 0; i < 3; i++ { // warm the arena
+		if _, err := m.Forward(input); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Forward(input); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// One activation is ~147 KiB and the model has 15 layers; without
+	// the arena a Forward allocates >1.8 MiB. Steady state must stay
+	// under a single activation: sink vector + maps + liveness slices.
+	if got := res.AllocedBytesPerOp(); got > 64<<10 {
+		t.Errorf("steady-state Forward allocates %d B/op, want <= 64 KiB (arena not recycling?)", got)
+	}
+	// Allocation count must not scale with the 15 layers' tensors:
+	// bookkeeping slices, the acts map, the sink, and a few arena pops.
+	if got := res.AllocsPerOp(); got > 40 {
+		t.Errorf("steady-state Forward does %d allocs/op, want <= 40", got)
+	}
+}

@@ -4,6 +4,14 @@
 // from a seed so client and server instantiate identical models
 // without shipping parameters, mirroring the paper's setup where both
 // sides pre-load the same pre-cut model.
+//
+// The hot compute path lowers convolutions onto an im2col + blocked
+// parallel SGEMM kernel (see gemm.go, im2col.go) and recycles
+// activation buffers through a per-model tensor.Arena; the naive
+// direct-loop kernels are kept as a reference implementation behind
+// WithKernel(KernelDirect). Both paths accumulate every output element
+// in the same fixed order, so they produce identical outputs at any
+// worker count.
 package engine
 
 import (
@@ -17,6 +25,44 @@ import (
 	"dnnjps/internal/tensor"
 )
 
+// KernelPath selects the implementation of the heavy layers.
+type KernelPath int
+
+const (
+	// KernelGEMM lowers conv2d via im2col onto the cache-blocked
+	// parallel SGEMM, runs depthwise conv with an interior/border
+	// split, and dense layers as a parallel matrix-vector product.
+	// This is the default and fastest path.
+	KernelGEMM KernelPath = iota
+	// KernelDirect is the naive nested-loop reference implementation,
+	// kept for parity tests and kernel-path comparisons.
+	KernelDirect
+)
+
+func (k KernelPath) String() string {
+	switch k {
+	case KernelGEMM:
+		return "gemm"
+	case KernelDirect:
+		return "direct"
+	default:
+		return fmt.Sprintf("kernel(%d)", int(k))
+	}
+}
+
+// ParseKernelPath maps the CLI spelling ("gemm" or "direct") to a
+// KernelPath.
+func ParseKernelPath(s string) (KernelPath, error) {
+	switch s {
+	case "gemm":
+		return KernelGEMM, nil
+	case "direct":
+		return KernelDirect, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown kernel path %q (want gemm or direct)", s)
+	}
+}
+
 // params holds one layer's learned tensors.
 type params struct {
 	w, b []float32
@@ -27,14 +73,23 @@ type Model struct {
 	g       *dag.Graph
 	seed    int64
 	params  map[int]params
-	workers int // convolution parallelism; see Parallel
+	workers int        // convolution parallelism; see Parallel
+	kernel  KernelPath // heavy-layer implementation; see WithKernel
+	arena   *tensor.Arena
 }
 
 // Load instantiates weights for every parametric layer of the graph.
 // Initialization is deterministic in (seed, layer name): two Loads of
 // the same model with the same seed produce bit-identical weights.
 func Load(g *dag.Graph, seed int64) *Model {
-	m := &Model{g: g, seed: seed, params: make(map[int]params), workers: 1}
+	m := &Model{
+		g:       g,
+		seed:    seed,
+		params:  make(map[int]params),
+		workers: 1,
+		kernel:  KernelGEMM,
+		arena:   tensor.NewArena(),
+	}
 	for _, id := range g.Topo() {
 		node := g.Node(id)
 		ins := g.InputShapes(id)
@@ -80,6 +135,14 @@ func Load(g *dag.Graph, seed int64) *Model {
 // Graph returns the model's graph.
 func (m *Model) Graph() *dag.Graph { return m.g }
 
+// WithKernel selects the heavy-layer implementation. Returns the model
+// for chaining. Both paths produce identical outputs; KernelDirect
+// exists so profiling runs can compare against the reference.
+func (m *Model) WithKernel(k KernelPath) *Model {
+	m.kernel = k
+	return m
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a
@@ -115,13 +178,122 @@ func (m *Model) Forward(input *tensor.Tensor) (*tensor.Tensor, error) {
 	return acts[m.g.Sink()], nil
 }
 
+// execState tracks activation liveness for one Execute call so the
+// arena can reclaim each buffer as soon as its last consumer inside
+// the node list has run. owner[i] is the node whose eval allocated the
+// buffer backing node i's activation (views and in-place ops share a
+// predecessor's buffer; -1 marks caller-provided tensors, which are
+// never recycled or mutated). refs counts live activations per owning
+// node's buffer.
+type execState struct {
+	remaining  []int  // in-list consumers not yet executed
+	releasable []bool // >0 consumers, all inside the node list
+	owner      []int
+	refs       []int
+	pooled     []bool           // owner's buffer came from the arena
+	tens       []*tensor.Tensor // owner's tensor, kept for recycling
+}
+
+func (m *Model) newExecState(nodes []int) *execState {
+	n := m.g.Len()
+	st := &execState{
+		remaining:  make([]int, n),
+		releasable: make([]bool, n),
+		owner:      make([]int, n),
+		refs:       make([]int, n),
+		pooled:     make([]bool, n),
+		tens:       make([]*tensor.Tensor, n),
+	}
+	for i := range st.owner {
+		st.owner[i] = -1
+	}
+	inList := make([]bool, n)
+	for _, id := range nodes {
+		inList[id] = true
+	}
+	for _, id := range nodes {
+		succs := m.g.Succs(id)
+		cnt := 0
+		for _, s := range succs {
+			if inList[s] {
+				cnt++
+			}
+		}
+		st.remaining[id] = cnt
+		// A node with consumers outside the list (a cut boundary the
+		// caller will ship) or none at all (the sink) stays live.
+		st.releasable[id] = cnt > 0 && cnt == len(succs)
+	}
+	return st
+}
+
+func sharesBuffer(a, b *tensor.Tensor) bool {
+	return len(a.Data) > 0 && len(b.Data) > 0 && &a.Data[0] == &b.Data[0]
+}
+
+// adopt registers node id's freshly produced activation: either it
+// shares a predecessor's buffer (views like Flatten, identity ops,
+// in-place activations) or it owns a fresh arena buffer.
+func (st *execState) adopt(id int, out *tensor.Tensor, ins []*tensor.Tensor, preds []int) {
+	for i, in := range ins {
+		if sharesBuffer(out, in) {
+			if root := st.owner[preds[i]]; root >= 0 {
+				st.owner[id] = root
+				st.refs[root]++
+			}
+			return
+		}
+	}
+	st.owner[id] = id
+	st.refs[id] = 1
+	st.pooled[id] = true
+	st.tens[id] = out
+}
+
+// retire drops a dead activation from acts and recycles its buffer
+// once no live activation shares it.
+func (st *execState) retire(id int, acts map[int]*tensor.Tensor, arena *tensor.Arena) {
+	delete(acts, id)
+	root := st.owner[id]
+	st.owner[id] = -1
+	if root < 0 {
+		return
+	}
+	st.refs[root]--
+	if st.refs[root] == 0 && st.pooled[root] {
+		st.pooled[root] = false
+		arena.Put(st.tens[root])
+		st.tens[root] = nil
+	}
+}
+
+// canOverwrite reports whether pred p's buffer may be mutated in place
+// by its consumer: p dies right after this node runs, nothing else
+// shares its buffer, and the buffer came from the arena (never a
+// caller-provided tensor).
+func (st *execState) canOverwrite(p int) bool {
+	if st.remaining[p] != 1 || !st.releasable[p] {
+		return false
+	}
+	root := st.owner[p]
+	return root >= 0 && st.pooled[root] && st.refs[root] == 1
+}
+
 // Execute evaluates the given nodes (which must be in topological
 // order) into acts. The input tensor seeds the source node when the
 // node list contains it; otherwise acts must already hold every
 // predecessor activation — this is how the server resumes from a cut:
 // the client ships the boundary activations, the server executes the
 // remaining node range.
+//
+// Activations whose consumers all lie inside the node list are removed
+// from acts once their last consumer has run and their buffers are
+// recycled through the model's arena; entries the caller can still
+// need — the sink, cut boundaries feeding nodes outside the list, and
+// any tensor the caller provided — are always retained.
 func (m *Model) Execute(acts map[int]*tensor.Tensor, input *tensor.Tensor, nodes []int) error {
+	st := m.newExecState(nodes)
+	var ins []*tensor.Tensor
 	for _, id := range nodes {
 		node := m.g.Node(id)
 		if _, ok := node.Layer.(*nn.Input); ok {
@@ -134,8 +306,9 @@ func (m *Model) Execute(acts map[int]*tensor.Tensor, input *tensor.Tensor, nodes
 			acts[id] = input
 			continue
 		}
-		ins := make([]*tensor.Tensor, 0, len(m.g.Preds(id)))
-		for _, p := range m.g.Preds(id) {
+		preds := m.g.Preds(id)
+		ins = ins[:0]
+		for _, p := range preds {
 			a, ok := acts[p]
 			if !ok {
 				return fmt.Errorf("engine: %q missing activation of predecessor %q",
@@ -143,47 +316,66 @@ func (m *Model) Execute(acts map[int]*tensor.Tensor, input *tensor.Tensor, nodes
 			}
 			ins = append(ins, a)
 		}
-		out, err := m.eval(id, node, ins)
+		out, err := m.eval(id, node, ins, preds, st)
 		if err != nil {
 			return err
 		}
+		st.adopt(id, out, ins, preds)
 		acts[id] = out
+		for _, p := range preds {
+			if st.remaining[p] > 0 {
+				st.remaining[p]--
+				if st.remaining[p] == 0 && st.releasable[p] {
+					st.retire(p, acts, m.arena)
+				}
+			}
+		}
 	}
 	return nil
 }
 
 // eval dispatches one layer.
-func (m *Model) eval(id int, node *dag.Node, ins []*tensor.Tensor) (*tensor.Tensor, error) {
+func (m *Model) eval(id int, node *dag.Node, ins []*tensor.Tensor, preds []int, st *execState) (*tensor.Tensor, error) {
 	switch l := node.Layer.(type) {
 	case *nn.Conv2D:
-		return conv2d(ins[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride,
+		if m.kernel == KernelDirect {
+			return conv2dDirect(m.arena, ins[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride,
+				l.EffPadH(), l.EffPadW(), maxInt(l.Groups, 1), m.workers), nil
+		}
+		return conv2dGEMM(m.arena, ins[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride,
 			l.EffPadH(), l.EffPadW(), maxInt(l.Groups, 1), m.workers), nil
 	case *nn.DepthwiseConv2D:
-		return dwconv2d(ins[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride, l.Pad, m.workers), nil
+		if m.kernel == KernelDirect {
+			return dwconv2dDirect(m.arena, ins[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride, l.Pad, m.workers), nil
+		}
+		return dwconv2dSplit(m.arena, ins[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride, l.Pad, m.workers), nil
 	case *nn.MaxPool2D:
-		return maxpool(ins[0], node.OutShape, l.K, l.Stride, l.Pad), nil
+		return maxpool(m.arena, ins[0], node.OutShape, l.K, l.Stride, l.Pad, m.workers), nil
 	case *nn.AvgPool2D:
-		return avgpool(ins[0], node.OutShape, l.K, l.Stride, l.Pad), nil
+		return avgpool(m.arena, ins[0], node.OutShape, l.K, l.Stride, l.Pad, m.workers), nil
 	case *nn.GlobalAvgPool2D:
-		return globalAvgPool(ins[0]), nil
+		return globalAvgPool(m.arena, ins[0]), nil
 	case *nn.Dense:
-		return dense(ins[0], m.params[id], l.Out), nil
+		if m.kernel == KernelDirect {
+			return denseDirect(m.arena, ins[0], m.params[id], l.Out), nil
+		}
+		return denseGEMM(m.arena, ins[0], m.params[id], l.Out, m.workers), nil
 	case *nn.Activation:
-		return activate(ins[0], l.Func), nil
+		return activate(m.arena, ins[0], l.Func, st.canOverwrite(preds[0])), nil
 	case *nn.BatchNorm:
-		return batchNorm(ins[0], m.params[id]), nil
+		return batchNorm(m.arena, ins[0], m.params[id]), nil
 	case *nn.LRN:
-		return lrn(ins[0], l.Size), nil
+		return lrn(m.arena, ins[0], l.Size), nil
 	case *nn.Dropout:
 		return ins[0], nil // identity at inference
 	case *nn.Flatten:
 		return ins[0].Flatten(), nil
 	case *nn.Concat:
-		return concat(ins, node.OutShape), nil
+		return concat(m.arena, ins, node.OutShape), nil
 	case *nn.Add:
-		return add(ins), nil
+		return add(m.arena, ins, st.canOverwrite(preds[0])), nil
 	case *nn.Softmax:
-		return softmax(ins[0]), nil
+		return softmax(m.arena, ins[0]), nil
 	default:
 		return nil, fmt.Errorf("engine: unsupported layer type %T (%s)", node.Layer, node.Layer.Name())
 	}

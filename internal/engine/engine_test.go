@@ -239,7 +239,7 @@ func TestAddAndConcatNumeric(t *testing.T) {
 func TestActivationNumerics(t *testing.T) {
 	for _, fn := range []nn.ActFunc{nn.ReLU, nn.ReLU6, nn.Sigmoid, nn.Tanh} {
 		in, _ := tensor.NewFrom(tensor.NewVec(4), []float32{-2, 0, 3, 8})
-		out := activate(in, fn)
+		out := activate(nil, in, fn, false)
 		switch fn {
 		case nn.ReLU:
 			assertVec(t, "relu", out, []float32{0, 0, 3, 8})
@@ -344,7 +344,7 @@ func TestArgmax(t *testing.T) {
 
 func TestLRNNormalizes(t *testing.T) {
 	in, _ := tensor.NewFrom(tensor.NewCHW(3, 1, 1), []float32{1, 2, 3})
-	out := lrn(in, 5)
+	out := lrn(nil, in, 5)
 	for i := range out.Data {
 		if math.Abs(float64(out.Data[i])) >= math.Abs(float64(in.Data[i])) {
 			t.Errorf("lrn must shrink magnitudes: %v -> %v", in.Data, out.Data)

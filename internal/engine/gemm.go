@@ -1,0 +1,105 @@
+package engine
+
+// Cache-blocked single-precision matrix multiply, the shared compute
+// kernel behind the GEMM convolution and dense paths.
+//
+// Determinism contract: for every output element C[i][j] the products
+// a[i][k]*b[k][j] are accumulated strictly in ascending k into a single
+// accumulator, independent of the blocking parameters and the worker
+// count. That makes the GEMM path produce the same values as the
+// direct reference kernels (which walk the same products in the same
+// order) and makes results reproducible across machines and
+// GOMAXPROCS settings. Parallelism is over row panels of C, so each
+// output element is written by exactly one goroutine.
+
+const (
+	// gemmBlockK is the K-panel height: four b rows of gemmBlockN
+	// floats plus the c row chunk stay L1-resident while a panel of A
+	// streams through.
+	gemmBlockK = 240
+	// gemmBlockN is the N-panel width in elements (3 KiB per row).
+	gemmBlockN = 768
+)
+
+// sgemmAcc computes C += A·B for row-major A (m×k), B (k×n), C (m×n),
+// splitting the rows of C across the given number of workers. C must
+// be pre-initialized (zero or bias) by the caller.
+func sgemmAcc(m, k, n int, a, b, c []float32, workers int) {
+	if m == 0 || k == 0 || n == 0 {
+		return
+	}
+	if n == 1 {
+		sgemvAcc(m, k, a, b, c, workers)
+		return
+	}
+	parallelFor(workers, m, func(lo, hi int) {
+		sgemmPanel(lo, hi, k, n, a, b, c)
+	})
+}
+
+// sgemmPanel multiplies rows [lo,hi) of A into the matching rows of C.
+// Loop order is jb → kb → i → k → j: a K×N panel of B is streamed over
+// the whole row panel before moving on, so B panel rows are read from
+// cache m times each.
+func sgemmPanel(lo, hi, k, n int, a, b, c []float32) {
+	for jb := 0; jb < n; jb += gemmBlockN {
+		je := jb + gemmBlockN
+		if je > n {
+			je = n
+		}
+		for kb := 0; kb < k; kb += gemmBlockK {
+			ke := kb + gemmBlockK
+			if ke > k {
+				ke = k
+			}
+			for i := lo; i < hi; i++ {
+				arow := a[i*k : i*k+k : i*k+k]
+				crow := c[i*n+jb : i*n+je : i*n+je]
+				w := len(crow)
+				kk := kb
+				for ; kk+4 <= ke; kk += 4 {
+					a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+					b0 := b[kk*n+jb:][:w]
+					b1 := b[(kk+1)*n+jb:][:w]
+					b2 := b[(kk+2)*n+jb:][:w]
+					b3 := b[(kk+3)*n+jb:][:w]
+					// Four sequential adds per element keep the
+					// per-element accumulation in ascending k (Go
+					// never reassociates floating-point ops).
+					for j := range crow {
+						v := crow[j]
+						v += a0 * b0[j]
+						v += a1 * b1[j]
+						v += a2 * b2[j]
+						v += a3 * b3[j]
+						crow[j] = v
+					}
+				}
+				for ; kk < ke; kk++ {
+					av := arow[kk]
+					brow := b[kk*n+jb:][:w]
+					for j := range crow {
+						crow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// sgemvAcc computes y += A·x for row-major A (m×k), accumulating each
+// row's dot product in ascending index order — the same order as the
+// direct dense kernel. Rows are split across workers.
+func sgemvAcc(m, k int, a, x, y []float32, workers int) {
+	parallelFor(workers, m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a[i*k : i*k+k : i*k+k]
+			xx := x[:len(row)]
+			v := y[i]
+			for j, w := range row {
+				v += w * xx[j]
+			}
+			y[i] = v
+		}
+	})
+}

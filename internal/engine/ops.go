@@ -7,10 +7,17 @@ import (
 	"dnnjps/internal/tensor"
 )
 
-// conv2d is a direct grouped convolution in CHW layout with per-axis
-// padding, parallelized over output channels.
-func conv2d(in *tensor.Tensor, outShape tensor.Shape, p params, kh, kw, stride, padH, padW, groups, workers int) *tensor.Tensor {
-	out := tensor.New(outShape)
+// Direct reference kernels and the lightweight elementwise/pooling
+// ops. conv2dDirect, dwconv2dDirect and denseDirect are the naive
+// implementations kept behind WithKernel(KernelDirect) as the ground
+// truth the GEMM path is parity-tested against. All output buffers
+// come from the model's arena and every kernel writes every output
+// element exactly once, so recycled (dirty) buffers are safe.
+
+// conv2dDirect is a direct grouped convolution in CHW layout with
+// per-axis padding, parallelized over output channels.
+func conv2dDirect(arena *tensor.Arena, in *tensor.Tensor, outShape tensor.Shape, p params, kh, kw, stride, padH, padW, groups, workers int) *tensor.Tensor {
+	out := arena.Get(outShape)
 	inC, inH, inW := in.Shape.C(), in.Shape.H(), in.Shape.W()
 	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
 	icpg := inC / groups  // input channels per group
@@ -60,10 +67,10 @@ func conv2dRange(in, out *tensor.Tensor, p params, kh, kw, stride, padH, padW, i
 	}
 }
 
-// dwconv2d is a depthwise convolution (one kernel per channel),
-// parallelized over channels.
-func dwconv2d(in *tensor.Tensor, outShape tensor.Shape, p params, kh, kw, stride, pad, workers int) *tensor.Tensor {
-	out := tensor.New(outShape)
+// dwconv2dDirect is the naive depthwise convolution (one kernel per
+// channel), parallelized over channels.
+func dwconv2dDirect(arena *tensor.Arena, in *tensor.Tensor, outShape tensor.Shape, p params, kh, kw, stride, pad, workers int) *tensor.Tensor {
+	out := arena.Get(outShape)
 	inH, inW := in.Shape.H(), in.Shape.W()
 	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
 	parallelFor(workers, outC, func(cLo, cHi int) {
@@ -82,94 +89,188 @@ func dwconv2dRange(in, out *tensor.Tensor, p params, kh, kw, stride, pad, inH, i
 		for oh := 0; oh < outH; oh++ {
 			ihBase := oh*stride - pad
 			for ow := 0; ow < outW; ow++ {
-				iwBase := ow*stride - pad
-				sum := bias
-				for r := 0; r < kh; r++ {
-					ih := ihBase + r
-					if ih < 0 || ih >= inH {
-						continue
-					}
-					rowIn := (c*inH + ih) * inW
-					rowW := wBase + r*kw
-					for cc := 0; cc < kw; cc++ {
-						iw := iwBase + cc
-						if iw < 0 || iw >= inW {
-							continue
-						}
-						sum += in.Data[rowIn+iw] * p.w[rowW+cc]
-					}
-				}
-				out.Data[(c*outH+oh)*outW+ow] = sum
+				out.Data[(c*outH+oh)*outW+ow] = dwCell(in.Data, p.w, bias,
+					c, ihBase, ow*stride-pad, wBase, kh, kw, inH, inW)
 			}
 		}
 	}
 }
 
-func maxpool(in *tensor.Tensor, outShape tensor.Shape, k, stride, pad int) *tensor.Tensor {
-	out := tensor.New(outShape)
-	inH, inW := in.Shape.H(), in.Shape.W()
-	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
-	for c := 0; c < outC; c++ {
-		for oh := 0; oh < outH; oh++ {
-			for ow := 0; ow < outW; ow++ {
-				best := float32(math.Inf(-1))
-				for r := 0; r < k; r++ {
-					ih := oh*stride - pad + r
-					if ih < 0 || ih >= inH {
-						continue
-					}
-					for cc := 0; cc < k; cc++ {
-						iw := ow*stride - pad + cc
-						if iw < 0 || iw >= inW {
-							continue
-						}
-						if v := in.Data[(c*inH+ih)*inW+iw]; v > best {
-							best = v
-						}
-					}
-				}
-				out.Data[(c*outH+oh)*outW+ow] = best
+// dwCell computes one depthwise output element with bounds checks,
+// accumulating r-major then c — the shared order of both kernel paths.
+func dwCell(src, w []float32, bias float32, c, ihBase, iwBase, wBase, kh, kw, inH, inW int) float32 {
+	sum := bias
+	for r := 0; r < kh; r++ {
+		ih := ihBase + r
+		if ih < 0 || ih >= inH {
+			continue
+		}
+		rowIn := (c*inH + ih) * inW
+		rowW := wBase + r*kw
+		for cc := 0; cc < kw; cc++ {
+			iw := iwBase + cc
+			if iw < 0 || iw >= inW {
+				continue
 			}
+			sum += src[rowIn+iw] * w[rowW+cc]
 		}
 	}
+	return sum
+}
+
+// dwconv2dSplit is the fast depthwise convolution: output positions
+// whose kernel window lies fully inside the input run a tight loop
+// with no bounds checks; only the border ring pays for them. The
+// accumulation order per element is identical to dwconv2dDirect, so
+// outputs match bit for bit.
+func dwconv2dSplit(arena *tensor.Arena, in *tensor.Tensor, outShape tensor.Shape, p params, kh, kw, stride, pad, workers int) *tensor.Tensor {
+	out := arena.Get(outShape)
+	inH, inW := in.Shape.H(), in.Shape.W()
+	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
+
+	// Interior range: oh*stride-pad >= 0 and oh*stride-pad+kh-1 < inH
+	// (and likewise for width).
+	ohLo, ohHi := interiorRange(inH, kh, stride, pad, outH)
+	owLo, owHi := interiorRange(inW, kw, stride, pad, outW)
+
+	parallelFor(workers, outC, func(cLo, cHi int) {
+		for c := cLo; c < cHi; c++ {
+			wBase := c * kh * kw
+			var bias float32
+			if p.b != nil {
+				bias = p.b[c]
+			}
+			borderRow := func(oh int) {
+				ihBase := oh*stride - pad
+				for ow := 0; ow < outW; ow++ {
+					out.Data[(c*outH+oh)*outW+ow] = dwCell(in.Data, p.w, bias,
+						c, ihBase, ow*stride-pad, wBase, kh, kw, inH, inW)
+				}
+			}
+			for oh := 0; oh < ohLo; oh++ {
+				borderRow(oh)
+			}
+			for oh := ohHi; oh < outH; oh++ {
+				borderRow(oh)
+			}
+			for oh := ohLo; oh < ohHi; oh++ {
+				ihBase := oh*stride - pad
+				outRow := (c*outH + oh) * outW
+				for ow := 0; ow < owLo; ow++ {
+					out.Data[outRow+ow] = dwCell(in.Data, p.w, bias,
+						c, ihBase, ow*stride-pad, wBase, kh, kw, inH, inW)
+				}
+				for ow := owHi; ow < outW; ow++ {
+					out.Data[outRow+ow] = dwCell(in.Data, p.w, bias,
+						c, ihBase, ow*stride-pad, wBase, kh, kw, inH, inW)
+				}
+				for ow := owLo; ow < owHi; ow++ {
+					iwBase := ow*stride - pad
+					sum := bias
+					for r := 0; r < kh; r++ {
+						base := (c*inH+ihBase+r)*inW + iwBase
+						src := in.Data[base : base+kw : base+kw]
+						wRow := p.w[wBase+r*kw:][:kw]
+						for cc, wv := range wRow {
+							sum += src[cc] * wv
+						}
+					}
+					out.Data[outRow+ow] = sum
+				}
+			}
+		}
+	})
 	return out
 }
 
-func avgpool(in *tensor.Tensor, outShape tensor.Shape, k, stride, pad int) *tensor.Tensor {
-	out := tensor.New(outShape)
+// interiorRange returns the [lo, hi) span of output positions whose
+// kernel window is fully in bounds along one axis.
+func interiorRange(inDim, k, stride, pad, outDim int) (lo, hi int) {
+	lo = (pad + stride - 1) / stride
+	hi = (inDim-k+pad)/stride + 1
+	if lo > outDim {
+		lo = outDim
+	}
+	if hi > outDim {
+		hi = outDim
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+func maxpool(arena *tensor.Arena, in *tensor.Tensor, outShape tensor.Shape, k, stride, pad, workers int) *tensor.Tensor {
+	out := arena.Get(outShape)
 	inH, inW := in.Shape.H(), in.Shape.W()
 	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
-	for c := 0; c < outC; c++ {
-		for oh := 0; oh < outH; oh++ {
-			for ow := 0; ow < outW; ow++ {
-				var sum float32
-				count := 0
-				for r := 0; r < k; r++ {
-					ih := oh*stride - pad + r
-					if ih < 0 || ih >= inH {
-						continue
-					}
-					for cc := 0; cc < k; cc++ {
-						iw := ow*stride - pad + cc
-						if iw < 0 || iw >= inW {
+	parallelFor(workers, outC, func(cLo, cHi int) {
+		for c := cLo; c < cHi; c++ {
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					best := float32(math.Inf(-1))
+					for r := 0; r < k; r++ {
+						ih := oh*stride - pad + r
+						if ih < 0 || ih >= inH {
 							continue
 						}
-						sum += in.Data[(c*inH+ih)*inW+iw]
-						count++
+						for cc := 0; cc < k; cc++ {
+							iw := ow*stride - pad + cc
+							if iw < 0 || iw >= inW {
+								continue
+							}
+							if v := in.Data[(c*inH+ih)*inW+iw]; v > best {
+								best = v
+							}
+						}
 					}
-				}
-				if count > 0 {
-					out.Data[(c*outH+oh)*outW+ow] = sum / float32(count)
+					out.Data[(c*outH+oh)*outW+ow] = best
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-func globalAvgPool(in *tensor.Tensor) *tensor.Tensor {
+func avgpool(arena *tensor.Arena, in *tensor.Tensor, outShape tensor.Shape, k, stride, pad, workers int) *tensor.Tensor {
+	out := arena.Get(outShape)
+	inH, inW := in.Shape.H(), in.Shape.W()
+	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
+	parallelFor(workers, outC, func(cLo, cHi int) {
+		for c := cLo; c < cHi; c++ {
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					var sum float32
+					count := 0
+					for r := 0; r < k; r++ {
+						ih := oh*stride - pad + r
+						if ih < 0 || ih >= inH {
+							continue
+						}
+						for cc := 0; cc < k; cc++ {
+							iw := ow*stride - pad + cc
+							if iw < 0 || iw >= inW {
+								continue
+							}
+							sum += in.Data[(c*inH+ih)*inW+iw]
+							count++
+						}
+					}
+					v := float32(0)
+					if count > 0 {
+						v = sum / float32(count)
+					}
+					out.Data[(c*outH+oh)*outW+ow] = v
+				}
+			}
+		}
+	})
+	return out
+}
+
+func globalAvgPool(arena *tensor.Arena, in *tensor.Tensor) *tensor.Tensor {
 	c, h, w := in.Shape.C(), in.Shape.H(), in.Shape.W()
-	out := tensor.New(tensor.NewVec(c))
+	out := arena.Get(tensor.NewVec(c))
 	plane := h * w
 	for ch := 0; ch < c; ch++ {
 		var sum float32
@@ -182,8 +283,9 @@ func globalAvgPool(in *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-func dense(in *tensor.Tensor, p params, outN int) *tensor.Tensor {
-	out := tensor.New(tensor.NewVec(outN))
+// denseDirect is the serial reference matrix-vector product.
+func denseDirect(arena *tensor.Arena, in *tensor.Tensor, p params, outN int) *tensor.Tensor {
+	out := arena.Get(tensor.NewVec(outN))
 	inN := len(in.Data)
 	for o := 0; o < outN; o++ {
 		var sum float32
@@ -199,19 +301,29 @@ func dense(in *tensor.Tensor, p params, outN int) *tensor.Tensor {
 	return out
 }
 
-func activate(in *tensor.Tensor, fn nn.ActFunc) *tensor.Tensor {
-	out := tensor.New(in.Shape)
+// activate applies the function elementwise. With inPlace it mutates
+// the input buffer and returns a view of it — Execute grants that only
+// when the input is an arena tensor about to die with no other
+// references.
+func activate(arena *tensor.Arena, in *tensor.Tensor, fn nn.ActFunc, inPlace bool) *tensor.Tensor {
+	out := in
+	if !inPlace {
+		out = arena.Get(in.Shape)
+	}
 	switch fn {
 	case nn.ReLU:
 		for i, v := range in.Data {
 			if v > 0 {
 				out.Data[i] = v
+			} else {
+				out.Data[i] = 0
 			}
 		}
 	case nn.ReLU6:
 		for i, v := range in.Data {
 			switch {
 			case v <= 0:
+				out.Data[i] = 0
 			case v >= 6:
 				out.Data[i] = 6
 			default:
@@ -230,8 +342,8 @@ func activate(in *tensor.Tensor, fn nn.ActFunc) *tensor.Tensor {
 	return out
 }
 
-func batchNorm(in *tensor.Tensor, p params) *tensor.Tensor {
-	out := tensor.New(in.Shape)
+func batchNorm(arena *tensor.Arena, in *tensor.Tensor, p params) *tensor.Tensor {
+	out := arena.Get(in.Shape)
 	c, h, w := in.Shape.C(), in.Shape.H(), in.Shape.W()
 	plane := h * w
 	for ch := 0; ch < c; ch++ {
@@ -246,8 +358,8 @@ func batchNorm(in *tensor.Tensor, p params) *tensor.Tensor {
 
 // lrn implements AlexNet-style local response normalization across
 // channels with the standard constants (k=2, alpha=1e-4, beta=0.75).
-func lrn(in *tensor.Tensor, size int) *tensor.Tensor {
-	out := tensor.New(in.Shape)
+func lrn(arena *tensor.Arena, in *tensor.Tensor, size int) *tensor.Tensor {
+	out := arena.Get(in.Shape)
 	c, h, w := in.Shape.C(), in.Shape.H(), in.Shape.W()
 	plane := h * w
 	half := size / 2
@@ -272,8 +384,8 @@ func lrn(in *tensor.Tensor, size int) *tensor.Tensor {
 	return out
 }
 
-func concat(ins []*tensor.Tensor, outShape tensor.Shape) *tensor.Tensor {
-	out := tensor.New(outShape)
+func concat(arena *tensor.Arena, ins []*tensor.Tensor, outShape tensor.Shape) *tensor.Tensor {
+	out := arena.Get(outShape)
 	off := 0
 	for _, in := range ins {
 		copy(out.Data[off:], in.Data)
@@ -282,8 +394,15 @@ func concat(ins []*tensor.Tensor, outShape tensor.Shape) *tensor.Tensor {
 	return out
 }
 
-func add(ins []*tensor.Tensor) *tensor.Tensor {
-	out := ins[0].Clone()
+// add sums the inputs. With inPlace it accumulates into ins[0]'s
+// buffer (granted by Execute only when that buffer is dying and
+// unshared — which also rules out any other input aliasing it).
+func add(arena *tensor.Arena, ins []*tensor.Tensor, inPlace bool) *tensor.Tensor {
+	out := ins[0]
+	if !inPlace {
+		out = arena.Get(ins[0].Shape)
+		copy(out.Data, ins[0].Data)
+	}
 	for _, in := range ins[1:] {
 		for i, v := range in.Data {
 			out.Data[i] += v
@@ -292,8 +411,8 @@ func add(ins []*tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-func softmax(in *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(in.Shape)
+func softmax(arena *tensor.Arena, in *tensor.Tensor) *tensor.Tensor {
+	out := arena.Get(in.Shape)
 	maxV := float32(math.Inf(-1))
 	for _, v := range in.Data {
 		if v > maxV {

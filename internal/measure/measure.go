@@ -21,6 +21,7 @@ import (
 
 // Sample is one timed layer execution.
 type Sample struct {
+	Layer string // layer name, for per-layer reporting
 	Kind  nn.Kind
 	FLOPs float64
 	Ms    float64
@@ -55,6 +56,7 @@ func ProfileLayers(m *engine.Model, input *tensor.Tensor, reps int) ([]Sample, e
 			continue // free layers carry no signal
 		}
 		samples = append(samples, Sample{
+			Layer: g.Node(id).Layer.Name(),
 			Kind:  g.Node(id).Layer.Kind(),
 			FLOPs: flops,
 			Ms:    best[id],
@@ -115,17 +117,37 @@ func FitDevice(name string, samples []Sample) (profile.Device, error) {
 	return dev, nil
 }
 
+// Config selects how calibration runs execute the probe model.
+type Config struct {
+	Reps    int               // timed repetitions per layer (default 3)
+	Workers int               // engine parallelism; <= 0 means GOMAXPROCS
+	Kernel  engine.KernelPath // engine kernel path (default KernelGEMM)
+}
+
 // CalibrateDevice profiles the probe graph on this machine and fits a
-// device model in one call.
+// device model in one call, using the default engine configuration
+// (GEMM kernels, single worker).
 func CalibrateDevice(name string, g *dag.Graph, seed int64, reps int) (profile.Device, error) {
-	m := engine.Load(g, seed)
+	dev, _, err := CalibrateDeviceCfg(name, g, seed, Config{Reps: reps, Workers: 1})
+	return dev, err
+}
+
+// CalibrateDeviceCfg is CalibrateDevice with an explicit engine
+// configuration. It also returns the raw per-layer samples so callers
+// can report per-layer timings (jpsprofile's ns/layer table).
+func CalibrateDeviceCfg(name string, g *dag.Graph, seed int64, cfg Config) (profile.Device, []Sample, error) {
+	m := engine.Load(g, seed).WithKernel(cfg.Kernel).Parallel(cfg.Workers)
 	input := tensor.New(g.Node(g.Source()).OutShape)
 	for i := range input.Data {
 		input.Data[i] = float32(i%97)/97 - 0.5
 	}
-	samples, err := ProfileLayers(m, input, reps)
+	samples, err := ProfileLayers(m, input, cfg.Reps)
 	if err != nil {
-		return profile.Device{}, err
+		return profile.Device{}, nil, err
 	}
-	return FitDevice(name, samples)
+	dev, err := FitDevice(name, samples)
+	if err != nil {
+		return profile.Device{}, nil, err
+	}
+	return dev, samples, nil
 }

@@ -89,6 +89,9 @@ func (c *Client) computePrefix(jobID, cut int, input *tensor.Tensor) (*tensor.Te
 		prefix = append(prefix, u.Nodes...)
 	}
 	start := time.Now()
+	// Execute recycles intermediate activations through the model's
+	// arena, but the boundary tensor (and the sink on a fully-local
+	// cut) has consumers outside the prefix, so it is kept live.
 	acts := map[int]*tensor.Tensor{}
 	if err := c.model.Execute(acts, input, prefix); err != nil {
 		return nil, nil, err

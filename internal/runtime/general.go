@@ -111,6 +111,9 @@ func (s *Server) inferSet(req *inferSetRequest) (*inferReply, error) {
 		}
 	}
 	start := time.Now()
+	// The wire tensors seed acts as caller-owned buffers that
+	// Execute's arena never recycles; the sink has no consumers, so
+	// it is retained for the Argmax read below.
 	if err := s.model.Execute(acts, nil, suffix); err != nil {
 		return nil, err
 	}
@@ -167,6 +170,9 @@ func (c *GeneralClient) RunJob(jobID int, cutNodes []int, input *tensor.Tensor) 
 		}
 	}
 	start := time.Now()
+	// Every boundary node has a remote consumer outside the prefix,
+	// so Execute keeps its activation live while recycling interior
+	// ones — acts[id] below is safe to ship after the call.
 	acts := map[int]*tensor.Tensor{}
 	if err := c.model.Execute(acts, input, prefix); err != nil {
 		return nil, err

@@ -123,6 +123,10 @@ func (s *Server) infer(req *inferRequest) (*inferReply, error) {
 			req.Tensor.Shape, cut, wantShape)
 	}
 	start := time.Now()
+	// Concurrent connections share the model: its arena is
+	// thread-safe, and Execute's liveness tracking is per call. The
+	// wire tensor seeds acts as a caller-owned buffer the arena never
+	// recycles; the sink survives because it has no consumers.
 	acts := map[int]*tensor.Tensor{boundary: req.Tensor}
 	if err := s.model.Execute(acts, nil, s.suffix[cut]); err != nil {
 		return nil, err

@@ -1,0 +1,84 @@
+package tensor
+
+import "testing"
+
+func TestArenaRecyclesTensors(t *testing.T) {
+	a := NewArena()
+	t1 := a.Get(NewCHW(2, 3, 4))
+	if len(t1.Data) != 24 {
+		t.Fatalf("len = %d, want 24", len(t1.Data))
+	}
+	a.Put(t1)
+	t2 := a.Get(NewCHW(4, 3, 2)) // same volume, different dims
+	if t2 != t1 {
+		t.Error("same-volume Get after Put must return the recycled tensor")
+	}
+	if !t2.Shape.Equal(NewCHW(4, 3, 2)) {
+		t.Errorf("recycled tensor shape = %v, want [4x3x2]", t2.Shape)
+	}
+}
+
+func TestArenaKeysByVolume(t *testing.T) {
+	a := NewArena()
+	small := a.Get(NewVec(8))
+	a.Put(small)
+	big := a.Get(NewVec(16))
+	if big == small {
+		t.Error("different volumes must not share buffers")
+	}
+	if len(big.Data) != 16 {
+		t.Errorf("len = %d, want 16", len(big.Data))
+	}
+}
+
+func TestArenaSlices(t *testing.T) {
+	a := NewArena()
+	s := a.GetSlice(100)
+	s[0] = 42
+	a.PutSlice(s)
+	s2 := a.GetSlice(100)
+	if &s2[0] != &s[0] {
+		t.Error("GetSlice must recycle a same-size buffer")
+	}
+	if a.FreeBuffers() != 0 {
+		t.Errorf("FreeBuffers = %d after draining, want 0", a.FreeBuffers())
+	}
+}
+
+func TestArenaCapsRetention(t *testing.T) {
+	a := NewArena()
+	for i := 0; i < 3*maxFreePerSize; i++ {
+		a.Put(New(NewVec(7)))
+		a.PutSlice(make([]float32, 9))
+	}
+	if got := a.FreeBuffers(); got != 2*maxFreePerSize {
+		t.Errorf("FreeBuffers = %d, want %d (cap per size class)", got, 2*maxFreePerSize)
+	}
+}
+
+func TestNilArenaAllocates(t *testing.T) {
+	var a *Arena
+	tt := a.Get(NewCHW(1, 2, 2))
+	if len(tt.Data) != 4 {
+		t.Fatalf("nil arena Get: len = %d, want 4", len(tt.Data))
+	}
+	a.Put(tt) // must not panic
+	if s := a.GetSlice(5); len(s) != 5 {
+		t.Fatalf("nil arena GetSlice: len = %d, want 5", len(s))
+	}
+	a.PutSlice(make([]float32, 5))
+	if a.FreeBuffers() != 0 {
+		t.Error("nil arena retains nothing")
+	}
+}
+
+func TestArenaZeroVolume(t *testing.T) {
+	a := NewArena()
+	if s := a.GetSlice(0); len(s) != 0 {
+		t.Fatal("zero-length GetSlice")
+	}
+	a.PutSlice(nil) // must not panic or retain
+	if a.FreeBuffers() != 0 {
+		t.Error("zero-length buffers must not be retained")
+	}
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Tier-1 verify loop: vet, build, full test suite, then the race
+# detector over the packages with goroutine-parallel hot paths (the
+# engine's SGEMM/im2col kernels and the flow-shop scheduler).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (engine, flowshop)"
+go test -race ./internal/engine/... ./internal/flowshop/...
+
+echo "OK"
