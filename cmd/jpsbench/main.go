@@ -23,7 +23,7 @@ import (
 func main() {
 	var (
 		all    = flag.Bool("all", false, "run every experiment")
-		fig    = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations")
+		fig    = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, 3tier, robust, runtime")
 		model  = flag.String("model", "alexnet", "model for figure 4/13 (alexnet, mobilenetv2, ...)")
 		n      = flag.Int("n", 100, "number of inference jobs")
 		csvDir = flag.String("csv", "", "directory to also write tables as CSV")
@@ -142,6 +142,15 @@ func run(env experiments.Env, id, model string) ([]*report.Table, error) {
 			experiments.AblationMixTable(mix),
 			experiments.AblationVirtualBlocksTable(vb),
 		}, nil
+	case "runtime":
+		// Live execution: real engine compute on this host plus the
+		// simulated Wi-Fi channel in real time, so a run takes a few
+		// seconds. Deliberately not part of -all.
+		res, err := experiments.RuntimePipeline(env, model, netsim.WiFi, 8, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.RuntimeTable([]*experiments.RuntimeResult{res})}, nil
 	case "hetero":
 		rows, err := experiments.HeteroWorkload(env)
 		if err != nil {

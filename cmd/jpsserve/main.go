@@ -25,15 +25,16 @@ func main() {
 		addr    = flag.String("addr", "127.0.0.1:7443", "listen address")
 		seed    = flag.Int64("seed", 42, "weight seed (must match the client)")
 		workers = flag.Int("workers", 0, "engine worker goroutines per layer; 0 = GOMAXPROCS")
+		conc    = flag.Int("conc", 0, "concurrent inferences per connection (worker pool); 0 = GOMAXPROCS. Multiplies with -workers, so size the product to the core count")
 	)
 	flag.Parse()
-	if err := run(*model, *addr, *seed, *workers); err != nil {
+	if err := run(*model, *addr, *seed, *workers, *conc); err != nil {
 		fmt.Fprintln(os.Stderr, "jpsserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, addr string, seed int64, workers int) error {
+func run(model, addr string, seed int64, workers, conc int) error {
 	g, err := models.Build(model)
 	if err != nil {
 		return err
@@ -46,6 +47,10 @@ func run(model, addr string, seed int64, workers int) error {
 	if err != nil {
 		return err
 	}
+	srv := runtime.NewServer(m)
+	if conc > 0 {
+		srv.WithWorkers(conc)
+	}
 	fmt.Printf("serving %s on %s\n", model, lis.Addr())
-	return runtime.NewServer(m).Serve(lis)
+	return srv.Serve(lis)
 }

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"dnnjps/internal/core"
+	"dnnjps/internal/engine"
+	"dnnjps/internal/flowshop"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/report"
+	"dnnjps/internal/runtime"
+	"dnnjps/internal/sim"
+	"dnnjps/internal/tensor"
+)
+
+// RuntimeResult compares one live run of the offloading runtime
+// against the paper's analytic makespan models: the same JPS plan is
+// executed pipelined (full-duplex writer + reply demultiplexer) and
+// synchronously (per-job round trips), then replayed through the
+// discrete-event simulator and the Prop. 4.1 closed form using the
+// measured per-job timings.
+type RuntimeResult struct {
+	Model     string
+	Jobs      int
+	TimeScale float64
+	// PipelinedMs is the measured makespan of the full-duplex run.
+	PipelinedMs float64
+	// SyncMs is the measured makespan of the synchronous baseline.
+	SyncMs float64
+	// FormulaMs is Prop. 4.1's f(x_1) + max(Σf, Σg) + g(x_n) with
+	// measured mobile times and channel-model upload times.
+	FormulaMs float64
+	// SimMs replays the measured durations through the event simulator.
+	SimMs float64
+}
+
+// Speedup is the pipelining gain over the synchronous baseline.
+func (r *RuntimeResult) Speedup() float64 {
+	if r.PipelinedMs <= 0 {
+		return 0
+	}
+	return r.SyncMs / r.PipelinedMs
+}
+
+// RuntimePipeline executes a JPS plan on the live runtime over
+// loopback TCP: the client and the server run in-process with real
+// engine compute, the channel is simulated at timeScale. Unlike the
+// planning experiments, which cost out both devices analytically, the
+// live run computes prefix and suffix at this host's speed — so the
+// result validates pipeline structure (overlap, ordering), not
+// absolute device timings.
+func RuntimePipeline(env Env, model string, ch netsim.Channel, n int, timeScale float64) (*RuntimeResult, error) {
+	g := mustModel(model)
+	const seed = 42
+	m := engine.Load(g, seed)
+	plan, err := core.JPS(env.curveFor(g, ch), n)
+	if err != nil {
+		return nil, err
+	}
+	units := profile.LineView(g)
+	inputs := make([]*tensor.Tensor, n)
+	inShape := g.Node(units[0].Exit).OutShape
+	for i := range inputs {
+		in := tensor.New(inShape)
+		for j := range in.Data {
+			in.Data[j] = float32((j+i*13)%29)/29 - 0.5
+		}
+		inputs[i] = in
+	}
+
+	dial := func() (net.Conn, error) {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := runtime.NewServer(m)
+		go func() {
+			defer lis.Close()
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			_ = srv.HandleConn(conn)
+		}()
+		return net.Dial("tcp", lis.Addr().String())
+	}
+
+	// Pipelined run.
+	conn, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	cl := runtime.NewClient(conn, m, ch, timeScale)
+	rep, err := cl.RunPlan(plan, inputs)
+	conn.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	// Synchronous baseline: same plan, same sequence, one round trip at
+	// a time.
+	conn, err = dial()
+	if err != nil {
+		return nil, err
+	}
+	scl := runtime.NewClient(conn, m, ch, timeScale)
+	syncStart := time.Now()
+	for _, j := range plan.Sequence {
+		if _, err := scl.RunJob(j.ID, plan.Cuts[j.ID], inputs[j.ID]); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	syncMs := float64(time.Since(syncStart)) / float64(time.Millisecond)
+	conn.Close()
+
+	// Analytic references from the measured run: f is the measured
+	// mobile prefix time, g the channel model's upload time (what the
+	// shaper enforces), cloud the measured server compute.
+	mobile := make(map[int]float64, n)
+	cloud := make(map[int]float64, n)
+	for _, r := range rep.Results {
+		mobile[r.JobID] = r.MobileMs
+		cloud[r.JobID] = r.CloudMs
+	}
+	seq := make([]flowshop.Job, n)
+	f := make([]float64, n)
+	gms := make([]float64, n)
+	cms := make([]float64, n)
+	for pos, j := range plan.Sequence {
+		cut := plan.Cuts[j.ID]
+		var up float64
+		if cut < len(units)-1 { // cut at the last unit runs fully local
+			shape := g.Node(units[cut].Exit).OutShape
+			up = timeScale * ch.TxMs(runtime.RequestWireBytes(shape))
+		}
+		seq[pos] = flowshop.Job{ID: j.ID, A: mobile[j.ID], B: up}
+		f[pos], gms[pos], cms[pos] = mobile[j.ID], up, cloud[j.ID]
+	}
+	simRes, err := sim.Run(sim.FromDurations(f, gms, cms))
+	if err != nil {
+		return nil, err
+	}
+
+	return &RuntimeResult{
+		Model:       model,
+		Jobs:        n,
+		TimeScale:   timeScale,
+		PipelinedMs: rep.MakespanMs,
+		SyncMs:      syncMs,
+		FormulaMs:   flowshop.FormulaMakespan(seq),
+		SimMs:       simRes.Makespan,
+	}, nil
+}
+
+// RuntimeTable renders live-runtime results against their analytic
+// references.
+func RuntimeTable(results []*RuntimeResult) *report.Table {
+	t := report.NewTable(
+		"Live runtime — pipelined vs synchronous execution vs Prop. 4.1",
+		"Model", "Jobs", "Pipelined(ms)", "Sync(ms)", "Speedup", "Prop4.1(ms)", "Sim(ms)")
+	for _, r := range results {
+		t.AddRow(displayName(r.Model), r.Jobs, fmtMs(r.PipelinedMs), fmtMs(r.SyncMs),
+			fmt.Sprintf("%.2fx", r.Speedup()), fmtMs(r.FormulaMs), fmtMs(r.SimMs))
+	}
+	return t
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"testing"
+
+	"dnnjps/internal/netsim"
+)
+
+// A live two-job run: the measured makespans must be positive, the
+// pipelined run must not lose to the synchronous baseline by more
+// than scheduling noise, and the analytic references must be finite.
+func TestRuntimePipelineLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live runtime test")
+	}
+	env := DefaultEnv()
+	res, err := RuntimePipeline(env, "squeezenet", netsim.WiFi, 2, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PipelinedMs <= 0 || res.SyncMs <= 0 {
+		t.Fatalf("non-positive measured makespans: %+v", res)
+	}
+	if res.FormulaMs <= 0 || res.SimMs <= 0 {
+		t.Fatalf("non-positive analytic makespans: %+v", res)
+	}
+	// The sim replay generalizes the closed form; on an identical-job
+	// sequence they agree to rounding.
+	if res.SimMs < res.FormulaMs-1e-6 {
+		t.Errorf("sim %f below closed form %f", res.SimMs, res.FormulaMs)
+	}
+	if res.PipelinedMs > 2*res.SyncMs {
+		t.Errorf("pipelined run (%f ms) grossly slower than sync (%f ms)", res.PipelinedMs, res.SyncMs)
+	}
+	tbl := RuntimeTable([]*RuntimeResult{res})
+	if tbl == nil || len(tbl.Rows) != 1 {
+		t.Fatal("table must carry one row")
+	}
+}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"net"
+	"sync"
 	"time"
 )
 
@@ -11,11 +12,17 @@ import (
 // writes cost the same as one large write. TimeScale compresses the
 // simulated time axis (0.001 = 1000× faster than real time) so
 // integration tests can exercise slow channels quickly.
+//
+// The pacing state is mutex-guarded, and the lock is held across the
+// pacing sleep: concurrent writers (or a writer racing a Delay call)
+// serialize exactly like frames on one physical link, so a dedicated
+// writer goroutine plus calibration traffic stays correct under -race.
 type ShapedConn struct {
 	net.Conn
 	bytesPerSec float64
 	timeScale   float64
 	sleep       func(time.Duration)
+	mu          sync.Mutex
 	debt        time.Duration // accumulated unsent pacing time
 }
 
@@ -36,20 +43,26 @@ func Shape(conn net.Conn, ch Channel, timeScale float64) *ShapedConn {
 // Write paces the payload at the configured bandwidth, then forwards
 // it to the underlying conn.
 func (s *ShapedConn) Write(p []byte) (int, error) {
+	s.mu.Lock()
 	d := time.Duration(float64(len(p)) / s.bytesPerSec * float64(time.Second) * s.timeScale)
 	s.debt += d
 	// Sleep in one shot once debt is observable; sub-millisecond debts
 	// accumulate to keep pacing accurate without thousands of tiny
 	// sleeps.
 	if s.debt >= time.Millisecond {
-		s.sleep(s.debt)
+		slept := s.debt
 		s.debt = 0
+		s.sleep(slept)
 	}
+	s.mu.Unlock()
 	return s.Conn.Write(p)
 }
 
 // Delay sleeps for the channel-scale duration d (e.g. per-message
-// setup latency), compressed by the shaper's time scale.
+// setup latency), compressed by the shaper's time scale. Like Write,
+// it occupies the link for the duration.
 func (s *ShapedConn) Delay(d time.Duration) {
+	s.mu.Lock()
 	s.sleep(time.Duration(float64(d) * s.timeScale))
+	s.mu.Unlock()
 }

@@ -1,0 +1,197 @@
+package runtime
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dnnjps/internal/core"
+	"dnnjps/internal/engine"
+	"dnnjps/internal/models"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/tensor"
+)
+
+var benchState struct {
+	once   sync.Once
+	err    error
+	m      *engine.Model
+	plan   *core.Plan
+	inputs []*tensor.Tensor
+	scale  float64
+}
+
+// benchSetup loads AlexNet once and plans the paper's Wi-Fi JPS batch:
+// job 1 offloads at the input (comm-heavy S1), the rest cut after
+// conv1 (comp-heavy S2).
+//
+// The channel time scale is calibrated so total simulated link time
+// matches this machine's measured compute time for the batch. JPS
+// picks the cut where the two flow-shop stages balance (Johnson's
+// regime); calibrating keeps the benchmark at that operating point
+// regardless of host speed. An uncalibrated scale degenerates: a fast
+// host makes the run pure simulated-comm, a slow host makes it pure
+// compute, and either way the pipeline being measured disappears.
+func benchSetup(b *testing.B) (*engine.Model, *core.Plan, []*tensor.Tensor, float64) {
+	b.Helper()
+	benchState.once.Do(func() {
+		g, err := models.Build("alexnet")
+		if err != nil {
+			benchState.err = err
+			return
+		}
+		m := engine.Load(g, 42)
+		curve := profile.BuildCurve(g, profile.RaspberryPi4(), profile.CloudGPU(), netsim.WiFi, tensor.Float32)
+		plan, err := core.JPS(curve, 8)
+		if err != nil {
+			benchState.err = err
+			return
+		}
+		units := profile.LineView(g)
+		inShape := g.Node(units[0].Exit).OutShape
+		inputs := make([]*tensor.Tensor, len(plan.Cuts))
+		for i := range inputs {
+			in := tensor.New(inShape)
+			for j := range in.Data {
+				in.Data[j] = float32((j+i*13)%29)/29 - 0.5
+			}
+			inputs[i] = in
+		}
+		// Calibrate: one full forward approximates a job's prefix +
+		// suffix compute on this host.
+		start := time.Now()
+		if _, err := m.Forward(inputs[0].Clone()); err != nil {
+			benchState.err = err
+			return
+		}
+		computeMs := float64(time.Since(start).Milliseconds()) * float64(len(plan.Cuts))
+		var linkMs float64
+		for _, cut := range plan.Cuts {
+			shape := g.Node(units[cut].Exit).OutShape
+			linkMs += netsim.WiFi.TxMs(RequestWireBytes(shape))
+		}
+		scale := computeMs / linkMs
+		if scale <= 0 {
+			scale = 1
+		}
+		benchState.m, benchState.plan, benchState.inputs, benchState.scale = m, plan, inputs, scale
+	})
+	if benchState.err != nil {
+		b.Fatal(benchState.err)
+	}
+	return benchState.m, benchState.plan, benchState.inputs, benchState.scale
+}
+
+// benchDial starts a one-connection server and dials it over loopback
+// TCP. The kernel socket buffer decouples the paced writer from the
+// server's read loop, which net.Pipe's synchronous rendezvous does not.
+func benchDial(b *testing.B, m *engine.Model) net.Conn {
+	b.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(m)
+	go func() {
+		defer lis.Close()
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		_ = srv.HandleConn(conn)
+	}()
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return conn
+}
+
+// BenchmarkRunPlan measures the full-duplex pipeline on the paper's
+// AlexNet + Wi-Fi JPS plan: a dedicated writer streams boundary
+// tensors while the reply demultiplexer collects out-of-order
+// completions from the server's worker pool.
+func BenchmarkRunPlan(b *testing.B) {
+	m, plan, inputs, scale := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn := benchDial(b, m)
+		cl := NewClient(conn, m, netsim.WiFi, scale)
+		rep, err := cl.RunPlan(plan, inputs)
+		conn.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Results) != len(plan.Cuts) {
+			b.Fatalf("got %d results", len(rep.Results))
+		}
+	}
+}
+
+// BenchmarkRunPlanSync is the synchronous baseline the seed runtime
+// imposed: each job computes its prefix, uploads, and blocks for the
+// reply before the next job starts — no overlap between the mobile
+// CPU, the link, and the cloud.
+func BenchmarkRunPlanSync(b *testing.B) {
+	m, plan, inputs, scale := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn := benchDial(b, m)
+		cl := NewClient(conn, m, netsim.WiFi, scale)
+		for _, j := range plan.Sequence {
+			if _, err := cl.RunJob(j.ID, plan.Cuts[j.ID], inputs[j.ID]); err != nil {
+				conn.Close()
+				b.Fatal(err)
+			}
+		}
+		conn.Close()
+	}
+}
+
+// BenchmarkWriteInferRequest measures the encode side of the wire
+// path: with pooled chunk buffers, a 16 K-element tensor frame must
+// encode with zero allocations.
+func BenchmarkWriteInferRequest(b *testing.B) {
+	tt := tensor.New(tensor.NewCHW(16, 32, 32))
+	for i := range tt.Data {
+		tt.Data[i] = float32(i)
+	}
+	req := &inferRequest{JobID: 1, Cut: 3, Tensor: tt}
+	b.SetBytes(int64(RequestWireBytes(tt.Shape)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := writeInferRequest(io.Discard, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadTensor measures the decode side: one tensor allocation
+// per frame, independent of payload size.
+func BenchmarkReadTensor(b *testing.B) {
+	tt := tensor.New(tensor.NewCHW(16, 32, 32))
+	var buf bytes.Buffer
+	if err := writeTensor(&buf, tt); err != nil {
+		b.Fatal(err)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Seek(0, io.SeekStart); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := readTensor(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -15,39 +16,265 @@ import (
 	"dnnjps/internal/tensor"
 )
 
+// sendQueueCap bounds how far the compute worker may run ahead of the
+// uplink before it blocks. The flow-shop model assumes an unbounded
+// buffer between the two machines; a generous cap keeps that property
+// for realistic burst sizes while bounding boundary-tensor memory.
+const sendQueueCap = 512
+
 // Client is the mobile side: it executes mobile prefixes locally,
 // uploads boundary tensors over a bandwidth-shaped link, and collects
-// results. Computation and communication are pipelined exactly as the
-// scheduler models them: one compute worker (the mobile CPU) and one
-// upload worker (the uplink) connected by a queue.
+// results. The transport is full duplex: a dedicated writer goroutine
+// owns the uplink, so it is busy for exactly g(x) per job, and a
+// reply-demultiplexer goroutine owns the downlink, matching each
+// inferReply.JobID to its in-flight job. Cloud compute of job i
+// therefore overlaps the upload of job i+1 — the two-resource pipeline
+// the scheduler models (§3.1, Prop. 4.1).
 type Client struct {
-	model  *engine.Model
-	units  []profile.Unit
-	conn   *netsim.ShapedConn
-	rw     *bufio.ReadWriter
-	ch     netsim.Channel
-	scale  float64
-	writeM sync.Mutex
+	model *engine.Model
+	units []profile.Unit
+	conn  *netsim.ShapedConn
+	r     *bufio.Reader
+	w     *bufio.Writer
+	ch    netsim.Channel
+	scale float64
+
+	once  sync.Once // starts the writer + demux goroutines lazily
+	sendQ chan wireMsg
+
+	mu     sync.Mutex
+	calls  map[uint32]*call // in-flight inferences keyed by JobID
+	pongs  []*call          // FIFO calibration waiters
+	err    error            // first transport error, sticky
+	failed chan struct{}    // closed once err is set
+}
+
+// call tracks one in-flight request from enqueue to reply.
+type call struct {
+	res  *JobResult // nil for pings
+	sent time.Time  // transmission start, set by the writer (under mu)
+	rtt  float64    // ms from transmission start to reply (pings)
+	ok   bool       // reply delivered (false = transport failure)
+	done chan struct{}
+}
+
+// wireMsg is one unit of work for the writer goroutine.
+type wireMsg struct {
+	c    *call
+	req  *inferRequest // nil for a ping
+	ping int
 }
 
 // NewClient wraps a connection to a Server. timeScale compresses
 // simulated network time (see netsim.Shape); pass 1 for real time.
+// The client's I/O goroutines start on first remote use and stop on
+// the first transport error (including the peer closing the
+// connection).
 func NewClient(conn net.Conn, m *engine.Model, ch netsim.Channel, timeScale float64) *Client {
 	shaped := netsim.Shape(conn, ch, timeScale)
 	return &Client{
-		model: m,
-		units: profile.LineView(m.Graph()),
-		conn:  shaped,
-		rw: bufio.NewReadWriter(
-			bufio.NewReaderSize(conn, 1<<16),
-			bufio.NewWriterSize(shaped, 1<<16)),
-		ch:    ch,
-		scale: timeScale,
+		model:  m,
+		units:  profile.LineView(m.Graph()),
+		conn:   shaped,
+		r:      bufio.NewReaderSize(conn, 1<<16),
+		w:      bufio.NewWriterSize(shaped, 1<<16),
+		ch:     ch,
+		scale:  timeScale,
+		sendQ:  make(chan wireMsg, sendQueueCap),
+		calls:  make(map[uint32]*call),
+		failed: make(chan struct{}),
 	}
 }
 
 // Units returns the number of cut positions of the client's model.
 func (c *Client) Units() int { return len(c.units) }
+
+// Err returns the client's sticky transport error, if any. Once set,
+// every in-flight and future remote call fails with it.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close tears down the connection. In-flight jobs fail promptly with
+// the resulting read/write error.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) startIO() {
+	c.once.Do(func() {
+		go c.writeLoop()
+		go c.readLoop()
+	})
+}
+
+// fail records the first transport error and wakes every waiter.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.err = err
+	close(c.failed)
+	calls := c.calls
+	c.calls = make(map[uint32]*call)
+	pongs := c.pongs
+	c.pongs = nil
+	c.mu.Unlock()
+	for _, cl := range calls {
+		close(cl.done)
+	}
+	for _, cl := range pongs {
+		close(cl.done)
+	}
+}
+
+// writeLoop is the uplink resource: it serializes messages one at a
+// time, applying the per-message channel setup latency through the
+// shaper so g(l) = w0 + bytes/bandwidth holds per request.
+func (c *Client) writeLoop() {
+	for {
+		select {
+		case msg := <-c.sendQ:
+			c.mu.Lock()
+			msg.c.sent = time.Now()
+			c.mu.Unlock()
+			c.conn.Delay(time.Duration(c.ch.SetupMs * float64(time.Millisecond)))
+			var err error
+			if msg.req != nil {
+				err = writeInferRequest(c.w, msg.req)
+			} else {
+				err = writePing(c.w, msg.ping)
+			}
+			if err == nil {
+				err = c.w.Flush()
+			}
+			if err != nil {
+				c.fail(err)
+				return
+			}
+		case <-c.failed:
+			return
+		}
+	}
+}
+
+// readLoop is the reply demultiplexer: replies may arrive in any order
+// (the server executes jobs on a worker pool), and each is matched to
+// its in-flight call by JobID. A reply for an unknown or
+// already-answered job is a protocol violation that fails the client.
+func (c *Client) readLoop() {
+	for {
+		typ, err := c.r.ReadByte()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch typ {
+		case msgInfer:
+			rep, err := readInferReplyBody(c.r)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			if err := c.deliver(rep); err != nil {
+				c.fail(err)
+				return
+			}
+		case msgPing:
+			if err := c.deliverPong(); err != nil {
+				c.fail(err)
+				return
+			}
+		default:
+			c.fail(fmt.Errorf("runtime: unexpected reply type %d", typ))
+			return
+		}
+	}
+}
+
+// deliver routes one inference reply to its job.
+func (c *Client) deliver(rep inferReply) error {
+	now := time.Now()
+	c.mu.Lock()
+	cl, ok := c.calls[rep.JobID]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("runtime: reply for unknown or duplicate job %d", rep.JobID)
+	}
+	delete(c.calls, rep.JobID)
+	total := now.Sub(cl.sent)
+	c.mu.Unlock()
+	res := cl.res
+	res.CloudMs = float64(rep.CloudNs) / 1e6
+	res.CommMs = float64(total.Nanoseconds())/1e6 - res.CloudMs // the paper's td − tc
+	res.Class = int(rep.Class)
+	res.Done = now
+	cl.ok = true
+	close(cl.done)
+	return nil
+}
+
+// deliverPong routes a calibration acknowledgment to the oldest
+// outstanding ping.
+func (c *Client) deliverPong() error {
+	now := time.Now()
+	c.mu.Lock()
+	if len(c.pongs) == 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("runtime: unsolicited pong")
+	}
+	cl := c.pongs[0]
+	c.pongs = c.pongs[1:]
+	cl.rtt = float64(now.Sub(cl.sent).Nanoseconds()) / 1e6
+	c.mu.Unlock()
+	cl.ok = true
+	close(cl.done)
+	return nil
+}
+
+// enqueueInfer registers the job with the demultiplexer and hands the
+// request to the writer. Registration happens before the request can
+// reach the wire, so a reply can never race its own job.
+func (c *Client) enqueueInfer(res *JobResult, cut int, boundary *tensor.Tensor) (*call, error) {
+	c.startIO()
+	cl := &call{res: res, done: make(chan struct{})}
+	id := uint32(res.JobID)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if _, dup := c.calls[id]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("runtime: job %d already in flight", res.JobID)
+	}
+	c.calls[id] = cl
+	c.mu.Unlock()
+	select {
+	case c.sendQ <- wireMsg{c: cl, req: &inferRequest{JobID: id, Cut: uint32(cut), Tensor: boundary}}:
+		return cl, nil
+	case <-c.failed:
+		c.mu.Lock()
+		delete(c.calls, id)
+		c.mu.Unlock()
+		return nil, c.Err()
+	}
+}
+
+// await blocks until the call completes or the transport fails.
+func (c *Client) await(cl *call) error {
+	<-cl.done
+	if !cl.ok {
+		if err := c.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("runtime: connection closed")
+	}
+	return nil
+}
 
 // JobResult is the outcome of one inference job.
 type JobResult struct {
@@ -71,7 +298,11 @@ func (c *Client) RunJob(jobID, cut int, input *tensor.Tensor) (*JobResult, error
 	if boundary == nil {
 		return res, nil // fully local
 	}
-	if err := c.upload(res, cut, boundary); err != nil {
+	cl, err := c.enqueueInfer(res, cut, boundary)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.await(cl); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -105,100 +336,57 @@ func (c *Client) computePrefix(jobID, cut int, input *tensor.Tensor) (*tensor.Te
 	return acts[c.units[cut].Exit], res, nil
 }
 
-// upload ships the boundary tensor and fills in the reply fields. The
-// per-message channel setup latency is applied through the shaper so
-// it honors the time scale, matching g(l) = w0 + bytes/bandwidth.
-func (c *Client) upload(res *JobResult, cut int, boundary *tensor.Tensor) error {
-	c.writeM.Lock()
-	defer c.writeM.Unlock()
-	start := time.Now()
-	c.conn.Delay(time.Duration(c.ch.SetupMs * float64(time.Millisecond)))
-	req := &inferRequest{JobID: uint32(res.JobID), Cut: uint32(cut), Tensor: boundary}
-	if err := writeInferRequest(c.rw.Writer, req); err != nil {
-		return err
-	}
-	if err := c.rw.Flush(); err != nil {
-		return err
-	}
-	rep, err := readInferReply(c.rw.Reader)
-	if err != nil {
-		return err
-	}
-	if rep.JobID != uint32(res.JobID) {
-		return fmt.Errorf("runtime: reply for job %d, want %d", rep.JobID, res.JobID)
-	}
-	total := float64(time.Since(start).Nanoseconds()) / 1e6
-	res.CloudMs = float64(rep.CloudNs) / 1e6
-	res.CommMs = total - res.CloudMs // the paper's td − tc
-	res.Class = int(rep.Class)
-	res.Done = time.Now()
-	return nil
-}
-
 // Report aggregates a pipelined run.
 type Report struct {
+	// Results holds one entry per job, sorted by JobID regardless of
+	// completion order, so reports are deterministic.
 	Results    []*JobResult
 	MakespanMs float64
 }
 
-// RunPlan executes a whole plan with pipelining: jobs are computed in
-// schedule order on the compute worker while completed boundary
-// tensors stream to the upload worker — the two-resource pipeline of
-// §3.1. inputs[i] feeds job i (Plan job IDs index inputs).
+// RunPlan executes a whole plan with full pipelining: jobs are
+// computed in schedule order on the mobile CPU while the writer
+// goroutine streams completed boundary tensors up the link and the
+// demultiplexer collects (possibly out-of-order) replies — the
+// two-resource pipeline of §3.1 plus an overlapped cloud stage.
+// inputs[i] feeds job i (Plan job IDs index inputs). The first error
+// from any stage aborts the run promptly: compute stops at the next
+// job boundary instead of draining the whole plan.
 func (c *Client) RunPlan(p *core.Plan, inputs []*tensor.Tensor) (*Report, error) {
 	if len(inputs) != len(p.Cuts) {
 		return nil, fmt.Errorf("runtime: %d inputs for %d jobs", len(inputs), len(p.Cuts))
 	}
-	type pending struct {
-		res      *JobResult
-		cut      int
-		boundary *tensor.Tensor
-	}
-	queue := make(chan pending, len(p.Cuts))
-	errCh := make(chan error, 2)
-	results := make([]*JobResult, 0, len(p.Cuts))
-	var mu sync.Mutex
 	start := time.Now()
-
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() { // upload worker: the uplink resource
-		defer wg.Done()
-		for pend := range queue {
-			if pend.boundary == nil {
-				mu.Lock()
-				results = append(results, pend.res)
-				mu.Unlock()
-				continue
-			}
-			if err := c.upload(pend.res, pend.cut, pend.boundary); err != nil {
-				errCh <- err
-				return
-			}
-			mu.Lock()
-			results = append(results, pend.res)
-			mu.Unlock()
-		}
-	}()
+	results := make([]*JobResult, 0, len(p.Cuts))
+	calls := make([]*call, 0, len(p.Cuts))
 
 	// Compute worker: the mobile CPU, in Johnson order.
 	for _, fj := range p.Sequence {
+		if err := c.Err(); err != nil {
+			return nil, err // uplink or downlink already failed
+		}
 		cut := p.Cuts[fj.ID]
 		boundary, res, err := c.computePrefix(fj.ID, cut, inputs[fj.ID])
 		if err != nil {
-			close(queue)
 			return nil, err
 		}
-		queue <- pending{res: res, cut: cut, boundary: boundary}
+		results = append(results, res)
+		if boundary == nil {
+			continue // fully local job
+		}
+		cl, err := c.enqueueInfer(res, cut, boundary)
+		if err != nil {
+			return nil, err
+		}
+		calls = append(calls, cl)
 	}
-	close(queue)
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
+	for _, cl := range calls {
+		if err := c.await(cl); err != nil {
+			return nil, err
+		}
 	}
 
+	sort.Slice(results, func(i, j int) bool { return results[i].JobID < results[j].JobID })
 	rep := &Report{Results: results}
 	for _, r := range results {
 		if ms := float64(r.Done.Sub(start).Nanoseconds()) / 1e6; ms > rep.MakespanMs {
@@ -211,29 +399,35 @@ func (c *Client) RunPlan(p *core.Plan, inputs []*tensor.Tensor) (*Report, error)
 // CalibrateComm measures upload latency for a ladder of payload sizes
 // and fits the paper's linear model t = w0 + w1·s (per-byte form; with
 // bandwidth b fixed, w1 = 8/b). The fitted line feeds the scheduler's
-// communication estimates.
+// communication estimates. Pings ride the same writer/demultiplexer
+// pipeline as inference jobs, one at a time.
 func (c *Client) CalibrateComm(sizes []int, rounds int) (regression.Linear, error) {
 	if rounds <= 0 {
 		rounds = 1
 	}
+	c.startIO()
 	var xs, ys []float64
-	c.writeM.Lock()
-	defer c.writeM.Unlock()
 	for _, size := range sizes {
 		for r := 0; r < rounds; r++ {
-			start := time.Now()
-			c.conn.Delay(time.Duration(c.ch.SetupMs * float64(time.Millisecond)))
-			if err := writePing(c.rw.Writer, size); err != nil {
+			cl := &call{done: make(chan struct{})}
+			c.mu.Lock()
+			if c.err != nil {
+				err := c.err
+				c.mu.Unlock()
 				return regression.Linear{}, err
 			}
-			if err := c.rw.Flush(); err != nil {
-				return regression.Linear{}, err
+			c.pongs = append(c.pongs, cl)
+			c.mu.Unlock()
+			select {
+			case c.sendQ <- wireMsg{c: cl, ping: size}:
+			case <-c.failed:
+				return regression.Linear{}, c.Err()
 			}
-			if err := readPong(c.rw.Reader); err != nil {
+			if err := c.await(cl); err != nil {
 				return regression.Linear{}, err
 			}
 			xs = append(xs, float64(size))
-			ys = append(ys, float64(time.Since(start).Nanoseconds())/1e6)
+			ys = append(ys, cl.rtt)
 		}
 	}
 	return regression.FitLinear(xs, ys)

@@ -63,6 +63,64 @@ func FuzzHandleConn(f *testing.F) {
 	})
 }
 
+// FuzzReadInferRequest drives the hand-rolled request decoder the
+// server read loop uses: arbitrary bodies must be rejected cleanly,
+// valid bodies must round-trip through the writer.
+func FuzzReadInferRequest(f *testing.F) {
+	var valid bytes.Buffer
+	_ = writeInferRequest(&valid, &inferRequest{JobID: 7, Cut: 2, Tensor: mustVec(3, 1, 2, 3)})
+	f.Add(valid.Bytes()[1:]) // body = frame minus the type byte
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(bytes.Repeat([]byte{0xFF}, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := readInferRequestBody(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := writeInferRequest(&buf, req); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		got, err := readInferRequestBody(bytes.NewReader(buf.Bytes()[1:]))
+		if err != nil {
+			t.Fatalf("decode re-encoded request: %v", err)
+		}
+		if got.JobID != req.JobID || got.Cut != req.Cut || !got.Tensor.Shape.Equal(req.Tensor.Shape) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, req)
+		}
+	})
+}
+
+// FuzzReadInferReply drives the client demultiplexer's reply decoder.
+func FuzzReadInferReply(f *testing.F) {
+	var valid bytes.Buffer
+	_ = writeInferReply(&valid, &inferReply{JobID: 3, Class: -1, CloudNs: 123456})
+	f.Add(valid.Bytes()[1:])
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7})
+	f.Add(bytes.Repeat([]byte{0xFF}, 16))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := readInferReplyBody(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := writeInferReply(&buf, &rep); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		got, err := readInferReplyBody(bytes.NewReader(buf.Bytes()[1:]))
+		if err != nil {
+			t.Fatalf("decode re-encoded reply: %v", err)
+		}
+		if got != rep {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, rep)
+		}
+	})
+}
+
 // mustVec builds a small 1-D tensor for frame seeds.
 func mustVec(n int, vals ...float32) *tensor.Tensor {
 	t := tensor.New(tensor.NewVec(n))

@@ -36,17 +36,18 @@ func writeInferSetRequest(w io.Writer, req *inferSetRequest) error {
 	if len(req.Nodes) != len(req.Tensors) {
 		return fmt.Errorf("runtime: %d nodes vs %d tensors", len(req.Nodes), len(req.Tensors))
 	}
-	if err := binary.Write(w, binary.LittleEndian, msgInferSet); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, req.JobID); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, uint16(len(req.Nodes))); err != nil {
+	bp := wireBufs.Get().(*[]byte)
+	defer wireBufs.Put(bp)
+	b := *bp
+	b[0] = msgInferSet
+	binary.LittleEndian.PutUint32(b[1:], req.JobID)
+	binary.LittleEndian.PutUint16(b[5:], uint16(len(req.Nodes)))
+	if _, err := w.Write(b[:7]); err != nil {
 		return err
 	}
 	for i, node := range req.Nodes {
-		if err := binary.Write(w, binary.LittleEndian, node); err != nil {
+		binary.LittleEndian.PutUint32(b, uint32(node))
+		if _, err := w.Write(b[:4]); err != nil {
 			return err
 		}
 		if err := writeTensor(w, req.Tensors[i]); err != nil {
@@ -57,22 +58,23 @@ func writeInferSetRequest(w io.Writer, req *inferSetRequest) error {
 }
 
 func readInferSetRequestBody(r io.Reader) (*inferSetRequest, error) {
+	bp := wireBufs.Get().(*[]byte)
+	defer wireBufs.Put(bp)
+	b := *bp
 	var req inferSetRequest
-	if err := binary.Read(r, binary.LittleEndian, &req.JobID); err != nil {
+	if _, err := io.ReadFull(r, b[:6]); err != nil {
 		return nil, err
 	}
-	var count uint16
-	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
-		return nil, err
-	}
+	req.JobID = binary.LittleEndian.Uint32(b)
+	count := binary.LittleEndian.Uint16(b[4:])
 	if count == 0 || count > maxBoundaryTensors {
 		return nil, fmt.Errorf("runtime: bad boundary count %d", count)
 	}
 	for i := 0; i < int(count); i++ {
-		var node int32
-		if err := binary.Read(r, binary.LittleEndian, &node); err != nil {
+		if _, err := io.ReadFull(r, b[:4]); err != nil {
 			return nil, err
 		}
+		node := int32(binary.LittleEndian.Uint32(b))
 		t, err := readTensor(r)
 		if err != nil {
 			return nil, err

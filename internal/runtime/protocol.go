@@ -6,6 +6,11 @@
 // link, and the server finishes the inference and returns the class
 // plus its measured compute time (the paper's tc field, used to
 // separate communication delay from cloud delay).
+//
+// The wire path is allocation-free in steady state: every frame is
+// encoded and decoded with explicit little-endian byte manipulation
+// through pooled scratch buffers (no reflection-based encoding/binary
+// round trips), and tensors decode straight into their Data slice.
 package runtime
 
 import (
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"dnnjps/internal/tensor"
 )
@@ -24,6 +30,21 @@ const (
 )
 
 const maxTensorBytes = 256 << 20 // defensive cap against corrupt frames
+
+const maxTensorRank = 4
+
+// wireChunkSize is the size of the pooled scratch buffers the codecs
+// stage bytes through. Tensors larger than one chunk stream through it
+// in slices, so a frame of any size needs exactly one pooled buffer
+// and zero fresh allocations.
+const wireChunkSize = 64 << 10
+
+var wireBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, wireChunkSize)
+		return &b
+	},
+}
 
 // inferRequest is the client's upload: which unit the model was cut
 // after, plus the boundary activation tensor.
@@ -41,51 +62,84 @@ type inferReply struct {
 	CloudNs int64
 }
 
+// RequestWireBytes returns the exact on-the-wire size of an infer
+// request carrying a boundary tensor of the given shape — the byte
+// count the bandwidth shaper paces, used to predict the paper's g(x)
+// for a live run.
+func RequestWireBytes(s tensor.Shape) int {
+	return 9 + 1 + 4*s.Rank() + 4*s.Elems()
+}
+
 func writeInferRequest(w io.Writer, req *inferRequest) error {
-	if err := binary.Write(w, binary.LittleEndian, msgInfer); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, req.JobID); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, req.Cut); err != nil {
+	bp := wireBufs.Get().(*[]byte)
+	b := *bp
+	b[0] = msgInfer
+	binary.LittleEndian.PutUint32(b[1:], req.JobID)
+	binary.LittleEndian.PutUint32(b[5:], req.Cut)
+	_, err := w.Write(b[:9])
+	wireBufs.Put(bp)
+	if err != nil {
 		return err
 	}
 	return writeTensor(w, req.Tensor)
 }
 
+// writeTensor encodes rank, dims, and payload through a pooled chunk:
+// one scratch buffer regardless of tensor size, no per-call
+// allocation.
 func writeTensor(w io.Writer, t *tensor.Tensor) error {
-	if err := binary.Write(w, binary.LittleEndian, uint8(t.Shape.Rank())); err != nil {
+	rank := t.Shape.Rank()
+	if rank == 0 || rank > maxTensorRank {
+		return fmt.Errorf("runtime: cannot encode tensor of rank %d", rank)
+	}
+	bp := wireBufs.Get().(*[]byte)
+	defer wireBufs.Put(bp)
+	chunk := *bp
+	chunk[0] = uint8(rank)
+	for i, d := range t.Shape {
+		binary.LittleEndian.PutUint32(chunk[1+4*i:], uint32(d))
+	}
+	if _, err := w.Write(chunk[:1+4*rank]); err != nil {
 		return err
 	}
-	for _, d := range t.Shape {
-		if err := binary.Write(w, binary.LittleEndian, int32(d)); err != nil {
+	data := t.Data
+	for off := 0; off < len(data); {
+		n := len(data) - off
+		if n > len(chunk)/4 {
+			n = len(chunk) / 4
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(chunk[4*i:], math.Float32bits(data[off+i]))
+		}
+		if _, err := w.Write(chunk[:4*n]); err != nil {
 			return err
 		}
+		off += n
 	}
-	buf := make([]byte, 4*len(t.Data))
-	for i, v := range t.Data {
-		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
-	}
-	_, err := w.Write(buf)
-	return err
+	return nil
 }
 
+// readTensor decodes a tensor frame with a single allocation — the
+// result tensor itself. Payload bytes stream through a pooled chunk
+// and convert straight into Tensor.Data.
 func readTensor(r io.Reader) (*tensor.Tensor, error) {
-	var rank uint8
-	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+	bp := wireBufs.Get().(*[]byte)
+	defer wireBufs.Put(bp)
+	chunk := *bp
+	if _, err := io.ReadFull(r, chunk[:1]); err != nil {
 		return nil, err
 	}
-	if rank == 0 || rank > 4 {
+	rank := int(chunk[0])
+	if rank == 0 || rank > maxTensorRank {
 		return nil, fmt.Errorf("runtime: bad tensor rank %d", rank)
+	}
+	if _, err := io.ReadFull(r, chunk[:4*rank]); err != nil {
+		return nil, err
 	}
 	shape := make(tensor.Shape, rank)
 	elems := int64(1)
 	for i := range shape {
-		var d int32
-		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
-			return nil, err
-		}
+		d := int32(binary.LittleEndian.Uint32(chunk[4*i:]))
 		if d <= 0 {
 			return nil, fmt.Errorf("runtime: bad tensor dim %d", d)
 		}
@@ -97,23 +151,43 @@ func readTensor(r io.Reader) (*tensor.Tensor, error) {
 			return nil, fmt.Errorf("runtime: tensor too large: %v", shape[:i+1])
 		}
 	}
-	buf := make([]byte, 4*shape.Elems())
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
 	t := tensor.New(shape)
-	for i := range t.Data {
-		t.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	if err := readFloat32Into(r, chunk, t.Data); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
 
+// readFloat32Into fills dst with little-endian float32s from r,
+// staging through the caller's chunk.
+func readFloat32Into(r io.Reader, chunk []byte, dst []float32) error {
+	for off := 0; off < len(dst); {
+		n := len(dst) - off
+		if n > len(chunk)/4 {
+			n = len(chunk) / 4
+		}
+		if _, err := io.ReadFull(r, chunk[:4*n]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			dst[off+i] = math.Float32frombits(binary.LittleEndian.Uint32(chunk[4*i:]))
+		}
+		off += n
+	}
+	return nil
+}
+
 func readInferRequestBody(r io.Reader) (*inferRequest, error) {
 	var req inferRequest
-	if err := binary.Read(r, binary.LittleEndian, &req.JobID); err != nil {
-		return nil, err
+	bp := wireBufs.Get().(*[]byte)
+	chunk := *bp
+	_, err := io.ReadFull(r, chunk[:8])
+	if err == nil {
+		req.JobID = binary.LittleEndian.Uint32(chunk)
+		req.Cut = binary.LittleEndian.Uint32(chunk[4:])
 	}
-	if err := binary.Read(r, binary.LittleEndian, &req.Cut); err != nil {
+	wireBufs.Put(bp)
+	if err != nil {
 		return nil, err
 	}
 	t, err := readTensor(r)
@@ -125,57 +199,85 @@ func readInferRequestBody(r io.Reader) (*inferRequest, error) {
 }
 
 func writeInferReply(w io.Writer, rep *inferReply) error {
-	if err := binary.Write(w, binary.LittleEndian, msgInfer); err != nil {
-		return err
+	bp := wireBufs.Get().(*[]byte)
+	b := *bp
+	b[0] = msgInfer
+	binary.LittleEndian.PutUint32(b[1:], rep.JobID)
+	binary.LittleEndian.PutUint32(b[5:], uint32(rep.Class))
+	binary.LittleEndian.PutUint64(b[9:], uint64(rep.CloudNs))
+	_, err := w.Write(b[:17])
+	wireBufs.Put(bp)
+	return err
+}
+
+// readInferReplyBody decodes the fixed 16-byte reply payload after the
+// type byte has been consumed (the client demultiplexer dispatches on
+// the type itself).
+func readInferReplyBody(r io.Reader) (inferReply, error) {
+	bp := wireBufs.Get().(*[]byte)
+	defer wireBufs.Put(bp)
+	b := *bp
+	if _, err := io.ReadFull(r, b[:16]); err != nil {
+		return inferReply{}, err
 	}
-	if err := binary.Write(w, binary.LittleEndian, rep.JobID); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, rep.Class); err != nil {
-		return err
-	}
-	return binary.Write(w, binary.LittleEndian, rep.CloudNs)
+	return inferReply{
+		JobID:   binary.LittleEndian.Uint32(b),
+		Class:   int32(binary.LittleEndian.Uint32(b[4:])),
+		CloudNs: int64(binary.LittleEndian.Uint64(b[8:])),
+	}, nil
 }
 
 func readInferReply(r io.Reader) (*inferReply, error) {
-	var typ byte
-	if err := binary.Read(r, binary.LittleEndian, &typ); err != nil {
+	var typ [1]byte
+	if _, err := io.ReadFull(r, typ[:]); err != nil {
 		return nil, err
 	}
-	if typ != msgInfer {
-		return nil, fmt.Errorf("runtime: unexpected reply type %d", typ)
+	if typ[0] != msgInfer {
+		return nil, fmt.Errorf("runtime: unexpected reply type %d", typ[0])
 	}
-	var rep inferReply
-	if err := binary.Read(r, binary.LittleEndian, &rep.JobID); err != nil {
-		return nil, err
-	}
-	if err := binary.Read(r, binary.LittleEndian, &rep.Class); err != nil {
-		return nil, err
-	}
-	if err := binary.Read(r, binary.LittleEndian, &rep.CloudNs); err != nil {
+	rep, err := readInferReplyBody(r)
+	if err != nil {
 		return nil, err
 	}
 	return &rep, nil
 }
 
-// writePing sends a calibration payload of the given size.
+// writePing sends a calibration payload of the given size. Payload
+// bytes are zeros streamed from a pooled chunk.
 func writePing(w io.Writer, payload int) error {
-	if err := binary.Write(w, binary.LittleEndian, msgPing); err != nil {
+	bp := wireBufs.Get().(*[]byte)
+	defer wireBufs.Put(bp)
+	chunk := *bp
+	chunk[0] = msgPing
+	binary.LittleEndian.PutUint32(chunk[1:], uint32(payload))
+	if _, err := w.Write(chunk[:5]); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, uint32(payload)); err != nil {
-		return err
+	for i := range chunk {
+		chunk[i] = 0
 	}
-	_, err := w.Write(make([]byte, payload))
-	return err
+	for off := 0; off < payload; {
+		n := payload - off
+		if n > len(chunk) {
+			n = len(chunk)
+		}
+		if _, err := w.Write(chunk[:n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
 }
 
 // readPingBody consumes a ping payload and returns its size.
 func readPingBody(r io.Reader) (int, error) {
-	var n uint32
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+	bp := wireBufs.Get().(*[]byte)
+	defer wireBufs.Put(bp)
+	b := *bp
+	if _, err := io.ReadFull(r, b[:4]); err != nil {
 		return 0, err
 	}
+	n := binary.LittleEndian.Uint32(b)
 	if n > maxTensorBytes {
 		return 0, fmt.Errorf("runtime: ping payload too large: %d", n)
 	}
@@ -187,17 +289,22 @@ func readPingBody(r io.Reader) (int, error) {
 
 // writePong acknowledges a ping.
 func writePong(w io.Writer) error {
-	return binary.Write(w, binary.LittleEndian, msgPing)
+	bp := wireBufs.Get().(*[]byte)
+	b := *bp
+	b[0] = msgPing
+	_, err := w.Write(b[:1])
+	wireBufs.Put(bp)
+	return err
 }
 
 // readPong consumes a ping acknowledgment.
 func readPong(r io.Reader) error {
-	var typ byte
-	if err := binary.Read(r, binary.LittleEndian, &typ); err != nil {
+	var typ [1]byte
+	if _, err := io.ReadFull(r, typ[:]); err != nil {
 		return err
 	}
-	if typ != msgPing {
-		return fmt.Errorf("runtime: unexpected pong type %d", typ)
+	if typ[0] != msgPing {
+		return fmt.Errorf("runtime: unexpected pong type %d", typ[0])
 	}
 	return nil
 }

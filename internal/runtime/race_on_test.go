@@ -1,0 +1,7 @@
+//go:build race
+
+package runtime
+
+// raceEnabled reports whether the race detector instruments this
+// build; timing-convergence tests skip their assertions under it.
+const raceEnabled = true

@@ -2,10 +2,11 @@ package runtime
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
+	goruntime "runtime"
+	"sync"
 	"time"
 
 	"dnnjps/internal/engine"
@@ -15,16 +16,22 @@ import (
 
 // Server is the cloud side: it holds the same deterministic model as
 // the client and finishes inferences from any cut point of the line
-// view.
+// view. Each connection runs a read loop that decodes requests and
+// dispatches execution to a bounded worker pool, so one slow inference
+// never stalls the socket: job i+1's tensor is read while job i
+// computes, and replies go out (possibly out of order) as jobs finish.
 type Server struct {
 	model *engine.Model
 	units []profile.Unit
 	// suffix[cut] lists the nodes the server executes for a job cut
 	// after unit 'cut', in topological order.
 	suffix [][]int
+	// workers bounds concurrent inferences per connection.
+	workers int
 }
 
-// NewServer builds a server for the model.
+// NewServer builds a server for the model. Per-connection concurrency
+// defaults to the core count; tune it with WithWorkers.
 func NewServer(m *engine.Model) *Server {
 	g := m.Graph()
 	units := profile.LineView(g)
@@ -36,7 +43,18 @@ func NewServer(m *engine.Model) *Server {
 		}
 		suffix[cut] = nodes
 	}
-	return &Server{model: m, units: units, suffix: suffix}
+	return &Server{model: m, units: units, suffix: suffix, workers: goruntime.GOMAXPROCS(0)}
+}
+
+// WithWorkers bounds the per-connection worker pool to n concurrent
+// inferences (n < 1 means 1, i.e. decode-ahead but serial execution).
+// It returns s for chaining and must be called before serving.
+func (s *Server) WithWorkers(n int) *Server {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+	return s
 }
 
 // Serve accepts connections until the listener closes, handling each
@@ -54,59 +72,127 @@ func (s *Server) Serve(lis net.Listener) error {
 	}
 }
 
-// HandleConn processes requests on one connection until EOF. Each
-// inference reply carries the server's measured compute time so the
-// client can isolate the communication delay (the paper's td − tc).
+// HandleConn processes requests on one connection until EOF. The read
+// loop owns the socket's read side; executions run on the worker pool
+// and emit replies under a write mutex (whole frames, flushed per
+// reply, so frames never interleave). Each inference reply carries the
+// server's measured compute time so the client can isolate the
+// communication delay (the paper's td − tc). The first error — decode,
+// execution, or write — stops the connection; queued work is abandoned.
 func (s *Server) HandleConn(conn io.ReadWriter) error {
 	r := bufio.NewReaderSize(conn, 1<<16)
 	w := bufio.NewWriterSize(conn, 1<<16)
-	for {
-		var typ byte
-		if err := binary.Read(r, binary.LittleEndian, &typ); err != nil {
-			if err == io.EOF {
-				return nil
-			}
+
+	var (
+		writeMu  sync.Mutex
+		errOnce  sync.Once
+		firstErr error
+		stop     = make(chan struct{})
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			close(stop)
+		})
+	}
+	// reply encodes one frame under the write mutex.
+	reply := func(rep *inferReply) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		if err := writeInferReply(w, rep); err != nil {
 			return err
+		}
+		return w.Flush()
+	}
+
+	jobs := make(chan func() (*inferReply, error), s.workers)
+	var wg sync.WaitGroup
+	for i := 0; i < s.workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range jobs {
+				rep, err := run()
+				if err == nil {
+					err = reply(rep)
+				}
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+
+	// dispatch hands one decoded request to the pool, backing off to
+	// the stop signal so a failed pool never deadlocks the reader.
+	dispatch := func(run func() (*inferReply, error)) bool {
+		select {
+		case jobs <- run:
+			return true
+		case <-stop:
+			return false
+		}
+	}
+
+readLoop:
+	for {
+		select {
+		case <-stop:
+			break readLoop
+		default:
+		}
+		typ, err := r.ReadByte()
+		if err != nil {
+			if err != io.EOF {
+				fail(err)
+			}
+			break readLoop
 		}
 		switch typ {
 		case msgInfer:
 			req, err := readInferRequestBody(r)
 			if err != nil {
-				return err
+				fail(err)
+				break readLoop
 			}
-			rep, err := s.infer(req)
-			if err != nil {
-				return err
-			}
-			if err := writeInferReply(w, rep); err != nil {
-				return err
+			if !dispatch(func() (*inferReply, error) { return s.infer(req) }) {
+				break readLoop
 			}
 		case msgInferSet:
 			req, err := readInferSetRequestBody(r)
 			if err != nil {
-				return err
+				fail(err)
+				break readLoop
 			}
-			rep, err := s.inferSet(req)
-			if err != nil {
-				return err
-			}
-			if err := writeInferReply(w, rep); err != nil {
-				return err
+			if !dispatch(func() (*inferReply, error) { return s.inferSet(req) }) {
+				break readLoop
 			}
 		case msgPing:
+			// Calibration pings are answered inline: they measure the
+			// link, not the pool.
 			if _, err := readPingBody(r); err != nil {
-				return err
+				fail(err)
+				break readLoop
 			}
-			if err := writePong(w); err != nil {
-				return err
+			writeMu.Lock()
+			err := writePong(w)
+			if err == nil {
+				err = w.Flush()
+			}
+			writeMu.Unlock()
+			if err != nil {
+				fail(err)
+				break readLoop
 			}
 		default:
-			return fmt.Errorf("runtime: unknown message type %d", typ)
-		}
-		if err := w.Flush(); err != nil {
-			return err
+			fail(fmt.Errorf("runtime: unknown message type %d", typ))
+			break readLoop
 		}
 	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
 }
 
 // infer resumes the model from the request's cut and returns the
@@ -123,7 +209,7 @@ func (s *Server) infer(req *inferRequest) (*inferReply, error) {
 			req.Tensor.Shape, cut, wantShape)
 	}
 	start := time.Now()
-	// Concurrent connections share the model: its arena is
+	// Concurrent workers and connections share the model: its arena is
 	// thread-safe, and Execute's liveness tracking is per call. The
 	// wire tensor seeds acts as a caller-owned buffer the arena never
 	// recycles; the sink survives because it has no consumers.

@@ -32,6 +32,34 @@ func FromPlan(p *core.Plan) []JobSpec {
 	return jobs
 }
 
+// FromDurations expands explicit per-job stage durations, indexed by
+// sequence position, into mobile→uplink→cloud simulator jobs. It is
+// the bridge for replaying measured runtime timings (e.g. a live
+// pipelined run's per-job mobile and cloud times) through the
+// discrete-event model. cloud may be nil for a two-stage replay; g
+// likewise for local-only jobs.
+func FromDurations(f, g, cloud []float64) []JobSpec {
+	jobs := make([]JobSpec, 0, len(f))
+	at := func(xs []float64, i int) float64 {
+		if i < len(xs) {
+			return xs[i]
+		}
+		return 0
+	}
+	for i := range f {
+		jobs = append(jobs, JobSpec{
+			ID:       i,
+			Priority: i,
+			Stages: []StageSpec{
+				{Resource: ResMobile, Ms: f[i]},
+				{Resource: ResUplink, Ms: at(g, i)},
+				{Resource: ResCloud, Ms: at(cloud, i)},
+			},
+		})
+	}
+	return jobs
+}
+
 // FromStreamPlan expands a streaming plan: each frame becomes
 // mobile→uplink→cloud stages released at its arrival time, run in
 // arrival order.

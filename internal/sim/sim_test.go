@@ -260,3 +260,34 @@ func TestMakespanLowerBoundsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// FromDurations with zero cloud times must reduce to the two-stage
+// flow-shop recurrence, and short g/cloud slices must read as zeros.
+func TestFromDurations(t *testing.T) {
+	f := []float64{4, 7}
+	g := []float64{6, 2}
+	res, err := Run(FromDurations(f, g, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []flowshop.Job{{ID: 0, A: 4, B: 6}, {ID: 1, A: 7, B: 2}}
+	if want := flowshop.Makespan(seq); math.Abs(res.Makespan-want) > 1e-9 {
+		t.Errorf("makespan = %g, want %g", res.Makespan, want)
+	}
+
+	withCloud, err := Run(FromDurations(f, g, []float64{3, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCloud.Makespan <= res.Makespan {
+		t.Errorf("cloud stage must extend the makespan: %g vs %g", withCloud.Makespan, res.Makespan)
+	}
+
+	jobs := FromDurations([]float64{1, 2, 3}, []float64{5}, nil)
+	if len(jobs) != 3 {
+		t.Fatalf("got %d jobs", len(jobs))
+	}
+	if jobs[1].Stages[1].Ms != 0 || jobs[2].Stages[2].Ms != 0 {
+		t.Error("missing g/cloud entries must read as zero")
+	}
+}

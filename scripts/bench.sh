@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Benchmark sweep: runs the engine kernel benchmarks and the runtime
+# pipeline benchmarks, then writes the parsed results as
+# BENCH_runtime.json at the repo root. BENCHTIME overrides the
+# per-benchmark budget (default 1x: one measured iteration each, so
+# the sweep stays fast; use e.g. BENCHTIME=2s for stable numbers).
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="BENCH_runtime.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -bench (engine, runtime; benchtime=$BENCHTIME)"
+go test -run NONE -bench . -benchmem -benchtime "$BENCHTIME" \
+    ./internal/engine/ ./internal/runtime/ | tee "$RAW"
+
+# Parse `BenchmarkName  N  ns/op [B/op allocs/op ...]` lines into JSON.
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = $3
+    bytes = "null"; allocs = "null"; mbs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($(i) == "B/op") bytes = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+        if ($(i) == "MB/s") mbs = $(i-1)
+    }
+    if (n++) printf ",\n"
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, ns, mbs, bytes, allocs
+}
+END { print "\n]" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT"

@@ -17,4 +17,10 @@ go test ./...
 echo "== go test -race (engine, flowshop)"
 go test -race ./internal/engine/... ./internal/flowshop/...
 
+echo "== go test -race -count=2 (runtime pipeline)"
+go test -race -count=2 ./internal/runtime/...
+
+echo "== benchmarks compile and run once"
+go test -run NONE -bench . -benchtime 1x ./... > /dev/null
+
 echo "OK"
