@@ -23,7 +23,7 @@ import (
 func main() {
 	var (
 		all    = flag.Bool("all", false, "run every experiment")
-		fig    = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, 3tier, robust, runtime")
+		fig    = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, 3tier, robust, runtime, faults")
 		model  = flag.String("model", "alexnet", "model for figure 4/13 (alexnet, mobilenetv2, ...)")
 		n      = flag.Int("n", 100, "number of inference jobs")
 		csvDir = flag.String("csv", "", "directory to also write tables as CSV")
@@ -151,6 +151,17 @@ func run(env experiments.Env, id, model string) ([]*report.Table, error) {
 			return nil, err
 		}
 		return []*report.Table{experiments.RuntimeTable([]*experiments.RuntimeResult{res})}, nil
+	case "faults":
+		// Live execution under injected uplink frame drops: the same
+		// plan runs through the fault-tolerant runner at each drop rate
+		// and is compared against the no-fault Prop. 4.1 closed form.
+		// Like "runtime", this runs in real time and is not part of -all.
+		rows, err := experiments.RuntimeFaults(env, model, netsim.WiFi, 12, 1.0,
+			[]float64{0, 1, 5, 20}, 1)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.RuntimeFaultsTable(rows)}, nil
 	case "hetero":
 		rows, err := experiments.HeteroWorkload(env)
 		if err != nil {
@@ -184,7 +195,7 @@ func run(env experiments.Env, id, model string) ([]*report.Table, error) {
 		}
 		return []*report.Table{experiments.RobustnessTable(model, netsim.FourG, rows)}, nil
 	default:
-		return nil, fmt.Errorf("unknown experiment %q (have 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, 3tier, robust)", id)
+		return nil, fmt.Errorf("unknown experiment %q (have 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, 3tier, robust, runtime, faults)", id)
 	}
 }
 

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	jpsserve -model mobilenetv2 -addr :7443 -seed 42
+//
+// For fault-tolerance testing the server can degrade its own side of
+// every accepted connection with the netsim fault injector:
+//
+//	jpsserve -model alexnet -fault-drop 0.05 -fault-disc-bytes 1000000
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 
 	"dnnjps/internal/engine"
 	"dnnjps/internal/models"
+	"dnnjps/internal/netsim"
 	"dnnjps/internal/runtime"
 )
 
@@ -26,15 +32,27 @@ func main() {
 		seed    = flag.Int64("seed", 42, "weight seed (must match the client)")
 		workers = flag.Int("workers", 0, "engine worker goroutines per layer; 0 = GOMAXPROCS")
 		conc    = flag.Int("conc", 0, "concurrent inferences per connection (worker pool); 0 = GOMAXPROCS. Multiplies with -workers, so size the product to the core count")
+
+		faultDrop  = flag.Float64("fault-drop", 0, "probability of dropping each frame in either direction")
+		faultStall = flag.Float64("fault-stall-p", 0, "probability of stalling each frame")
+		stallMs    = flag.Float64("fault-stall-ms", 50, "stall duration in channel-model ms (with -fault-stall-p)")
+		discBytes  = flag.Int64("fault-disc-bytes", 0, "kill each connection after this many bytes (0 = never)")
+		faultSeed  = flag.Int64("fault-seed", 1, "fault injector RNG seed (per-connection offsets applied)")
 	)
 	flag.Parse()
-	if err := run(*model, *addr, *seed, *workers, *conc); err != nil {
+	spec := netsim.FaultSpec{
+		DropProb:             *faultDrop,
+		StallProb:            *faultStall,
+		StallMs:              *stallMs,
+		DisconnectAfterBytes: *discBytes,
+	}
+	if err := run(*model, *addr, *seed, *workers, *conc, spec, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "jpsserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, addr string, seed int64, workers, conc int) error {
+func run(model, addr string, seed int64, workers, conc int, spec netsim.FaultSpec, faultSeed int64) error {
 	g, err := models.Build(model)
 	if err != nil {
 		return err
@@ -51,6 +69,30 @@ func run(model, addr string, seed int64, workers, conc int) error {
 	if conc > 0 {
 		srv.WithWorkers(conc)
 	}
+	faulty := spec.DropProb > 0 || spec.StallProb > 0 || spec.DisconnectAfterBytes > 0
 	fmt.Printf("serving %s on %s\n", model, lis.Addr())
-	return srv.Serve(lis)
+	if !faulty {
+		return srv.Serve(lis)
+	}
+
+	// Fault mode: wrap each accepted connection in the injector so
+	// reads and writes on the server side suffer the configured drops,
+	// stalls, and disconnects. Stats are logged when the client goes
+	// away — expected noise under injected faults, not a server bug.
+	fmt.Printf("fault injection on: %+v (seed %d)\n", spec, faultSeed)
+	for i := int64(0); ; i++ {
+		conn, err := lis.Accept()
+		if err != nil {
+			return err
+		}
+		fc := netsim.Inject(conn, spec, spec, faultSeed+i, 1)
+		go func(id int64) {
+			defer conn.Close()
+			if err := srv.HandleConn(fc); err != nil {
+				st := fc.Stats()
+				fmt.Printf("conn %d closed: %v (dropped %d up / %d down frames)\n",
+					id, err, st.DroppedUp, st.DroppedDown)
+			}
+		}(i)
+	}
 }

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"fmt"
+
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/profile"
+)
+
+// Replan re-runs the JPS planner for the n jobs that remain of a
+// degraded run: the original curve is repriced at the channel the
+// runtime actually measured (its G column recomputed from the cut
+// tensor volumes) and planned afresh. The fault-tolerant runtime calls
+// this when the measured uplink bandwidth falls past its re-plan
+// threshold, then continues the surviving jobs under the new cuts.
+func Replan(c *profile.Curve, measured netsim.Channel, n int) (*Plan, error) {
+	if measured.UplinkMbps <= 0 {
+		return nil, fmt.Errorf("core: Replan needs a positive bandwidth, got %g", measured.UplinkMbps)
+	}
+	p, err := JPS(c.Reprice(measured), n)
+	if err != nil {
+		return nil, err
+	}
+	p.Method = "JPS-replan"
+	return p, nil
+}

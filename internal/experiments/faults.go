@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"dnnjps/internal/core"
+	"dnnjps/internal/engine"
+	"dnnjps/internal/flowshop"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/report"
+	"dnnjps/internal/runtime"
+	"dnnjps/internal/tensor"
+)
+
+// FaultRow is one fault-rate point of the runtime-faults figure: the
+// same JPS plan executed through the fault-tolerant runner under
+// injected uplink frame drops, compared against the no-fault Prop. 4.1
+// closed form (measured mobile times, channel-model upload times).
+type FaultRow struct {
+	Model      string
+	Jobs       int
+	DropPct    float64 // injected per-frame drop probability, percent
+	MakespanMs float64
+	FormulaMs  float64 // no-fault closed form for this run's plan
+	Reconnects int
+	Retried    int
+	LocalJobs  int // jobs finished by the local fallback
+}
+
+// Ratio is the fault-induced slowdown over the no-fault closed form.
+func (r *FaultRow) Ratio() float64 {
+	if r.FormulaMs <= 0 {
+		return 0
+	}
+	return r.MakespanMs / r.FormulaMs
+}
+
+// RuntimeFaults runs the fault-tolerance figure: one live pipelined run
+// per drop rate (e.g. {0, 1, 5, 20} percent), each over loopback TCP
+// with a seeded fault injector on the client side of the connection.
+// Every run must complete all n jobs — the runner retries lost jobs
+// and falls back to local execution if the link dies — so the figure
+// reports how much makespan the recovery machinery costs, not whether
+// jobs survive.
+func RuntimeFaults(env Env, model string, ch netsim.Channel, n int, timeScale float64, dropPcts []float64, seed int64) ([]*FaultRow, error) {
+	g := mustModel(model)
+	m := engine.Load(g, 42)
+	curve := env.curveFor(g, ch)
+	plan, err := core.JPS(curve, n)
+	if err != nil {
+		return nil, err
+	}
+	units := profile.LineView(g)
+	inputs := make([]*tensor.Tensor, n)
+	inShape := g.Node(units[0].Exit).OutShape
+	for i := range inputs {
+		in := tensor.New(inShape)
+		for j := range in.Data {
+			in.Data[j] = float32((j+i*13)%29)/29 - 0.5
+		}
+		inputs[i] = in
+	}
+
+	// Per-job deadline: the reply wait covers the (scaled) upload plus
+	// the server's suffix inference, which runs at real compute speed
+	// whatever the time scale. Budget both from a measured full forward
+	// pass, with headroom so only genuinely lost jobs trip the deadline.
+	var gWallMax float64
+	for _, cut := range plan.Cuts {
+		if cut < len(units)-1 {
+			shape := g.Node(units[cut].Exit).OutShape
+			if ms := timeScale * ch.TxMs(runtime.RequestWireBytes(shape)); ms > gWallMax {
+				gWallMax = ms
+			}
+		}
+	}
+	t0 := time.Now()
+	if _, err := m.Forward(inputs[0].Clone()); err != nil {
+		return nil, err
+	}
+	fullMs := float64(time.Since(t0)) / float64(time.Millisecond)
+	jobTimeout := time.Duration((4*(fullMs+gWallMax) + 250) * float64(time.Millisecond))
+
+	srv := runtime.NewServer(m)
+	var rows []*FaultRow
+	for ri, pct := range dropPcts {
+		prob := pct / 100
+		conns := 0
+		dial := func() (net.Conn, error) {
+			lis, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			go func() {
+				defer lis.Close()
+				conn, err := lis.Accept()
+				if err != nil {
+					return
+				}
+				defer conn.Close()
+				_ = srv.HandleConn(conn)
+			}()
+			conn, err := net.Dial("tcp", lis.Addr().String())
+			if err != nil {
+				return nil, err
+			}
+			conns++
+			return netsim.Inject(conn,
+				netsim.FaultSpec{DropProb: prob}, netsim.FaultSpec{},
+				seed+int64(100*ri+conns), timeScale), nil
+		}
+		r := runtime.NewRunner(dial, m, ch, timeScale, runtime.RunOptions{
+			JobTimeout:    jobTimeout,
+			MaxReconnects: 20,
+			BackoffBase:   2 * time.Millisecond,
+			BackoffMax:    20 * time.Millisecond,
+			Seed:          seed + int64(ri),
+		})
+		rep, err := r.RunPlan(plan, inputs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: faults run at %.0f%%: %w", pct, err)
+		}
+		if len(rep.Results) != n {
+			return nil, fmt.Errorf("experiments: faults run at %.0f%%: %d/%d results", pct, len(rep.Results), n)
+		}
+
+		// No-fault closed form from this run's own measured mobile times
+		// (prefix compute is unaffected by link faults) and the channel
+		// model's upload times — the reference the 1.5x acceptance bound
+		// is stated against.
+		seq := make([]flowshop.Job, n)
+		for pos, j := range plan.Sequence {
+			cut := plan.Cuts[j.ID]
+			var up float64
+			if cut < len(units)-1 {
+				shape := g.Node(units[cut].Exit).OutShape
+				up = timeScale * ch.TxMs(runtime.RequestWireBytes(shape))
+			}
+			seq[pos] = flowshop.Job{ID: j.ID, A: rep.Results[j.ID].MobileMs, B: up}
+		}
+		rows = append(rows, &FaultRow{
+			Model:      model,
+			Jobs:       n,
+			DropPct:    pct,
+			MakespanMs: rep.MakespanMs,
+			FormulaMs:  flowshop.FormulaMakespan(seq),
+			Reconnects: rep.Reconnects,
+			Retried:    rep.RetriedJobs,
+			LocalJobs:  rep.LocalFallbackJobs,
+		})
+	}
+	return rows, nil
+}
+
+// RuntimeFaultsTable renders the fault sweep.
+func RuntimeFaultsTable(rows []*FaultRow) *report.Table {
+	t := report.NewTable(
+		"Fault-tolerant runtime — makespan under injected uplink frame drops",
+		"Model", "Jobs", "Drop%", "Makespan(ms)", "NoFault Prop4.1(ms)", "Ratio", "Reconnects", "Retried", "LocalJobs")
+	for _, r := range rows {
+		t.AddRow(displayName(r.Model), r.Jobs, fmt.Sprintf("%.0f%%", r.DropPct),
+			fmtMs(r.MakespanMs), fmtMs(r.FormulaMs), fmt.Sprintf("%.2fx", r.Ratio()),
+			r.Reconnects, r.Retried, r.LocalJobs)
+	}
+	return t
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"testing"
+
+	"dnnjps/internal/netsim"
+)
+
+// TestRuntimeFaultsLive runs the fault figure end-to-end over loopback
+// at a small scale: a clean run plus a heavily-dropped run. Both must
+// complete every job; the dropped run must report recovery activity and
+// a makespan no better than the clean one.
+func TestRuntimeFaultsLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live loopback experiment")
+	}
+	env := DefaultEnv()
+	rows, err := RuntimeFaults(env, "squeezenet", netsim.WiFi, 4, 1e-3, []float64{0, 20}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	clean, faulty := rows[0], rows[1]
+	if clean.MakespanMs <= 0 || clean.FormulaMs <= 0 {
+		t.Fatalf("clean row not positive: %+v", clean)
+	}
+	if clean.Reconnects != 0 || clean.Retried != 0 || clean.LocalJobs != 0 {
+		t.Fatalf("clean run reported recovery activity: %+v", clean)
+	}
+	if faulty.Retried == 0 && faulty.Reconnects == 0 && faulty.LocalJobs == 0 {
+		t.Fatalf("20%% drops triggered no recovery at all: %+v", faulty)
+	}
+	if RuntimeFaultsTable(rows) == nil {
+		t.Fatal("nil table")
+	}
+}

@@ -1,0 +1,178 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memConn is an in-memory net.Conn: writes land in wr, reads drain rd.
+type memConn struct {
+	mu     sync.Mutex
+	rd     *bytes.Reader
+	wr     bytes.Buffer
+	closed bool
+}
+
+func newMemConn(read []byte) *memConn { return &memConn{rd: bytes.NewReader(read)} }
+
+func (m *memConn) Read(p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, io.ErrClosedPipe
+	}
+	return m.rd.Read(p)
+}
+
+func (m *memConn) Write(p []byte) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, io.ErrClosedPipe
+	}
+	return m.wr.Write(p)
+}
+
+func (m *memConn) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+func (m *memConn) written() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]byte(nil), m.wr.Bytes()...)
+}
+
+func (m *memConn) LocalAddr() net.Addr              { return nil }
+func (m *memConn) RemoteAddr() net.Addr             { return nil }
+func (m *memConn) SetDeadline(time.Time) error      { return nil }
+func (m *memConn) SetReadDeadline(time.Time) error  { return nil }
+func (m *memConn) SetWriteDeadline(time.Time) error { return nil }
+
+func TestInjectNoFaultsIsTransparent(t *testing.T) {
+	mc := newMemConn([]byte("reply-bytes"))
+	fc := Inject(mc, FaultSpec{}, FaultSpec{}, 1, 1)
+	if _, err := fc.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if got := mc.written(); string(got) != "hello" {
+		t.Fatalf("forwarded %q, want %q", got, "hello")
+	}
+	buf := make([]byte, 16)
+	n, err := fc.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "reply-bytes" {
+		t.Fatalf("read %q", buf[:n])
+	}
+}
+
+func TestInjectDropsAreDeterministicAndSilent(t *testing.T) {
+	const trials = 400
+	run := func(seed int64) (kept int) {
+		mc := newMemConn(nil)
+		fc := Inject(mc, FaultSpec{DropProb: 0.3}, FaultSpec{}, seed, 1)
+		for i := 0; i < trials; i++ {
+			n, err := fc.Write([]byte{byte(i)})
+			if err != nil || n != 1 {
+				t.Fatalf("write %d: n=%d err=%v (drops must be silent)", i, n, err)
+			}
+		}
+		return len(mc.written())
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed, different outcomes: %d vs %d", a, b)
+	}
+	if a == trials || a == 0 {
+		t.Fatalf("kept %d/%d frames; drops not engaged", a, trials)
+	}
+	if c := run(8); c == a {
+		t.Logf("note: seeds 7 and 8 coincide (%d kept) — legal but unlikely", c)
+	}
+}
+
+func TestInjectScriptedDisconnectAfterBytes(t *testing.T) {
+	mc := newMemConn(nil)
+	fc := Inject(mc, FaultSpec{DisconnectAfterBytes: 10}, FaultSpec{}, 1, 1)
+	if _, err := fc.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("first write must pass: %v", err)
+	}
+	if _, err := fc.Write(make([]byte, 8)); !errors.Is(err, ErrInjectedDisconnect) {
+		t.Fatalf("crossing the byte budget must disconnect, got %v", err)
+	}
+	// The conn is dead for every later op, both directions.
+	if _, err := fc.Write([]byte{1}); !errors.Is(err, ErrInjectedDisconnect) {
+		t.Fatalf("post-disconnect write must fail, got %v", err)
+	}
+	if !fc.Stats().Disconnected {
+		t.Fatal("stats must record the disconnect")
+	}
+}
+
+func TestInjectStallSleepsChannelTime(t *testing.T) {
+	mc := newMemConn(nil)
+	fc := Inject(mc, FaultSpec{StallProb: 1, StallMs: 40}, FaultSpec{}, 3, 0.5)
+	var slept time.Duration
+	fc.sleep = func(d time.Duration) { slept += d }
+	if _, err := fc.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if want := 20 * time.Millisecond; slept != want {
+		t.Fatalf("stall slept %v, want %v (40ms at scale 0.5)", slept, want)
+	}
+	if fc.Stats().Stalls != 1 {
+		t.Fatalf("stalls = %d, want 1", fc.Stats().Stalls)
+	}
+}
+
+func TestInjectDegradeSchedule(t *testing.T) {
+	spec := FaultSpec{Degrade: []DegradeStep{{AfterMs: 100, Mbps: 8}, {AfterMs: 200, Mbps: 1}}}
+	if r := spec.capAt(50); r != 0 {
+		t.Fatalf("cap before first step = %g, want 0", r)
+	}
+	if r := spec.capAt(150); r != 8 {
+		t.Fatalf("cap at 150ms = %g, want 8", r)
+	}
+	if r := spec.capAt(500); r != 1 {
+		t.Fatalf("cap at 500ms = %g, want 1", r)
+	}
+
+	mc := newMemConn(nil)
+	fc := Inject(mc, spec, FaultSpec{}, 1, 1)
+	var slept time.Duration
+	fc.sleep = func(d time.Duration) { slept += d }
+	base := fc.start
+	fc.now = func() time.Time { return base.Add(300 * time.Millisecond) }
+	// 1 Mb/s cap: 125000 bytes = 1 s of pacing.
+	if _, err := fc.Write(make([]byte, 125000)); err != nil {
+		t.Fatal(err)
+	}
+	if d := slept.Seconds(); d < 0.999 || d > 1.001 {
+		t.Fatalf("degrade pacing slept %v, want ~1s", slept)
+	}
+}
+
+func TestInjectReadDropConsumesFrame(t *testing.T) {
+	// With DropProb 1 every delivered frame is discarded: the reader
+	// blocks through them all and sees only the stream's end.
+	mc := newMemConn([]byte("AB"))
+	fc := Inject(mc, FaultSpec{}, FaultSpec{DropProb: 1}, 1, 1)
+	buf := make([]byte, 1)
+	if _, err := fc.Read(buf); err != io.EOF {
+		t.Fatalf("all-dropped stream must end in EOF, got %v", err)
+	}
+	st := fc.Stats()
+	if st.DroppedDown == 0 {
+		t.Fatal("read drops not counted")
+	}
+}

@@ -154,6 +154,27 @@ func (c *Curve) Restrict(cuts []int) (*Curve, []int) {
 	return out, idx
 }
 
+// Reprice returns a copy of the curve with G recomputed from the cut
+// tensor volumes at a new channel — the bandwidth-update hook for
+// mid-run re-planning when the measured uplink diverges from the
+// profiled one. F, CloudMs and Bytes are device properties and carry
+// over unchanged.
+func (c *Curve) Reprice(ch netsim.Channel) *Curve {
+	out := &Curve{
+		Model:   c.Model,
+		Channel: ch,
+		F:       append([]float64(nil), c.F...),
+		G:       make([]float64, c.Len()),
+		CloudMs: append([]float64(nil), c.CloudMs...),
+		Bytes:   append([]int(nil), c.Bytes...),
+		Labels:  append([]string(nil), c.Labels...),
+	}
+	for i, b := range c.Bytes {
+		out.G[i] = ch.TxMs(b)
+	}
+	return out
+}
+
 // FInterp returns a piecewise-linear continuous extension of F over
 // cut positions, for the Theorem 5.2 continuous-relaxation solver.
 func (c *Curve) FInterp() *regression.Interpolator {

@@ -42,11 +42,20 @@ type Client struct {
 	once  sync.Once // starts the writer + demux goroutines lazily
 	sendQ chan wireMsg
 
-	mu     sync.Mutex
-	calls  map[uint32]*call // in-flight inferences keyed by JobID
-	pongs  []*call          // FIFO calibration waiters
-	err    error            // first transport error, sticky
-	failed chan struct{}    // closed once err is set
+	mu         sync.Mutex
+	calls      map[uint32]*call // in-flight inferences keyed by JobID
+	pongs      []*call          // FIFO calibration waiters
+	err        error            // first transport error, sticky
+	failed     chan struct{}    // closed once err is set
+	ioStarted  bool             // the once fired (readerDone will close)
+	readerDone chan struct{}    // closed when the demux goroutine exits
+
+	// Uplink health accounting: per completed upload, the channel-model
+	// expectation vs the wall measurement (both channel-scale ms). The
+	// fault-tolerant runner reads the ratio to detect degradation.
+	upExpectMs  float64
+	upMeasureMs float64
+	upSamples   int
 }
 
 // call tracks one in-flight request from enqueue to reply.
@@ -73,16 +82,17 @@ type wireMsg struct {
 func NewClient(conn net.Conn, m *engine.Model, ch netsim.Channel, timeScale float64) *Client {
 	shaped := netsim.Shape(conn, ch, timeScale)
 	return &Client{
-		model:  m,
-		units:  profile.LineView(m.Graph()),
-		conn:   shaped,
-		r:      bufio.NewReaderSize(conn, 1<<16),
-		w:      bufio.NewWriterSize(shaped, 1<<16),
-		ch:     ch,
-		scale:  timeScale,
-		sendQ:  make(chan wireMsg, sendQueueCap),
-		calls:  make(map[uint32]*call),
-		failed: make(chan struct{}),
+		model:      m,
+		units:      profile.LineView(m.Graph()),
+		conn:       shaped,
+		r:          bufio.NewReaderSize(conn, 1<<16),
+		w:          bufio.NewWriterSize(shaped, 1<<16),
+		ch:         ch,
+		scale:      timeScale,
+		sendQ:      make(chan wireMsg, sendQueueCap),
+		calls:      make(map[uint32]*call),
+		failed:     make(chan struct{}),
+		readerDone: make(chan struct{}),
 	}
 }
 
@@ -103,9 +113,27 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) startIO() {
 	c.once.Do(func() {
+		c.mu.Lock()
+		c.ioStarted = true
+		c.mu.Unlock()
 		go c.writeLoop()
 		go c.readLoop()
 	})
+}
+
+// drainReader blocks until the reply demultiplexer has exited, after
+// which no further deliveries into registered JobResults can happen.
+// Close the connection first, or this waits on the peer. No-op if I/O
+// never started. The fault-tolerant runner calls this between
+// connection attempts so a straggler reply from a dead attempt can
+// never race the same job's resubmission.
+func (c *Client) drainReader() {
+	c.mu.Lock()
+	started := c.ioStarted
+	c.mu.Unlock()
+	if started {
+		<-c.readerDone
+	}
 }
 
 // fail records the first transport error and wakes every waiter.
@@ -154,6 +182,9 @@ func (c *Client) writeLoop() {
 				c.fail(err)
 				return
 			}
+			if msg.req != nil {
+				c.noteUpload(RequestWireBytes(msg.req.Tensor.Shape), time.Since(msg.c.sent))
+			}
 		case <-c.failed:
 			return
 		}
@@ -165,6 +196,7 @@ func (c *Client) writeLoop() {
 // its in-flight call by JobID. A reply for an unknown or
 // already-answered job is a protocol violation that fails the client.
 func (c *Client) readLoop() {
+	defer close(c.readerDone)
 	for {
 		typ, err := c.r.ReadByte()
 		if err != nil {
@@ -276,6 +308,56 @@ func (c *Client) await(cl *call) error {
 	return nil
 }
 
+// ErrJobTimeout is returned by deadline-bounded awaits when the reply
+// did not arrive in time. The caller owns recovery: the connection is
+// left untouched (typically it tears it down and retries elsewhere).
+var ErrJobTimeout = fmt.Errorf("runtime: job deadline exceeded")
+
+// awaitTimeout is await with a per-job deadline. d <= 0 waits forever.
+func (c *Client) awaitTimeout(cl *call, d time.Duration) error {
+	if d <= 0 {
+		return c.await(cl)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-cl.done:
+	case <-timer.C:
+		return ErrJobTimeout
+	}
+	if !cl.ok {
+		if err := c.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("runtime: connection closed")
+	}
+	return nil
+}
+
+// noteUpload records one completed upload against the channel model.
+func (c *Client) noteUpload(bytes int, wall time.Duration) {
+	measuredMs := float64(wall) / float64(time.Millisecond) / c.scale
+	c.mu.Lock()
+	c.upExpectMs += c.ch.TxMs(bytes)
+	c.upMeasureMs += measuredMs
+	c.upSamples++
+	c.mu.Unlock()
+}
+
+// LinkHealth reports the uplink's measured speed relative to the
+// channel model: 1.0 means uploads complete exactly as fast as
+// g(x) predicts, 0.5 means the link runs at half the planned rate.
+// samples is the number of completed uploads behind the estimate
+// (health is 1 when no upload has finished yet).
+func (c *Client) LinkHealth() (health float64, samples int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.upSamples == 0 || c.upMeasureMs <= 0 {
+		return 1, c.upSamples
+	}
+	return c.upExpectMs / c.upMeasureMs, c.upSamples
+}
+
 // JobResult is the outcome of one inference job.
 type JobResult struct {
 	JobID    int
@@ -311,12 +393,21 @@ func (c *Client) RunJob(jobID, cut int, input *tensor.Tensor) (*JobResult, error
 // computePrefix runs the mobile part. Returns a nil boundary when the
 // job completed locally.
 func (c *Client) computePrefix(jobID, cut int, input *tensor.Tensor) (*tensor.Tensor, *JobResult, error) {
-	if cut < 0 || cut >= len(c.units) {
-		return nil, nil, fmt.Errorf("runtime: cut %d out of range [0,%d)", cut, len(c.units))
+	return runPrefix(c.model, c.units, jobID, cut, input)
+}
+
+// runPrefix executes the mobile prefix of one job on the engine; it is
+// shared by the connected client and the fault-tolerant runner's
+// local-fallback path (which has no live transport). Returns a nil
+// boundary when the cut is the last unit, i.e. the job completed
+// locally.
+func runPrefix(m *engine.Model, units []profile.Unit, jobID, cut int, input *tensor.Tensor) (*tensor.Tensor, *JobResult, error) {
+	if cut < 0 || cut >= len(units) {
+		return nil, nil, fmt.Errorf("runtime: cut %d out of range [0,%d)", cut, len(units))
 	}
 	res := &JobResult{JobID: jobID, Cut: cut}
 	var prefix []int
-	for _, u := range c.units[:cut+1] {
+	for _, u := range units[:cut+1] {
 		prefix = append(prefix, u.Nodes...)
 	}
 	start := time.Now()
@@ -324,16 +415,16 @@ func (c *Client) computePrefix(jobID, cut int, input *tensor.Tensor) (*tensor.Te
 	// arena, but the boundary tensor (and the sink on a fully-local
 	// cut) has consumers outside the prefix, so it is kept live.
 	acts := map[int]*tensor.Tensor{}
-	if err := c.model.Execute(acts, input, prefix); err != nil {
+	if err := m.Execute(acts, input, prefix); err != nil {
 		return nil, nil, err
 	}
 	res.MobileMs = float64(time.Since(start).Nanoseconds()) / 1e6
-	if cut == len(c.units)-1 {
-		res.Class = engine.Argmax(acts[c.model.Graph().Sink()])
+	if cut == len(units)-1 {
+		res.Class = engine.Argmax(acts[m.Graph().Sink()])
 		res.Done = time.Now()
 		return nil, res, nil
 	}
-	return acts[c.units[cut].Exit], res, nil
+	return acts[units[cut].Exit], res, nil
 }
 
 // Report aggregates a pipelined run.

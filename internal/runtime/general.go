@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
@@ -42,19 +43,22 @@ func writeInferSetRequest(w io.Writer, req *inferSetRequest) error {
 	b[0] = msgInferSet
 	binary.LittleEndian.PutUint32(b[1:], req.JobID)
 	binary.LittleEndian.PutUint16(b[5:], uint16(len(req.Nodes)))
+	sum := crc32.Update(0, wireCRC, b[1:7])
 	if _, err := w.Write(b[:7]); err != nil {
 		return err
 	}
 	for i, node := range req.Nodes {
 		binary.LittleEndian.PutUint32(b, uint32(node))
+		sum = crc32.Update(sum, wireCRC, b[:4])
 		if _, err := w.Write(b[:4]); err != nil {
 			return err
 		}
-		if err := writeTensor(w, req.Tensors[i]); err != nil {
+		var err error
+		if sum, err = writeTensorSum(w, req.Tensors[i], sum); err != nil {
 			return err
 		}
 	}
-	return nil
+	return writeSumTrailer(w, sum)
 }
 
 func readInferSetRequestBody(r io.Reader) (*inferSetRequest, error) {
@@ -70,17 +74,23 @@ func readInferSetRequestBody(r io.Reader) (*inferSetRequest, error) {
 	if count == 0 || count > maxBoundaryTensors {
 		return nil, fmt.Errorf("runtime: bad boundary count %d", count)
 	}
+	sum := crc32.Update(0, wireCRC, b[:6])
 	for i := 0; i < int(count); i++ {
 		if _, err := io.ReadFull(r, b[:4]); err != nil {
 			return nil, err
 		}
+		sum = crc32.Update(sum, wireCRC, b[:4])
 		node := int32(binary.LittleEndian.Uint32(b))
-		t, err := readTensor(r)
+		t, newSum, err := readTensorSum(r, sum)
 		if err != nil {
 			return nil, err
 		}
+		sum = newSum
 		req.Nodes = append(req.Nodes, node)
 		req.Tensors = append(req.Tensors, t)
+	}
+	if err := readSumTrailer(r, sum); err != nil {
+		return nil, err
 	}
 	return &req, nil
 }

@@ -313,12 +313,15 @@ func TestDemuxDuplicateReply(t *testing.T) {
 	if err := cl.await(c1); err != nil {
 		t.Fatalf("first reply must deliver: %v", err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for cl.Err() == nil {
-		if time.Now().After(deadline) {
-			t.Fatal("duplicate reply never surfaced as a client error")
-		}
-		time.Sleep(time.Millisecond)
+	// The failure is signaled, not polled: fail() closes cl.failed
+	// exactly once, so waiting on it is race-free and prompt.
+	select {
+	case <-cl.failed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("duplicate reply never surfaced as a client error")
+	}
+	if cl.Err() == nil {
+		t.Fatal("failed channel closed without a recorded error")
 	}
 	// Future calls fail fast with the recorded error.
 	if _, err := cl.enqueueInfer(&JobResult{JobID: 6}, 0, smallBoundary()); err == nil {

@@ -16,12 +16,24 @@ package runtime
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"sync"
 
 	"dnnjps/internal/tensor"
 )
+
+// wireCRC is the table for the CRC-32C (Castagnoli) trailer appended
+// to every infer request, infer-set request, and reply. Frame drops on
+// a lossy link can desynchronize the byte stream mid-payload, and a
+// shifted stream often still parses as a structurally valid message —
+// without a checksum the server would run inference on garbage and
+// return a wrong class as a "successful" reply. A trailer mismatch is
+// instead a connection error, which the fault-tolerant runner turns
+// into a resubmission. The sum covers every body byte after the type
+// byte; pings (zero-filled calibration payloads) are exempt.
+var wireCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // Message types on the wire.
 const (
@@ -67,7 +79,7 @@ type inferReply struct {
 // count the bandwidth shaper paces, used to predict the paper's g(x)
 // for a live run.
 func RequestWireBytes(s tensor.Shape) int {
-	return 9 + 1 + 4*s.Rank() + 4*s.Elems()
+	return 9 + 1 + 4*s.Rank() + 4*s.Elems() + 4 // +4: CRC-32C trailer
 }
 
 func writeInferRequest(w io.Writer, req *inferRequest) error {
@@ -76,21 +88,61 @@ func writeInferRequest(w io.Writer, req *inferRequest) error {
 	b[0] = msgInfer
 	binary.LittleEndian.PutUint32(b[1:], req.JobID)
 	binary.LittleEndian.PutUint32(b[5:], req.Cut)
+	sum := crc32.Update(0, wireCRC, b[1:9])
 	_, err := w.Write(b[:9])
 	wireBufs.Put(bp)
 	if err != nil {
 		return err
 	}
-	return writeTensor(w, req.Tensor)
+	sum, err = writeTensorSum(w, req.Tensor, sum)
+	if err != nil {
+		return err
+	}
+	return writeSumTrailer(w, sum)
+}
+
+// writeSumTrailer appends the running CRC-32C to the frame. The four
+// bytes stage through the pool: a stack array would escape into the
+// io.Writer and put an allocation on the zero-alloc encode path.
+func writeSumTrailer(w io.Writer, sum uint32) error {
+	bp := wireBufs.Get().(*[]byte)
+	b := *bp
+	binary.LittleEndian.PutUint32(b, sum)
+	_, err := w.Write(b[:4])
+	wireBufs.Put(bp)
+	return err
+}
+
+// readSumTrailer reads the trailer and compares it to the sum the
+// reader accumulated over the body bytes.
+func readSumTrailer(r io.Reader, sum uint32) error {
+	bp := wireBufs.Get().(*[]byte)
+	defer wireBufs.Put(bp)
+	b := *bp
+	if _, err := io.ReadFull(r, b[:4]); err != nil {
+		return err
+	}
+	if got := binary.LittleEndian.Uint32(b); got != sum {
+		return fmt.Errorf("runtime: frame checksum mismatch (got %08x, computed %08x)", got, sum)
+	}
+	return nil
 }
 
 // writeTensor encodes rank, dims, and payload through a pooled chunk:
 // one scratch buffer regardless of tensor size, no per-call
 // allocation.
 func writeTensor(w io.Writer, t *tensor.Tensor) error {
+	_, err := writeTensorSum(w, t, 0)
+	return err
+}
+
+// writeTensorSum is writeTensor threading a running CRC-32C over every
+// byte it emits, so message codecs can checksum whole frames without
+// wrapping the writer (which would allocate on the hot path).
+func writeTensorSum(w io.Writer, t *tensor.Tensor, sum uint32) (uint32, error) {
 	rank := t.Shape.Rank()
 	if rank == 0 || rank > maxTensorRank {
-		return fmt.Errorf("runtime: cannot encode tensor of rank %d", rank)
+		return sum, fmt.Errorf("runtime: cannot encode tensor of rank %d", rank)
 	}
 	bp := wireBufs.Get().(*[]byte)
 	defer wireBufs.Put(bp)
@@ -99,8 +151,9 @@ func writeTensor(w io.Writer, t *tensor.Tensor) error {
 	for i, d := range t.Shape {
 		binary.LittleEndian.PutUint32(chunk[1+4*i:], uint32(d))
 	}
+	sum = crc32.Update(sum, wireCRC, chunk[:1+4*rank])
 	if _, err := w.Write(chunk[:1+4*rank]); err != nil {
-		return err
+		return sum, err
 	}
 	data := t.Data
 	for off := 0; off < len(data); {
@@ -111,70 +164,82 @@ func writeTensor(w io.Writer, t *tensor.Tensor) error {
 		for i := 0; i < n; i++ {
 			binary.LittleEndian.PutUint32(chunk[4*i:], math.Float32bits(data[off+i]))
 		}
+		sum = crc32.Update(sum, wireCRC, chunk[:4*n])
 		if _, err := w.Write(chunk[:4*n]); err != nil {
-			return err
+			return sum, err
 		}
 		off += n
 	}
-	return nil
+	return sum, nil
 }
 
 // readTensor decodes a tensor frame with a single allocation — the
 // result tensor itself. Payload bytes stream through a pooled chunk
 // and convert straight into Tensor.Data.
 func readTensor(r io.Reader) (*tensor.Tensor, error) {
+	t, _, err := readTensorSum(r, 0)
+	return t, err
+}
+
+// readTensorSum is readTensor accumulating a CRC-32C over every byte
+// it consumes, mirroring writeTensorSum.
+func readTensorSum(r io.Reader, sum uint32) (*tensor.Tensor, uint32, error) {
 	bp := wireBufs.Get().(*[]byte)
 	defer wireBufs.Put(bp)
 	chunk := *bp
 	if _, err := io.ReadFull(r, chunk[:1]); err != nil {
-		return nil, err
+		return nil, sum, err
 	}
 	rank := int(chunk[0])
 	if rank == 0 || rank > maxTensorRank {
-		return nil, fmt.Errorf("runtime: bad tensor rank %d", rank)
+		return nil, sum, fmt.Errorf("runtime: bad tensor rank %d", rank)
 	}
+	sum = crc32.Update(sum, wireCRC, chunk[:1])
 	if _, err := io.ReadFull(r, chunk[:4*rank]); err != nil {
-		return nil, err
+		return nil, sum, err
 	}
+	sum = crc32.Update(sum, wireCRC, chunk[:4*rank])
 	shape := make(tensor.Shape, rank)
 	elems := int64(1)
 	for i := range shape {
 		d := int32(binary.LittleEndian.Uint32(chunk[4*i:]))
 		if d <= 0 {
-			return nil, fmt.Errorf("runtime: bad tensor dim %d", d)
+			return nil, sum, fmt.Errorf("runtime: bad tensor dim %d", d)
 		}
 		shape[i] = int(d)
 		// Guard the running product in int64 so adversarial dims can
 		// neither overflow int nor drive a huge allocation.
 		elems *= int64(d)
 		if elems*4 > maxTensorBytes {
-			return nil, fmt.Errorf("runtime: tensor too large: %v", shape[:i+1])
+			return nil, sum, fmt.Errorf("runtime: tensor too large: %v", shape[:i+1])
 		}
 	}
 	t := tensor.New(shape)
-	if err := readFloat32Into(r, chunk, t.Data); err != nil {
-		return nil, err
+	sum, err := readFloat32Into(r, chunk, t.Data, sum)
+	if err != nil {
+		return nil, sum, err
 	}
-	return t, nil
+	return t, sum, nil
 }
 
 // readFloat32Into fills dst with little-endian float32s from r,
-// staging through the caller's chunk.
-func readFloat32Into(r io.Reader, chunk []byte, dst []float32) error {
+// staging through the caller's chunk and extending the running CRC.
+func readFloat32Into(r io.Reader, chunk []byte, dst []float32, sum uint32) (uint32, error) {
 	for off := 0; off < len(dst); {
 		n := len(dst) - off
 		if n > len(chunk)/4 {
 			n = len(chunk) / 4
 		}
 		if _, err := io.ReadFull(r, chunk[:4*n]); err != nil {
-			return err
+			return sum, err
 		}
+		sum = crc32.Update(sum, wireCRC, chunk[:4*n])
 		for i := 0; i < n; i++ {
 			dst[off+i] = math.Float32frombits(binary.LittleEndian.Uint32(chunk[4*i:]))
 		}
 		off += n
 	}
-	return nil
+	return sum, nil
 }
 
 func readInferRequestBody(r io.Reader) (*inferRequest, error) {
@@ -182,16 +247,21 @@ func readInferRequestBody(r io.Reader) (*inferRequest, error) {
 	bp := wireBufs.Get().(*[]byte)
 	chunk := *bp
 	_, err := io.ReadFull(r, chunk[:8])
+	var sum uint32
 	if err == nil {
 		req.JobID = binary.LittleEndian.Uint32(chunk)
 		req.Cut = binary.LittleEndian.Uint32(chunk[4:])
+		sum = crc32.Update(0, wireCRC, chunk[:8])
 	}
 	wireBufs.Put(bp)
 	if err != nil {
 		return nil, err
 	}
-	t, err := readTensor(r)
+	t, sum, err := readTensorSum(r, sum)
 	if err != nil {
+		return nil, err
+	}
+	if err := readSumTrailer(r, sum); err != nil {
 		return nil, err
 	}
 	req.Tensor = t
@@ -205,20 +275,24 @@ func writeInferReply(w io.Writer, rep *inferReply) error {
 	binary.LittleEndian.PutUint32(b[1:], rep.JobID)
 	binary.LittleEndian.PutUint32(b[5:], uint32(rep.Class))
 	binary.LittleEndian.PutUint64(b[9:], uint64(rep.CloudNs))
-	_, err := w.Write(b[:17])
+	binary.LittleEndian.PutUint32(b[17:], crc32.Checksum(b[1:17], wireCRC))
+	_, err := w.Write(b[:21])
 	wireBufs.Put(bp)
 	return err
 }
 
-// readInferReplyBody decodes the fixed 16-byte reply payload after the
-// type byte has been consumed (the client demultiplexer dispatches on
-// the type itself).
+// readInferReplyBody decodes the fixed 20-byte reply payload (16 body
+// bytes + CRC-32C) after the type byte has been consumed (the client
+// demultiplexer dispatches on the type itself).
 func readInferReplyBody(r io.Reader) (inferReply, error) {
 	bp := wireBufs.Get().(*[]byte)
 	defer wireBufs.Put(bp)
 	b := *bp
-	if _, err := io.ReadFull(r, b[:16]); err != nil {
+	if _, err := io.ReadFull(r, b[:20]); err != nil {
 		return inferReply{}, err
+	}
+	if got, want := binary.LittleEndian.Uint32(b[16:]), crc32.Checksum(b[:16], wireCRC); got != want {
+		return inferReply{}, fmt.Errorf("runtime: reply checksum mismatch (got %08x, computed %08x)", got, want)
 	}
 	return inferReply{
 		JobID:   binary.LittleEndian.Uint32(b),

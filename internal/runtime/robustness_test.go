@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"dnnjps/internal/core"
 	"dnnjps/internal/engine"
@@ -133,5 +134,73 @@ func TestRunPlanManyJobs(t *testing.T) {
 	}
 	if len(rep.Results) != 24 {
 		t.Fatalf("got %d results", len(rep.Results))
+	}
+}
+
+// TestRunnerFaultMatrix sweeps {drop, stall, disconnect} x {during
+// upload, during reply}. Whatever the fault, a RunPlan through the
+// fault-tolerant runner must terminate within the guard timeout and
+// return complete, correct results — retried to success over the link
+// or finished by the local fallback, never a hang and never a panic.
+// The injector is faulty on the first two connections and clean
+// afterwards, so every case exercises real recovery.
+func TestRunnerFaultMatrix(t *testing.T) {
+	m := testModel(t)
+	cases := []struct {
+		name     string
+		up, down netsim.FaultSpec
+	}{
+		{"drop-during-upload", netsim.FaultSpec{DropProb: 0.3}, netsim.FaultSpec{}},
+		{"drop-during-reply", netsim.FaultSpec{}, netsim.FaultSpec{DropProb: 0.3}},
+		{"stall-during-upload", netsim.FaultSpec{StallProb: 0.5, StallMs: 20}, netsim.FaultSpec{}},
+		{"stall-during-reply", netsim.FaultSpec{}, netsim.FaultSpec{StallProb: 0.5, StallMs: 20}},
+		{"disconnect-during-upload", netsim.FaultSpec{DisconnectAfterBytes: 40_000}, netsim.FaultSpec{}},
+		{"disconnect-during-reply", netsim.FaultSpec{}, netsim.FaultSpec{DisconnectProb: 0.3}},
+	}
+	for ci, tc := range cases {
+		tc := tc
+		seed := int64(100 + 10*ci)
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			dial := faultyDialer(t, m, seed, 1, func(i int) (up, down netsim.FaultSpec) {
+				if i < 2 {
+					return tc.up, tc.down
+				}
+				return netsim.FaultSpec{}, netsim.FaultSpec{}
+			})
+			r := NewRunner(dial, m, netsim.WiFi, 1e-3, RunOptions{
+				JobTimeout:    300 * time.Millisecond,
+				MaxReconnects: 6,
+				BackoffBase:   time.Millisecond,
+				BackoffMax:    4 * time.Millisecond,
+				Seed:          seed,
+				Window:        3,
+			})
+			const n = 6
+			plan := uniformPlan(n, 1)
+			inputs := make([]*tensor.Tensor, n)
+			for i := range inputs {
+				inputs[i] = input(i + ci*7)
+			}
+
+			type outcome struct {
+				rep *FTReport
+				err error
+			}
+			done := make(chan outcome, 1)
+			go func() {
+				rep, err := r.RunPlan(plan, inputs)
+				done <- outcome{rep, err}
+			}()
+			select {
+			case out := <-done:
+				if out.err != nil {
+					t.Fatalf("runner must recover from %s, got %v", tc.name, out.err)
+				}
+				checkComplete(t, out.rep, wantClasses(t, m, inputs))
+			case <-time.After(30 * time.Second):
+				t.Fatalf("runner hung under %s", tc.name)
+			}
+		})
 	}
 }

@@ -1,0 +1,374 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"time"
+
+	"dnnjps/internal/core"
+	"dnnjps/internal/engine"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/tensor"
+)
+
+// RunOptions are the fault-tolerance knobs of a Runner. The zero value
+// is usable: every field falls back to the DefaultRunOptions value.
+type RunOptions struct {
+	// JobTimeout is the wall-clock deadline for each awaited reply
+	// (measured from when the runner starts waiting on that job, so it
+	// bounds per-job incremental progress, not queue depth).
+	JobTimeout time.Duration
+	// MaxReconnects bounds how many times the runner redials after a
+	// failed or timed-out attempt before degrading to local execution.
+	MaxReconnects int
+	// BackoffBase/BackoffMax shape the capped exponential backoff
+	// between reconnects; the actual sleep is jittered uniformly over
+	// [backoff/2, backoff] to avoid thundering-herd redials.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives the jitter RNG (deterministic retries in tests).
+	Seed int64
+	// Window is how many jobs may be in flight before the runner
+	// pauses to collect replies — the pipelining depth, and also the
+	// cadence of the link-health check that triggers re-planning.
+	Window int
+	// ReplanFactor re-plans the remaining jobs when the measured link
+	// health (see Client.LinkHealth) drops below it — e.g. 0.5 means
+	// "re-plan once uploads run at less than half the planned rate".
+	// Zero disables re-planning. Requires Runner.WithCurve.
+	ReplanFactor float64
+	// NoLocalFallback makes a persistent uplink failure a hard error
+	// instead of finishing the remaining jobs on the mobile engine.
+	NoLocalFallback bool
+}
+
+// DefaultRunOptions returns the defaults the zero RunOptions maps to.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{
+		JobTimeout:    5 * time.Second,
+		MaxReconnects: 4,
+		BackoffBase:   50 * time.Millisecond,
+		BackoffMax:    2 * time.Second,
+		Seed:          1,
+		Window:        8,
+	}
+}
+
+// FTReport is a Report plus the recovery actions the runner took.
+type FTReport struct {
+	Report
+	// Reconnects counts redials after the initial connection.
+	Reconnects int
+	// RetriedJobs counts job resubmissions (a job retried twice counts
+	// twice).
+	RetriedJobs int
+	// Replans counts mid-run re-planning events; ReplannedMbps is the
+	// bandwidth estimate behind the most recent one (0 when none).
+	Replans       int
+	ReplannedMbps float64
+	// LocalFallbackJobs counts jobs that finished on the mobile engine
+	// after the uplink was given up on.
+	LocalFallbackJobs int
+}
+
+// Runner executes plans fault-tolerantly on top of the pipelined
+// client. Where a bare Client fails the whole RunPlan on the first
+// transport error, the Runner owns the connection lifecycle: it
+// redials with capped exponential backoff, resubmits only the jobs
+// that never got a reply, re-plans the remaining jobs when the
+// measured bandwidth degrades past a threshold, and — once the uplink
+// is hopeless — finishes the outstanding suffix on the local engine
+// (the full-local partition x = L), so a RunPlan returns complete,
+// correct results for every fault short of the device itself dying.
+// See DESIGN.md "Failure model & recovery" for the state machine.
+type Runner struct {
+	dial  func() (net.Conn, error)
+	model *engine.Model
+	units []profile.Unit
+	ch    netsim.Channel
+	scale float64
+	opts  RunOptions
+	curve *profile.Curve
+}
+
+// NewRunner builds a fault-tolerant runner. dial is invoked for the
+// initial connection and every reconnect; it should return a fresh
+// transport to the same server (wrap it in netsim fault injectors to
+// test recovery). timeScale compresses channel time exactly as in
+// NewClient.
+func NewRunner(dial func() (net.Conn, error), m *engine.Model, ch netsim.Channel, timeScale float64, opts RunOptions) *Runner {
+	def := DefaultRunOptions()
+	if opts.JobTimeout <= 0 {
+		opts.JobTimeout = def.JobTimeout
+	}
+	if opts.MaxReconnects < 0 {
+		opts.MaxReconnects = 0
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = def.BackoffBase
+	}
+	if opts.BackoffMax < opts.BackoffBase {
+		opts.BackoffMax = opts.BackoffBase
+	}
+	if opts.Window <= 0 {
+		opts.Window = def.Window
+	}
+	return &Runner{
+		dial:  dial,
+		model: m,
+		units: profile.LineView(m.Graph()),
+		ch:    ch,
+		scale: timeScale,
+		opts:  opts,
+	}
+}
+
+// WithCurve attaches the profiled cut curve re-planning needs (the
+// runner reprices it at the measured bandwidth). Returns r.
+func (r *Runner) WithCurve(c *profile.Curve) *Runner {
+	r.curve = c
+	return r
+}
+
+// ftJob is the runner's per-job state across attempts.
+type ftJob struct {
+	id    int
+	cut   int
+	input *tensor.Tensor
+	// boundary caches the mobile prefix output at cut, so retries
+	// resubmit without recomputing; res carries the prefix timing and
+	// receives the reply. Both reset when a re-plan moves the cut.
+	boundary *tensor.Tensor
+	res      *JobResult
+	tries    int
+	done     bool
+}
+
+// RunPlan executes the plan to completion through every configured
+// recovery layer. It returns an error only for non-recoverable
+// problems: bad arguments, engine failures, or — with NoLocalFallback —
+// a dead uplink.
+func (r *Runner) RunPlan(p *core.Plan, inputs []*tensor.Tensor) (*FTReport, error) {
+	if len(inputs) != len(p.Cuts) {
+		return nil, fmt.Errorf("runtime: %d inputs for %d jobs", len(inputs), len(p.Cuts))
+	}
+	start := time.Now()
+	jobs := make([]*ftJob, len(p.Cuts))
+	for id, cut := range p.Cuts {
+		jobs[id] = &ftJob{id: id, cut: cut, input: inputs[id]}
+	}
+	order := make([]*ftJob, 0, len(jobs))
+	for _, fj := range p.Sequence {
+		order = append(order, jobs[fj.ID])
+	}
+
+	ft := &FTReport{}
+	rng := rand.New(rand.NewSource(r.opts.Seed))
+	backoff := r.opts.BackoffBase
+	nominal := r.ch
+
+	for attempt := 0; countPending(order) > 0 && attempt <= r.opts.MaxReconnects; attempt++ {
+		if attempt > 0 {
+			ft.Reconnects++
+			jitter := time.Duration(rng.Int63n(int64(backoff/2) + 1))
+			time.Sleep(backoff/2 + jitter)
+			if backoff *= 2; backoff > r.opts.BackoffMax {
+				backoff = r.opts.BackoffMax
+			}
+		}
+		conn, err := r.dial()
+		if err != nil {
+			continue // dial failures consume an attempt and back off
+		}
+		cl := NewClient(conn, r.model, nominal, r.scale)
+		fatal, aerr := r.attempt(cl, order, &nominal, ft)
+		cl.Close()
+		// Wait for the demux goroutine to exit: once it has, no straggler
+		// reply from this attempt can write into a JobResult that the next
+		// attempt (or the local fallback) is about to reuse.
+		cl.drainReader()
+		if fatal {
+			return nil, aerr
+		}
+	}
+
+	if countPending(order) > 0 {
+		if r.opts.NoLocalFallback {
+			return nil, fmt.Errorf("runtime: uplink failed after %d reconnects with %d/%d jobs unfinished",
+				ft.Reconnects, countPending(order), len(jobs))
+		}
+		// Graceful degradation: the remaining suffix runs fully local
+		// (cut at the last unit), classes identical to a remote finish.
+		localCut := len(r.units) - 1
+		for _, j := range order {
+			if j.done {
+				continue
+			}
+			_, res, err := runPrefix(r.model, r.units, j.id, localCut, j.input)
+			if err != nil {
+				return nil, err
+			}
+			j.res = res
+			j.done = true
+			ft.LocalFallbackJobs++
+		}
+	}
+
+	results := make([]*JobResult, 0, len(jobs))
+	for _, j := range jobs {
+		results = append(results, j.res)
+	}
+	sort.Slice(results, func(i, k int) bool { return results[i].JobID < results[k].JobID })
+	ft.Results = results
+	for _, res := range results {
+		if ms := float64(res.Done.Sub(start).Nanoseconds()) / 1e6; ms > ft.MakespanMs {
+			ft.MakespanMs = ms
+		}
+	}
+	return ft, nil
+}
+
+func countPending(order []*ftJob) int {
+	n := 0
+	for _, j := range order {
+		if !j.done {
+			n++
+		}
+	}
+	return n
+}
+
+// attempt drives one connection: windowed pipelined execution of the
+// remaining jobs in schedule order. A transport failure or a job
+// deadline tears the connection down and returns (false, nil) — the
+// outer loop redials and resubmits whatever is still pending. Only
+// engine/model errors are fatal.
+func (r *Runner) attempt(cl *Client, order []*ftJob, nominal *netsim.Channel, ft *FTReport) (fatal bool, err error) {
+	pending := make([]*ftJob, 0, len(order))
+	for _, j := range order {
+		if !j.done {
+			pending = append(pending, j)
+		}
+	}
+	// Attempt watchdog: if the whole attempt overruns its budget (a
+	// stalled link can block the writer, fill the send queue, and wedge
+	// enqueueInfer), closing the conn fails the client and unblocks
+	// every waiter.
+	wd := time.AfterFunc(time.Duration(len(pending)+2)*r.opts.JobTimeout, func() { cl.Close() })
+	defer wd.Stop()
+
+	type inflight struct {
+		j *ftJob
+		c *call
+	}
+	var q []inflight
+	// harvest sweeps the in-flight window after a failure: replies that
+	// were already delivered out of order count as done, so the next
+	// attempt resubmits only the jobs that genuinely got lost.
+	harvest := func() {
+		for _, in := range q {
+			select {
+			case <-in.c.done:
+				if in.c.ok {
+					in.j.done = true
+				}
+			default:
+			}
+		}
+	}
+	// drainTo awaits the oldest in-flight jobs until at most k remain.
+	drainTo := func(k int) bool {
+		for len(q) > k {
+			in := q[0]
+			if aerr := cl.awaitTimeout(in.c, r.opts.JobTimeout); aerr != nil {
+				cl.Close() // a timed-out or failed call poisons the conn
+				harvest()
+				return false
+			}
+			q = q[1:]
+			in.j.done = true
+		}
+		return true
+	}
+
+	replanned := false
+	for i := 0; i < len(pending); i++ {
+		j := pending[i]
+		if j.done {
+			continue
+		}
+		if j.res == nil {
+			boundary, res, perr := runPrefix(r.model, r.units, j.id, j.cut, j.input)
+			if perr != nil {
+				return true, perr
+			}
+			j.boundary, j.res = boundary, res
+		}
+		if j.boundary == nil {
+			j.done = true // fully-local cut, classified by runPrefix
+			continue
+		}
+		if j.tries > 0 {
+			ft.RetriedJobs++
+		}
+		j.tries++
+		call, cerr := cl.enqueueInfer(j.res, j.cut, j.boundary)
+		if cerr != nil {
+			harvest()
+			return false, nil // transport failure: retry on a fresh conn
+		}
+		q = append(q, inflight{j, call})
+		if len(q) >= r.opts.Window {
+			if !drainTo(r.opts.Window - 1) {
+				return false, nil
+			}
+			// Between windows the link has fresh samples: re-plan the
+			// not-yet-submitted suffix once if the uplink degraded.
+			if !replanned && r.opts.ReplanFactor > 0 && r.curve != nil {
+				if health, samples := cl.LinkHealth(); samples >= 2 && health < r.opts.ReplanFactor {
+					replanned = true
+					r.replanRemaining(pending[i+1:], health, nominal, ft)
+				}
+			}
+		}
+	}
+	if !drainTo(0) {
+		return false, nil
+	}
+	return false, nil
+}
+
+// replanRemaining reprices the curve at the measured bandwidth, runs
+// the JPS planner for the still-unsubmitted jobs, and rewrites their
+// cuts and order in place. Planner errors leave the old plan standing.
+func (r *Runner) replanRemaining(rest []*ftJob, health float64, nominal *netsim.Channel, ft *FTReport) {
+	if len(rest) == 0 {
+		return
+	}
+	measured := netsim.Channel{
+		Name:       nominal.Name + "-degraded",
+		UplinkMbps: nominal.UplinkMbps * health,
+		SetupMs:    nominal.SetupMs,
+	}
+	p2, err := core.Replan(r.curve, measured, len(rest))
+	if err != nil {
+		return
+	}
+	for k, j := range rest {
+		if newCut := p2.Cuts[k]; newCut != j.cut {
+			j.cut = newCut
+			j.boundary, j.res = nil, nil // prefix must be recomputed
+		}
+	}
+	reordered := make([]*ftJob, 0, len(rest))
+	for _, fj := range p2.Sequence {
+		reordered = append(reordered, rest[fj.ID])
+	}
+	copy(rest, reordered)
+	*nominal = measured // later attempts plan and measure against the degraded link
+	ft.Replans++
+	ft.ReplannedMbps = measured.UplinkMbps
+}

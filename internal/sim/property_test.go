@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"dnnjps/internal/flowshop"
+)
+
+// intCurve draws an integer-valued monotone cut curve: f strictly
+// increasing, g non-increasing with a zero tail. Integer durations make
+// every event time in the simulator an exact float64 (sums of small
+// integers), so the Prop. 4.1 comparison below can demand equality, not
+// tolerance.
+func intCurve(rng *rand.Rand, k int) (f, g []float64) {
+	f = make([]float64, k)
+	g = make([]float64, k)
+	fc := float64(1 + rng.Intn(20))
+	gc := float64(30 + rng.Intn(70))
+	for i := 0; i < k; i++ {
+		if i > 0 {
+			fc += float64(1 + rng.Intn(10))
+			gc -= float64(rng.Intn(int(gc)/2 + 1))
+		}
+		f[i] = fc
+		g[i] = gc
+	}
+	g[k-1] = 0
+	return f, g
+}
+
+// johnsonInstance samples an instance of the paper's identical-DNN
+// setting: n jobs, each at a random cut of a common monotone curve,
+// Johnson-ordered.
+func johnsonInstance(rng *rand.Rand, k, n int) []flowshop.Job {
+	f, g := intCurve(rng, k)
+	jobs := make([]flowshop.Job, n)
+	for j := range jobs {
+		x := rng.Intn(k)
+		jobs[j] = flowshop.Job{ID: j, A: f[x], B: g[x]}
+	}
+	return flowshop.Johnson(jobs)
+}
+
+// simMakespan replays a sequence through the discrete-event simulator
+// as mobile→uplink stages (cloud 0), preserving the sequence order.
+func simMakespan(t *testing.T, seq []flowshop.Job) float64 {
+	t.Helper()
+	f := make([]float64, len(seq))
+	g := make([]float64, len(seq))
+	for i, j := range seq {
+		f[i] = j.A
+		g[i] = j.B
+	}
+	res, err := Run(FromDurations(f, g, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Makespan
+}
+
+// TestPropertySimMatchesProp41Exactly: for Johnson-ordered jobs drawn
+// from a common monotone curve, the simulated two-stage makespan must
+// equal the Prop. 4.1 closed form f(x_1) + max(Σf − f_1, Σg − g_n) +
+// g(x_n) EXACTLY — the closed form is a theorem about this setting, not
+// an approximation, and integer durations remove any float excuse.
+func TestPropertySimMatchesProp41Exactly(t *testing.T) {
+	const trials = 500
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < trials; trial++ {
+		k := 2 + rng.Intn(9)  // curve length in [2,10]
+		n := 1 + rng.Intn(10) // jobs in [1,10]
+		seq := johnsonInstance(rng, k, n)
+
+		got := simMakespan(t, seq)
+		want := flowshop.FormulaMakespan(seq)
+		if got != want {
+			t.Fatalf("trial %d (k=%d n=%d): simulated makespan %v != closed form %v\nseq=%v",
+				trial, k, n, got, want, seq)
+		}
+		if analytic := flowshop.Makespan(seq); got != analytic {
+			t.Fatalf("trial %d: simulated %v != recurrence %v", trial, got, analytic)
+		}
+	}
+}
+
+// TestPropertyJohnsonDominatesShuffles: the simulated makespan of the
+// Johnson order is never beaten by a random permutation of the same
+// jobs (50 shuffles per instance). This pins the scheduling half of the
+// theory at the execution level, not just in the analytic recurrence.
+func TestPropertyJohnsonDominatesShuffles(t *testing.T) {
+	const (
+		trials   = 100
+		shuffles = 50
+	)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < trials; trial++ {
+		k := 2 + rng.Intn(9)
+		n := 2 + rng.Intn(9)
+		seq := johnsonInstance(rng, k, n)
+		johnson := simMakespan(t, seq)
+
+		shuffled := append([]flowshop.Job(nil), seq...)
+		for s := 0; s < shuffles; s++ {
+			rng.Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			if other := simMakespan(t, shuffled); other < johnson {
+				t.Fatalf("trial %d shuffle %d: permutation makespan %v beats Johnson %v\njohnson=%v\nshuffle=%v",
+					trial, s, other, johnson, seq, shuffled)
+			}
+		}
+	}
+}

@@ -20,6 +20,15 @@ go test -race ./internal/engine/... ./internal/flowshop/...
 echo "== go test -race -count=2 (runtime pipeline)"
 go test -race -count=2 ./internal/runtime/...
 
+echo "== fuzz smoke (10s per target)"
+# Each wire decoder and the fault injector get a short coverage-guided
+# run on top of the committed seed corpora in testdata/fuzz/. A crash
+# here reproduces with: go test -run 'Fuzz<T>/<file>' <pkg>
+for target in FuzzReadTensor FuzzHandleConn FuzzReadInferRequest FuzzReadInferReply; do
+    go test -run NONE -fuzz "^${target}\$" -fuzztime 10s ./internal/runtime/ > /dev/null
+done
+go test -run NONE -fuzz '^FuzzInjector$' -fuzztime 10s ./internal/netsim/ > /dev/null
+
 echo "== benchmarks compile and run once"
 go test -run NONE -bench . -benchtime 1x ./... > /dev/null
 
