@@ -22,11 +22,12 @@ import (
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "run every experiment")
-		fig    = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, 3tier, robust, runtime, faults")
-		model  = flag.String("model", "alexnet", "model for figure 4/13 (alexnet, mobilenetv2, ...)")
-		n      = flag.Int("n", 100, "number of inference jobs")
-		csvDir = flag.String("csv", "", "directory to also write tables as CSV")
+		all      = flag.Bool("all", false, "run every experiment")
+		fig      = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, 3tier, robust, runtime, faults, trace")
+		model    = flag.String("model", "alexnet", "model for figure 4/13 (alexnet, mobilenetv2, ...)")
+		n        = flag.Int("n", 100, "number of inference jobs")
+		csvDir   = flag.String("csv", "", "directory to also write tables as CSV")
+		traceOut = flag.String("trace-out", "", "with -fig trace: also write the recorded spans as Chrome trace_event JSON to this file")
 	)
 	flag.Parse()
 
@@ -42,7 +43,7 @@ func main() {
 		os.Exit(2)
 	}
 	for _, id := range ids {
-		tables, err := run(env, id, *model)
+		tables, err := run(env, id, *model, *traceOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "jpsbench: %s: %v\n", id, err)
 			os.Exit(1)
@@ -63,7 +64,7 @@ func main() {
 	}
 }
 
-func run(env experiments.Env, id, model string) ([]*report.Table, error) {
+func run(env experiments.Env, id, model, traceOut string) ([]*report.Table, error) {
 	switch id {
 	case "4":
 		rows := experiments.Fig4(env, model, netsim.WiFi)
@@ -151,6 +152,33 @@ func run(env experiments.Env, id, model string) ([]*report.Table, error) {
 			return nil, err
 		}
 		return []*report.Table{experiments.RuntimeTable([]*experiments.RuntimeResult{res})}, nil
+	case "trace":
+		// Instrumented live execution: the run is recorded span by span,
+		// bridged into Gantt form, and plotted against the Prop. 4.1
+		// pipeline the plan was priced on. Real time, not part of -all.
+		res, err := experiments.RuntimeTrace(env, model, netsim.WiFi, 8, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		if err := experiments.TraceGantt(os.Stdout, res, 96); err != nil {
+			return nil, err
+		}
+		fmt.Println()
+		if traceOut != "" {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return nil, err
+			}
+			werr := res.Tracer.WriteChromeTrace(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return nil, werr
+			}
+			fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n\n", traceOut)
+		}
+		return []*report.Table{experiments.TraceTable(res)}, nil
 	case "faults":
 		// Live execution under injected uplink frame drops: the same
 		// plan runs through the fault-tolerant runner at each drop rate
@@ -195,7 +223,7 @@ func run(env experiments.Env, id, model string) ([]*report.Table, error) {
 		}
 		return []*report.Table{experiments.RobustnessTable(model, netsim.FourG, rows)}, nil
 	default:
-		return nil, fmt.Errorf("unknown experiment %q (have 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, 3tier, robust, runtime, faults)", id)
+		return nil, fmt.Errorf("unknown experiment %q (have 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, 3tier, robust, runtime, faults, trace)", id)
 	}
 }
 

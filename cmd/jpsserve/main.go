@@ -11,17 +11,28 @@
 // every accepted connection with the netsim fault injector:
 //
 //	jpsserve -model alexnet -fault-drop 0.05 -fault-disc-bytes 1000000
+//
+// With -metrics-addr the server exposes its observability surface on a
+// second listener: Prometheus text metrics at /metrics, the recorded
+// span buffer at /trace (Chrome trace_event JSON, loadable in
+// chrome://tracing or Perfetto) and /trace.json (plain JSON), plus the
+// standard pprof handlers under /debug/pprof/:
+//
+//	jpsserve -model alexnet -metrics-addr 127.0.0.1:9090
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"dnnjps/internal/engine"
 	"dnnjps/internal/models"
 	"dnnjps/internal/netsim"
+	"dnnjps/internal/obs"
 	"dnnjps/internal/runtime"
 )
 
@@ -38,6 +49,8 @@ func main() {
 		stallMs    = flag.Float64("fault-stall-ms", 50, "stall duration in channel-model ms (with -fault-stall-p)")
 		discBytes  = flag.Int64("fault-disc-bytes", 0, "kill each connection after this many bytes (0 = never)")
 		faultSeed  = flag.Int64("fault-seed", 1, "fault injector RNG seed (per-connection offsets applied)")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /trace, /trace.json and /debug/pprof/ on this address (empty = disabled)")
 	)
 	flag.Parse()
 	spec := netsim.FaultSpec{
@@ -46,13 +59,38 @@ func main() {
 		StallMs:              *stallMs,
 		DisconnectAfterBytes: *discBytes,
 	}
-	if err := run(*model, *addr, *seed, *workers, *conc, spec, *faultSeed); err != nil {
+	if err := run(*model, *addr, *seed, *workers, *conc, spec, *faultSeed, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "jpsserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, addr string, seed int64, workers, conc int, spec netsim.FaultSpec, faultSeed int64) error {
+// obsMux builds the observability HTTP handler: Prometheus exposition,
+// trace exports, and pprof.
+func obsMux(tr *obs.Tracer, m *obs.Metrics) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", m.Handler())
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := tr.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := tr.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func run(model, addr string, seed int64, workers, conc int, spec netsim.FaultSpec, faultSeed int64, metricsAddr string) error {
 	g, err := models.Build(model)
 	if err != nil {
 		return err
@@ -68,6 +106,21 @@ func run(model, addr string, seed int64, workers, conc int, spec netsim.FaultSpe
 	srv := runtime.NewServer(m)
 	if conc > 0 {
 		srv.WithWorkers(conc)
+	}
+	if metricsAddr != "" {
+		tr := obs.NewTracer(0)
+		reg := obs.NewMetrics()
+		srv.WithObs(runtime.NewObs(tr, reg))
+		mlis, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		fmt.Printf("metrics on http://%s/metrics (traces at /trace, pprof at /debug/pprof/)\n", mlis.Addr())
+		go func() {
+			if err := http.Serve(mlis, obsMux(tr, reg)); err != nil {
+				fmt.Fprintln(os.Stderr, "jpsserve: metrics server:", err)
+			}
+		}()
 	}
 	faulty := spec.DropProb > 0 || spec.StallProb > 0 || spec.DisconnectAfterBytes > 0
 	fmt.Printf("serving %s on %s\n", model, lis.Addr())

@@ -1,23 +1,71 @@
 package main
 
 import (
+	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"dnnjps/internal/engine"
 	"dnnjps/internal/models"
 	"dnnjps/internal/netsim"
+	"dnnjps/internal/obs"
 	"dnnjps/internal/runtime"
 	"dnnjps/internal/tensor"
 )
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("lenet", "127.0.0.1:0", 1, 0, 0, netsim.FaultSpec{}, 1); err == nil {
+	if err := run("lenet", "127.0.0.1:0", 1, 0, 0, netsim.FaultSpec{}, 1, ""); err == nil {
 		t.Error("unknown model must error")
 	}
-	if err := run("alexnet", "256.256.256.256:99999", 1, 0, 4, netsim.FaultSpec{}, 1); err == nil {
+	if err := run("alexnet", "256.256.256.256:99999", 1, 0, 4, netsim.FaultSpec{}, 1, ""); err == nil {
 		t.Error("unlistenable address must error")
+	}
+	if err := run("squeezenet", "127.0.0.1:0", 1, 0, 0, netsim.FaultSpec{}, 1, "256.256.256.256:99999"); err == nil {
+		t.Error("unlistenable metrics address must error")
+	}
+}
+
+// The observability mux serves Prometheus exposition, trace exports,
+// and pprof — the surface -metrics-addr puts on the wire.
+func TestObsMuxEndpoints(t *testing.T) {
+	tr := obs.NewTracer(0)
+	reg := obs.NewMetrics()
+	o := runtime.NewObs(tr, reg)
+	o.ServerJobs.Inc()
+	o.Tracer.Record("server", "cloud-compute", 1, time.Now(), time.Now().Add(time.Millisecond))
+
+	srv := httptest.NewServer(obsMux(tr, reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "jps_server_jobs_total 1") {
+		t.Errorf("/metrics: code %d, body %q", code, body)
+	}
+	if code, body := get("/trace"); code != http.StatusOK || !strings.Contains(body, "traceEvents") {
+		t.Errorf("/trace: code %d, body %q", code, body)
+	}
+	if code, body := get("/trace.json"); code != http.StatusOK || !strings.Contains(body, "cloud-compute") {
+		t.Errorf("/trace.json: code %d, body %q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code %d", code)
 	}
 }
 

@@ -3,6 +3,7 @@ package netsim
 import (
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -24,6 +25,12 @@ type ShapedConn struct {
 	sleep       func(time.Duration)
 	mu          sync.Mutex
 	debt        time.Duration // accumulated unsent pacing time
+
+	// Ground-truth byte accounting for the observability layer: every
+	// byte and write that actually reached the underlying conn,
+	// regardless of what the channel model predicted it should cost.
+	nBytes  atomic.Int64
+	nWrites atomic.Int64
 }
 
 // Shape wraps conn at the channel's uplink bandwidth. timeScale <= 0
@@ -55,8 +62,21 @@ func (s *ShapedConn) Write(p []byte) (int, error) {
 		s.sleep(slept)
 	}
 	s.mu.Unlock()
-	return s.Conn.Write(p)
+	n, err := s.Conn.Write(p)
+	if n > 0 {
+		s.nBytes.Add(int64(n))
+		s.nWrites.Add(1)
+	}
+	return n, err
 }
+
+// BytesWritten returns how many bytes have reached the underlying
+// connection. Safe for concurrent use.
+func (s *ShapedConn) BytesWritten() int64 { return s.nBytes.Load() }
+
+// Writes returns how many Write calls reached the underlying
+// connection.
+func (s *ShapedConn) Writes() int64 { return s.nWrites.Load() }
 
 // Delay sleeps for the channel-scale duration d (e.g. per-message
 // setup latency), compressed by the shaper's time scale. Like Write,

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe
+// on a nil receiver, so un-instrumented code paths cost one branch.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down (worker occupancy,
+// measured bandwidth). Nil-safe like Counter.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta atomically (CAS loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefaultLatencyBuckets covers sub-millisecond pipe turnarounds up to
+// multi-second degraded-link round trips (milliseconds).
+var DefaultLatencyBuckets = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// Histogram is a fixed-bucket histogram (cumulative on exposition,
+// like Prometheus expects). Observations are lock-free.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given ascending upper
+// bounds (nil means DefaultLatencyBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Int64, len(bounds)+1)
+	return h
+}
+
+// Observe records one sample. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// metric kinds for exposition.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is one registered metric with its metadata.
+type family struct {
+	name, help, kind string
+	c                *Counter
+	g                *Gauge
+	h                *Histogram
+}
+
+// Metrics is an ordered registry. Registration methods return the
+// existing instrument when the name is already taken (same-kind), so
+// independent components can share one registry idempotently. A nil
+// registry hands out nil instruments, which are themselves no-ops.
+type Metrics struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{byName: map[string]*family{}}
+}
+
+func (m *Metrics) lookup(name, help, kind string) *family {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.byName[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind}
+	m.fams = append(m.fams, f)
+	m.byName[name] = f
+	return f
+}
+
+// Counter registers (or fetches) a counter.
+func (m *Metrics) Counter(name, help string) *Counter {
+	if m == nil {
+		return nil
+	}
+	f := m.lookup(name, help, kindCounter)
+	if f.c == nil {
+		f.c = &Counter{}
+	}
+	return f.c
+}
+
+// Gauge registers (or fetches) a gauge.
+func (m *Metrics) Gauge(name, help string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	f := m.lookup(name, help, kindGauge)
+	if f.g == nil {
+		f.g = &Gauge{}
+	}
+	return f.g
+}
+
+// Histogram registers (or fetches) a histogram with the given bucket
+// upper bounds (nil = DefaultLatencyBuckets).
+func (m *Metrics) Histogram(name, help string, bounds []float64) *Histogram {
+	if m == nil {
+		return nil
+	}
+	f := m.lookup(name, help, kindHistogram)
+	if f.h == nil {
+		f.h = NewHistogram(bounds)
+	}
+	return f.h
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4), in registration order.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	fams := append([]*family(nil), m.fams...)
+	m.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		var err error
+		switch f.kind {
+		case kindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", f.name, f.c.Value())
+		case kindGauge:
+			_, err = fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.g.Value()))
+		case kindHistogram:
+			var cum int64
+			for i, b := range f.h.bounds {
+				cum += f.h.counts[i].Load()
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", f.name, formatFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += f.h.counts[len(f.h.bounds)].Load()
+			if _, err = fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", f.name, cum); err != nil {
+				return err
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum %s\n", f.name, formatFloat(f.h.Sum())); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count %d\n", f.name, f.h.Count())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = m.WritePrometheus(w)
+	})
+}

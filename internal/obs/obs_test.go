@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordAndOrder(t *testing.T) {
+	tr := NewTracer(8)
+	e := tr.Epoch()
+	// Record out of chronological order; Spans must sort.
+	tr.Record("uplink", "upload", 1, e.Add(10*time.Millisecond), e.Add(30*time.Millisecond))
+	tr.Record("mobile", "local-compute", 0, e, e.Add(5*time.Millisecond))
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "local-compute" || spans[1].Name != "upload" {
+		t.Fatalf("spans not sorted by start: %+v", spans)
+	}
+	if spans[1].DurNs != (20 * time.Millisecond).Nanoseconds() {
+		t.Errorf("upload DurNs = %d, want 20ms", spans[1].DurNs)
+	}
+	if spans[0].JobID != 0 || spans[1].JobID != 1 {
+		t.Errorf("job ids wrong: %+v", spans)
+	}
+	if spans[0].EndMs() != 5 {
+		t.Errorf("EndMs = %g, want 5", spans[0].EndMs())
+	}
+}
+
+func TestTracerRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(4)
+	e := tr.Epoch()
+	for i := 0; i < 10; i++ {
+		at := e.Add(time.Duration(i) * time.Millisecond)
+		tr.Event("t", "e", i, at)
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("ring holds %d spans, want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	spans := tr.Spans()
+	// Most recent window survives, chronologically ordered.
+	for i, sp := range spans {
+		if int(sp.JobID) != 6+i {
+			t.Fatalf("span %d has job %d, want %d (ring must keep the newest)", i, sp.JobID, 6+i)
+		}
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record("a", "b", 0, time.Now(), time.Now())
+	tr.Event("a", "b", 0, time.Now())
+	tr.Reset()
+	if tr.Spans() != nil || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must be inert")
+	}
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must be inert")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must be inert")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must be inert")
+	}
+	var m *Metrics
+	if m.Counter("x", "") != nil || m.Gauge("y", "") != nil || m.Histogram("z", "", nil) != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	if err := m.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Record must not allocate once the ring is warm: the hot wire path
+// records spans per job and the zero-alloc property of PR 2 must hold
+// with tracing enabled.
+func TestTracerRecordZeroAlloc(t *testing.T) {
+	tr := NewTracer(64)
+	e := tr.Epoch()
+	allocs := testing.AllocsPerRun(200, func() {
+		tr.Record("uplink", "upload", 3, e, e.Add(time.Millisecond))
+	})
+	if allocs != 0 {
+		t.Errorf("Record allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(16)
+	e := tr.Epoch()
+	// Two overlapping spans on one track must land on distinct lanes.
+	tr.Record("uplink", "queue-wait", 1, e, e.Add(10*time.Millisecond))
+	tr.Record("uplink", "upload", 2, e.Add(5*time.Millisecond), e.Add(8*time.Millisecond))
+	tr.Record("mobile", "local-compute", 1, e, e.Add(2*time.Millisecond))
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var xEvents, meta int
+	tids := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			xEvents++
+			tids[ev.Name] = ev.Tid
+		case "M":
+			meta++
+		}
+	}
+	if xEvents != 3 {
+		t.Fatalf("got %d X events, want 3", xEvents)
+	}
+	if meta < 3 { // uplink, uplink#2, mobile
+		t.Fatalf("got %d metadata events, want >= 3 (overlap must open a second lane)", meta)
+	}
+	if tids["queue-wait"] == tids["upload"] {
+		t.Error("overlapping spans share a tid; viewers will clip them")
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer(4)
+	e := tr.Epoch()
+	tr.Record("mobile", "local-compute", 0, e, e.Add(time.Millisecond))
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Epoch   string `json:"epoch"`
+		Dropped int64  `json:"dropped"`
+		Spans   []Span `json:"spans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Spans) != 1 || doc.Spans[0].Name != "local-compute" {
+		t.Fatalf("bad JSON dump: %+v", doc)
+	}
+}
+
+func TestMetricsPrometheusExposition(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("jps_jobs_completed_total", "jobs that finished")
+	c.Add(3)
+	g := m.Gauge("jps_workers_busy", "current pool occupancy")
+	g.Set(2)
+	g.Add(-1)
+	h := m.Histogram("jps_reply_latency_ms", "reply latency", []float64{1, 10, 100})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(5000)
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE jps_jobs_completed_total counter",
+		"jps_jobs_completed_total 3",
+		"# TYPE jps_workers_busy gauge",
+		"jps_workers_busy 1",
+		"# TYPE jps_reply_latency_ms histogram",
+		`jps_reply_latency_ms_bucket{le="1"} 1`,
+		`jps_reply_latency_ms_bucket{le="10"} 2`,
+		`jps_reply_latency_ms_bucket{le="100"} 2`,
+		`jps_reply_latency_ms_bucket{le="+Inf"} 3`,
+		"jps_reply_latency_ms_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsIdempotentRegistration(t *testing.T) {
+	m := NewMetrics()
+	a := m.Counter("x_total", "")
+	b := m.Counter("x_total", "")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	m.Gauge("x_total", "")
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	h.Observe(10) // le="10" includes the boundary
+	if got := h.counts[0].Load(); got != 1 {
+		t.Fatalf("boundary observation landed in bucket +Inf (got %d in le=10)", got)
+	}
+	if h.Sum() != 10 || h.Count() != 1 {
+		t.Fatalf("sum/count = %g/%d", h.Sum(), h.Count())
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("up_total", "").Inc()
+	rec := httptest.NewRecorder()
+	m.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up_total 1") {
+		t.Errorf("body missing metric:\n%s", rec.Body.String())
+	}
+}

@@ -38,6 +38,7 @@ type Client struct {
 	w     *bufio.Writer
 	ch    netsim.Channel
 	scale float64
+	obsv  *Obs // optional tracing + metrics; nil disables recording
 
 	once  sync.Once // starts the writer + demux goroutines lazily
 	sendQ chan wireMsg
@@ -60,11 +61,12 @@ type Client struct {
 
 // call tracks one in-flight request from enqueue to reply.
 type call struct {
-	res  *JobResult // nil for pings
-	sent time.Time  // transmission start, set by the writer (under mu)
-	rtt  float64    // ms from transmission start to reply (pings)
-	ok   bool       // reply delivered (false = transport failure)
-	done chan struct{}
+	res     *JobResult // nil for pings
+	sent    time.Time  // transmission start, set by the writer (under mu)
+	sentEnd time.Time  // upload flushed, set by the writer (under mu)
+	rtt     float64    // ms from transmission start to reply (pings)
+	ok      bool       // reply delivered (false = transport failure)
+	done    chan struct{}
 }
 
 // wireMsg is one unit of work for the writer goroutine.
@@ -72,6 +74,7 @@ type wireMsg struct {
 	c    *call
 	req  *inferRequest // nil for a ping
 	ping int
+	enq  time.Time // when the message entered the send queue
 }
 
 // NewClient wraps a connection to a Server. timeScale compresses
@@ -94,6 +97,15 @@ func NewClient(conn net.Conn, m *engine.Model, ch netsim.Channel, timeScale floa
 		failed:     make(chan struct{}),
 		readerDone: make(chan struct{}),
 	}
+}
+
+// WithObs attaches a tracing + metrics bundle. Must be called before
+// the client's first remote use; returns c for chaining. The client
+// records per-job spans (local-compute, queue-wait, serialize, upload,
+// reply-wait) and the uplink/job metrics documented on Obs.
+func (c *Client) WithObs(o *Obs) *Client {
+	c.obsv = o
+	return c
 }
 
 // Units returns the number of cut positions of the client's model.
@@ -165,16 +177,24 @@ func (c *Client) writeLoop() {
 	for {
 		select {
 		case msg := <-c.sendQ:
+			start := time.Now()
 			c.mu.Lock()
-			msg.c.sent = time.Now()
+			msg.c.sent = start
 			c.mu.Unlock()
+			jobID := -1
+			if msg.req != nil {
+				jobID = int(msg.req.JobID)
+			}
+			c.obsv.span(TrackUplink, SpanQueueWait, jobID, msg.enq, start)
 			c.conn.Delay(time.Duration(c.ch.SetupMs * float64(time.Millisecond)))
+			serStart := time.Now()
 			var err error
 			if msg.req != nil {
 				err = writeInferRequest(c.w, msg.req)
 			} else {
 				err = writePing(c.w, msg.ping)
 			}
+			serEnd := time.Now()
 			if err == nil {
 				err = c.w.Flush()
 			}
@@ -182,8 +202,14 @@ func (c *Client) writeLoop() {
 				c.fail(err)
 				return
 			}
+			end := time.Now()
+			c.mu.Lock()
+			msg.c.sentEnd = end
+			c.mu.Unlock()
+			c.obsv.span(TrackUplink, SpanUpload, jobID, start, end)
 			if msg.req != nil {
-				c.noteUpload(RequestWireBytes(msg.req.Tensor.Shape), time.Since(msg.c.sent))
+				c.obsv.span(TrackUplink, SpanSerialize, jobID, serStart, serEnd)
+				c.noteUpload(RequestWireBytes(msg.req.Tensor.Shape), end.Sub(start))
 			}
 		case <-c.failed:
 			return
@@ -237,12 +263,24 @@ func (c *Client) deliver(rep inferReply) error {
 	}
 	delete(c.calls, rep.JobID)
 	total := now.Sub(cl.sent)
+	sentEnd := cl.sentEnd
 	c.mu.Unlock()
 	res := cl.res
 	res.CloudMs = float64(rep.CloudNs) / 1e6
-	res.CommMs = float64(total.Nanoseconds())/1e6 - res.CloudMs // the paper's td − tc
+	res.QueueMs = float64(rep.QueueNs) / 1e6
+	// The paper's td − tc: round trip minus the server's own stages
+	// (compute, and since the pool can queue under load, queue wait).
+	res.CommMs = float64(total.Nanoseconds())/1e6 - res.CloudMs - res.QueueMs
 	res.Class = int(rep.Class)
 	res.Done = now
+	if !sentEnd.IsZero() {
+		c.obsv.span(TrackCloud, SpanReplyWait, int(rep.JobID), sentEnd, now)
+	}
+	if o := c.obsv; o != nil {
+		o.JobsCompleted.Inc()
+		o.BytesDown.Add(replyWireBytes)
+		o.ReplyLatency.Observe(float64(total.Nanoseconds()) / 1e6)
+	}
 	cl.ok = true
 	close(cl.done)
 	return nil
@@ -286,7 +324,7 @@ func (c *Client) enqueueInfer(res *JobResult, cut int, boundary *tensor.Tensor) 
 	c.calls[id] = cl
 	c.mu.Unlock()
 	select {
-	case c.sendQ <- wireMsg{c: cl, req: &inferRequest{JobID: id, Cut: uint32(cut), Tensor: boundary}}:
+	case c.sendQ <- wireMsg{c: cl, req: &inferRequest{JobID: id, Cut: uint32(cut), Tensor: boundary}, enq: time.Now()}:
 		return cl, nil
 	case <-c.failed:
 		c.mu.Lock()
@@ -334,7 +372,8 @@ func (c *Client) awaitTimeout(cl *call, d time.Duration) error {
 	return nil
 }
 
-// noteUpload records one completed upload against the channel model.
+// noteUpload records one completed upload against the channel model
+// and publishes the uplink metrics.
 func (c *Client) noteUpload(bytes int, wall time.Duration) {
 	measuredMs := float64(wall) / float64(time.Millisecond) / c.scale
 	c.mu.Lock()
@@ -342,6 +381,14 @@ func (c *Client) noteUpload(bytes int, wall time.Duration) {
 	c.upMeasureMs += measuredMs
 	c.upSamples++
 	c.mu.Unlock()
+	if o := c.obsv; o != nil {
+		o.BytesUp.Add(int64(bytes))
+		if measuredMs > 0 {
+			// Channel-scale throughput of this upload in Mb/s.
+			o.LinkMbps.Set(float64(bytes) * 8 / (measuredMs * 1000))
+		}
+		o.ConnBytes.Set(float64(c.conn.BytesWritten()))
+	}
 }
 
 // LinkHealth reports the uplink's measured speed relative to the
@@ -364,8 +411,9 @@ type JobResult struct {
 	Class    int
 	Cut      int
 	MobileMs float64 // measured local compute time
-	CommMs   float64 // measured upload + reply time minus server compute
+	CommMs   float64 // measured upload + reply time minus server compute and queueing
 	CloudMs  float64 // server-reported compute time
+	QueueMs  float64 // server-reported worker-pool queue wait
 	Done     time.Time
 }
 
@@ -393,7 +441,12 @@ func (c *Client) RunJob(jobID, cut int, input *tensor.Tensor) (*JobResult, error
 // computePrefix runs the mobile part. Returns a nil boundary when the
 // job completed locally.
 func (c *Client) computePrefix(jobID, cut int, input *tensor.Tensor) (*tensor.Tensor, *JobResult, error) {
-	return runPrefix(c.model, c.units, jobID, cut, input)
+	start := time.Now()
+	boundary, res, err := runPrefix(c.model, c.units, jobID, cut, input)
+	if err == nil {
+		c.obsv.span(TrackMobile, SpanLocalCompute, jobID, start, time.Now())
+	}
+	return boundary, res, err
 }
 
 // runPrefix executes the mobile prefix of one job on the engine; it is
@@ -510,7 +563,7 @@ func (c *Client) CalibrateComm(sizes []int, rounds int) (regression.Linear, erro
 			c.pongs = append(c.pongs, cl)
 			c.mu.Unlock()
 			select {
-			case c.sendQ <- wireMsg{c: cl, ping: size}:
+			case c.sendQ <- wireMsg{c: cl, ping: size, enq: time.Now()}:
 			case <-c.failed:
 				return regression.Linear{}, c.Err()
 			}

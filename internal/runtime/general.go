@@ -228,7 +228,8 @@ func (c *GeneralClient) RunJob(jobID int, cutNodes []int, input *tensor.Tensor) 
 	}
 	total := float64(time.Since(sendStart).Nanoseconds()) / 1e6
 	res.CloudMs = float64(rep.CloudNs) / 1e6
-	res.CommMs = total - res.CloudMs
+	res.QueueMs = float64(rep.QueueNs) / 1e6
+	res.CommMs = total - res.CloudMs - res.QueueMs
 	res.Class = int(rep.Class)
 	res.Done = time.Now()
 	return res, nil

@@ -1,0 +1,108 @@
+package runtime
+
+import (
+	"time"
+
+	"dnnjps/internal/obs"
+)
+
+// Span tracks: one lane per pipeline resource, matching the paper's
+// per-stage decomposition (device compute f, upload g, cloud) plus the
+// server's own view and the fault-tolerant runner's recovery events.
+const (
+	TrackMobile = "mobile" // client-side prefix compute (the paper's f)
+	TrackUplink = "uplink" // writer-goroutine occupancy (the paper's g)
+	TrackCloud  = "cloud"  // client-side wait for the reply
+	TrackServer = "server" // server-side decode/queue/compute/reply
+	TrackRunner = "runner" // recovery state machine events
+)
+
+// Span names. Resource-occupancy names (SpanLocalCompute, SpanUpload,
+// SpanCloudCompute) map 1:1 onto simulator resources; the rest are
+// waits and recovery events.
+const (
+	SpanLocalCompute  = "local-compute" // mobile: one job's prefix
+	SpanQueueWait     = "queue-wait"    // uplink: enqueue -> writer pickup; server: decode -> worker pickup
+	SpanSerialize     = "serialize"     // uplink: frame encode inside the upload
+	SpanUpload        = "upload"        // uplink: setup delay + encode + paced transmit
+	SpanReplyWait     = "reply-wait"    // cloud: upload end -> reply delivered
+	SpanDecode        = "decode"        // server: request body decode
+	SpanCloudCompute  = "cloud-compute" // server: model suffix execution
+	SpanReplyWrite    = "reply-write"   // server: reply encode + flush
+	SpanRedial        = "redial"        // runner: dial attempt
+	SpanBackoff       = "backoff"       // runner: jittered backoff sleep
+	SpanReplan        = "replan"        // runner: mid-run re-planning
+	SpanLocalFallback = "local-fallback" // runner: job finished on the mobile engine
+)
+
+// Obs bundles the tracer and every metric the runtime records. Pass
+// one instance to the client, server, and runner that should share a
+// registry (the in-process experiments do; a real deployment gives
+// each process its own). A nil *Obs — and nil fields inside a non-nil
+// one — disable recording at the cost of one branch per site, keeping
+// the wire hot path allocation-free either way.
+type Obs struct {
+	Tracer *obs.Tracer
+
+	// Client-side.
+	JobsCompleted *obs.Counter   // jps_client_jobs_completed_total
+	BytesUp       *obs.Counter   // jps_client_uplink_bytes_total (wire bytes of completed uploads)
+	BytesDown     *obs.Counter   // jps_client_downlink_bytes_total (reply frames)
+	ConnBytes     *obs.Gauge     // jps_client_conn_bytes (shaper's ground-truth byte count)
+	LinkMbps      *obs.Gauge     // jps_client_uplink_mbps (measured, channel-scale)
+	ReplyLatency  *obs.Histogram // jps_client_reply_latency_ms (send start -> reply)
+
+	// Runner recovery.
+	JobsRetried    *obs.Counter // jps_runner_jobs_retried_total
+	Reconnects     *obs.Counter // jps_runner_reconnects_total
+	Replans        *obs.Counter // jps_runner_replans_total
+	LocalFallbacks *obs.Counter // jps_runner_local_fallback_jobs_total
+
+	// Server-side.
+	ServerJobs    *obs.Counter // jps_server_jobs_total (replies written)
+	ServerRxBytes *obs.Counter // jps_server_rx_bytes_total (request frames)
+	ServerTxBytes *obs.Counter // jps_server_tx_bytes_total (reply frames)
+	WorkersBusy   *obs.Gauge   // jps_server_workers_busy (pool occupancy)
+}
+
+// NewObs wires a tracer and a metric registry into the runtime's
+// canonical instrument set (the names above, documented in DESIGN.md
+// "Observability"). Either argument may be nil: a nil tracer records
+// no spans, a nil registry records no metrics.
+func NewObs(tr *obs.Tracer, m *obs.Metrics) *Obs {
+	return &Obs{
+		Tracer:        tr,
+		JobsCompleted: m.Counter("jps_client_jobs_completed_total", "inference replies delivered to the client"),
+		BytesUp:       m.Counter("jps_client_uplink_bytes_total", "wire bytes of completed boundary-tensor uploads"),
+		BytesDown:     m.Counter("jps_client_downlink_bytes_total", "wire bytes of received reply frames"),
+		ConnBytes:     m.Gauge("jps_client_conn_bytes", "bytes written through the shaped connection (ground truth incl. pings)"),
+		LinkMbps:      m.Gauge("jps_client_uplink_mbps", "measured uplink throughput of the last completed upload, channel-scale"),
+		ReplyLatency:  m.Histogram("jps_client_reply_latency_ms", "transmission start to reply delivery, ms", nil),
+
+		JobsRetried:    m.Counter("jps_runner_jobs_retried_total", "job resubmissions after a failed attempt"),
+		Reconnects:     m.Counter("jps_runner_reconnects_total", "redials after the initial connection"),
+		Replans:        m.Counter("jps_runner_replans_total", "mid-run re-planning events"),
+		LocalFallbacks: m.Counter("jps_runner_local_fallback_jobs_total", "jobs finished on the mobile engine after the uplink was given up on"),
+
+		ServerJobs:    m.Counter("jps_server_jobs_total", "inference replies written by the server"),
+		ServerRxBytes: m.Counter("jps_server_rx_bytes_total", "wire bytes of decoded inference requests"),
+		ServerTxBytes: m.Counter("jps_server_tx_bytes_total", "wire bytes of written reply frames"),
+		WorkersBusy:   m.Gauge("jps_server_workers_busy", "inference worker pool occupancy"),
+	}
+}
+
+// span records one completed span; safe on a nil *Obs.
+func (o *Obs) span(track, name string, jobID int, start, end time.Time) {
+	if o == nil {
+		return
+	}
+	o.Tracer.Record(track, name, jobID, start, end)
+}
+
+// event records an instantaneous marker; safe on a nil *Obs.
+func (o *Obs) event(track, name string, jobID int, at time.Time) {
+	if o == nil {
+		return
+	}
+	o.Tracer.Event(track, name, jobID, at)
+}

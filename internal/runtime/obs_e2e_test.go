@@ -1,0 +1,236 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/obs"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/sim"
+	"dnnjps/internal/tensor"
+)
+
+// waitSettled polls until cond holds: the instrumentation that runs
+// after a frame's flush (the writer's upload span, the server's reply
+// accounting) races the reply delivery that unblocks RunPlan, so tests
+// give those goroutines a moment to finish their bookkeeping.
+func waitSettled(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("instrumentation did not settle within 5s")
+}
+
+// The sim bridge duplicates the runtime's occupancy span names rather
+// than importing them; this pins the two sets together so a rename on
+// either side fails loudly.
+func TestSpanNamesMatchSimBridge(t *testing.T) {
+	stages := sim.RuntimeStages()
+	want := map[string]string{
+		SpanLocalCompute: sim.ResMobile,
+		SpanUpload:       sim.ResUplink,
+		SpanCloudCompute: sim.ResCloud,
+	}
+	if len(stages) != len(want) {
+		t.Fatalf("sim.RuntimeStages has %d entries, want %d", len(stages), len(want))
+	}
+	for name, res := range want {
+		st, ok := stages[name]
+		if !ok {
+			t.Errorf("span %q missing from sim.RuntimeStages", name)
+			continue
+		}
+		if st.Resource != res {
+			t.Errorf("span %q maps to %q, want %q", name, st.Resource, res)
+		}
+	}
+}
+
+// TestTraceGanttMatchesSimulator closes the loop between measurement
+// and theory: a live pipelined run's recorded spans, bridged into
+// Gantt form, must agree with the discrete-event simulator replaying
+// the same per-job durations (measured f and cloud, channel-model g).
+// This is the paper's Prop. 4.1 decomposition checked stage by stage
+// rather than only at the makespan.
+func TestTraceGanttMatchesSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts the per-stage timings this test asserts on")
+	}
+	m := pipeModel(t)
+	// Same regime as TestRunPlanMatchesProp41: 16 KB boundary over
+	// 8 Mb/s = ~16 ms per upload, dominating compute noise.
+	ch := netsim.Channel{Name: "trace", UplinkMbps: 8, SetupMs: 0}
+	const (
+		scale = 1.0
+		n     = 8
+		cut   = 3
+	)
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	o := NewObs(obs.NewTracer(0), obs.NewMetrics())
+	srv := NewServer(m).WithWorkers(4).WithObs(o)
+	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
+	cl := NewClient(cConn, m, ch, scale).WithObs(o)
+
+	plan := uniformPlan(n, cut)
+	inputs := make([]*tensor.Tensor, n)
+	for i := range inputs {
+		inputs[i] = pipeInput(i)
+	}
+	rep, err := cl.RunPlan(plan, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stages := sim.RuntimeStages()
+	waitSettled(t, func() bool {
+		return len(sim.FromTrace(o.Tracer.Spans(), stages, scale).Gantt[sim.ResUplink]) == n
+	})
+	measured := sim.FromTrace(o.Tracer.Spans(), stages, scale)
+	for _, res := range []string{sim.ResMobile, sim.ResUplink, sim.ResCloud} {
+		if got := len(measured.Gantt[res]); got != n {
+			t.Fatalf("%s: %d measured intervals, want %d", res, got, n)
+		}
+	}
+
+	// Replay the same run through the simulator: measured device and
+	// cloud times, channel-model upload times (what the shaper paces).
+	units := profile.LineView(m.Graph())
+	gMs := ch.TxMs(RequestWireBytes(m.Graph().Node(units[cut].Exit).OutShape))
+	f := make([]float64, n)
+	g := make([]float64, n)
+	cloud := make([]float64, n)
+	for i, r := range rep.Results { // sorted by JobID = sequence order here
+		f[i], g[i], cloud[i] = r.MobileMs, gMs, r.CloudMs
+	}
+	simRes, err := sim.Run(sim.FromDurations(f, g, cloud))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ratio := measured.Makespan / simRes.Makespan
+	t.Logf("measured makespan %.2f ms, simulated %.2f ms (ratio %.3f)",
+		measured.Makespan, simRes.Makespan, ratio)
+	if ratio > 1.2 || ratio < 0.8 {
+		t.Errorf("measured makespan %.2f ms vs simulated %.2f ms: ratio %.3f outside [0.8, 1.2]",
+			measured.Makespan, simRes.Makespan, ratio)
+	}
+	// The uplink is the paced bottleneck: its busy time is enforced by
+	// the shaper, so measurement and model must agree closely.
+	ub, sb := measured.BusyMs[sim.ResUplink], simRes.BusyMs[sim.ResUplink]
+	if math.Abs(ub-sb)/sb > 0.15 {
+		t.Errorf("uplink busy %.2f ms vs simulated %.2f ms: diverged > 15%%", ub, sb)
+	}
+	// Device busy comes from the same measurements FromDurations replays.
+	db, dsb := measured.BusyMs[sim.ResMobile], simRes.BusyMs[sim.ResMobile]
+	if dsb > 0 && math.Abs(db-dsb)/dsb > 0.15 {
+		t.Errorf("device busy %.2f ms vs simulated %.2f ms: diverged > 15%%", db, dsb)
+	}
+	// The uplink serializes in schedule order, in both worlds.
+	for i := range measured.Gantt[sim.ResUplink] {
+		mj := measured.Gantt[sim.ResUplink][i].JobID
+		sj := simRes.Gantt[sim.ResUplink][i].JobID
+		if mj != sj {
+			t.Errorf("uplink slot %d: measured job %d, simulated job %d", i, mj, sj)
+		}
+	}
+}
+
+// Metrics and exports after a real run: counters reflect the wire
+// traffic exactly, the gauge returns to idle, and both trace export
+// formats produce parseable output.
+func TestObsMetricsAndExports(t *testing.T) {
+	m := testModel(t)
+	reg := obs.NewMetrics()
+	o := NewObs(obs.NewTracer(0), reg)
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	srv := NewServer(m).WithWorkers(2).WithObs(o)
+	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
+	cl := NewClient(cConn, m, netsim.WiFi, 1e-6).WithObs(o)
+
+	const (
+		n   = 6
+		cut = 1
+	)
+	plan := uniformPlan(n, cut)
+	inputs := make([]*tensor.Tensor, n)
+	for i := range inputs {
+		inputs[i] = input(i)
+	}
+	if _, err := cl.RunPlan(plan, inputs); err != nil {
+		t.Fatal(err)
+	}
+	units := profile.LineView(m.Graph())
+	reqBytes := int64(RequestWireBytes(m.Graph().Node(units[cut].Exit).OutShape))
+	waitSettled(t, func() bool {
+		return o.ServerJobs.Value() == n && o.BytesUp.Value() == n*reqBytes
+	})
+
+	if got := o.JobsCompleted.Value(); got != n {
+		t.Errorf("jobs completed = %d, want %d", got, n)
+	}
+	if got := o.BytesUp.Value(); got != n*reqBytes {
+		t.Errorf("uplink bytes = %d, want %d", got, n*reqBytes)
+	}
+	if got := o.BytesDown.Value(); got != n*replyWireBytes {
+		t.Errorf("downlink bytes = %d, want %d", got, int64(n*replyWireBytes))
+	}
+	if got := o.ServerJobs.Value(); got != n {
+		t.Errorf("server jobs = %d, want %d", got, n)
+	}
+	if got := o.ServerRxBytes.Value(); got != n*reqBytes {
+		t.Errorf("server rx bytes = %d, want %d", got, n*reqBytes)
+	}
+	if got := o.ServerTxBytes.Value(); got != n*replyWireBytes {
+		t.Errorf("server tx bytes = %d, want %d", got, int64(n*replyWireBytes))
+	}
+	if got := o.WorkersBusy.Value(); got != 0 {
+		t.Errorf("workers busy = %g after run, want 0", got)
+	}
+	if got := o.ReplyLatency.Count(); got != n {
+		t.Errorf("reply latency count = %d, want %d", got, n)
+	}
+
+	var chrome bytes.Buffer
+	if err := o.Tracer.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Error("chrome trace has no events")
+	}
+
+	var prom strings.Builder
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"jps_client_jobs_completed_total 6",
+		"jps_server_jobs_total 6",
+		"jps_client_reply_latency_ms_count 6",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+}

@@ -66,13 +66,23 @@ type inferRequest struct {
 	Tensor *tensor.Tensor
 }
 
-// inferReply is the server's answer: predicted class and the server's
-// own measured compute time in nanoseconds.
+// inferReply is the server's answer: predicted class plus the
+// server's own per-stage metadata — measured compute time and how long
+// the request sat in the worker-pool queue before a worker picked it
+// up, both in nanoseconds. The client subtracts both from the round
+// trip to isolate the pure communication delay (the paper's td − tc),
+// and the queue term tells a degraded run apart: a saturated server
+// pool shows up as queue time, a degraded link as communication time.
 type inferReply struct {
 	JobID   uint32
 	Class   int32
 	CloudNs int64
+	QueueNs int64
 }
+
+// replyWireBytes is the full on-the-wire size of a reply frame: type
+// byte + 24-byte body + CRC-32C trailer.
+const replyWireBytes = 1 + 24 + 4
 
 // RequestWireBytes returns the exact on-the-wire size of an infer
 // request carrying a boundary tensor of the given shape — the byte
@@ -275,29 +285,31 @@ func writeInferReply(w io.Writer, rep *inferReply) error {
 	binary.LittleEndian.PutUint32(b[1:], rep.JobID)
 	binary.LittleEndian.PutUint32(b[5:], uint32(rep.Class))
 	binary.LittleEndian.PutUint64(b[9:], uint64(rep.CloudNs))
-	binary.LittleEndian.PutUint32(b[17:], crc32.Checksum(b[1:17], wireCRC))
-	_, err := w.Write(b[:21])
+	binary.LittleEndian.PutUint64(b[17:], uint64(rep.QueueNs))
+	binary.LittleEndian.PutUint32(b[25:], crc32.Checksum(b[1:25], wireCRC))
+	_, err := w.Write(b[:replyWireBytes])
 	wireBufs.Put(bp)
 	return err
 }
 
-// readInferReplyBody decodes the fixed 20-byte reply payload (16 body
+// readInferReplyBody decodes the fixed 28-byte reply payload (24 body
 // bytes + CRC-32C) after the type byte has been consumed (the client
 // demultiplexer dispatches on the type itself).
 func readInferReplyBody(r io.Reader) (inferReply, error) {
 	bp := wireBufs.Get().(*[]byte)
 	defer wireBufs.Put(bp)
 	b := *bp
-	if _, err := io.ReadFull(r, b[:20]); err != nil {
+	if _, err := io.ReadFull(r, b[:replyWireBytes-1]); err != nil {
 		return inferReply{}, err
 	}
-	if got, want := binary.LittleEndian.Uint32(b[16:]), crc32.Checksum(b[:16], wireCRC); got != want {
+	if got, want := binary.LittleEndian.Uint32(b[24:]), crc32.Checksum(b[:24], wireCRC); got != want {
 		return inferReply{}, fmt.Errorf("runtime: reply checksum mismatch (got %08x, computed %08x)", got, want)
 	}
 	return inferReply{
 		JobID:   binary.LittleEndian.Uint32(b),
 		Class:   int32(binary.LittleEndian.Uint32(b[4:])),
 		CloudNs: int64(binary.LittleEndian.Uint64(b[8:])),
+		QueueNs: int64(binary.LittleEndian.Uint64(b[16:])),
 	}, nil
 }
 

@@ -92,6 +92,7 @@ type Runner struct {
 	scale float64
 	opts  RunOptions
 	curve *profile.Curve
+	obsv  *Obs
 }
 
 // NewRunner builds a fault-tolerant runner. dial is invoked for the
@@ -130,6 +131,14 @@ func NewRunner(dial func() (net.Conn, error), m *engine.Model, ch netsim.Channel
 // runner reprices it at the measured bandwidth). Returns r.
 func (r *Runner) WithCurve(c *profile.Curve) *Runner {
 	r.curve = c
+	return r
+}
+
+// WithObs attaches a tracing + metrics bundle; the runner records its
+// recovery events (redial, backoff, replan, local-fallback) and passes
+// the bundle on to every client it builds. Returns r for chaining.
+func (r *Runner) WithObs(o *Obs) *Runner {
+	r.obsv = o
 	return r
 }
 
@@ -173,17 +182,24 @@ func (r *Runner) RunPlan(p *core.Plan, inputs []*tensor.Tensor) (*FTReport, erro
 	for attempt := 0; countPending(order) > 0 && attempt <= r.opts.MaxReconnects; attempt++ {
 		if attempt > 0 {
 			ft.Reconnects++
+			if o := r.obsv; o != nil {
+				o.Reconnects.Inc()
+			}
 			jitter := time.Duration(rng.Int63n(int64(backoff/2) + 1))
+			sleepStart := time.Now()
 			time.Sleep(backoff/2 + jitter)
+			r.obsv.span(TrackRunner, SpanBackoff, -1, sleepStart, time.Now())
 			if backoff *= 2; backoff > r.opts.BackoffMax {
 				backoff = r.opts.BackoffMax
 			}
 		}
+		dialStart := time.Now()
 		conn, err := r.dial()
+		r.obsv.span(TrackRunner, SpanRedial, -1, dialStart, time.Now())
 		if err != nil {
 			continue // dial failures consume an attempt and back off
 		}
-		cl := NewClient(conn, r.model, nominal, r.scale)
+		cl := NewClient(conn, r.model, nominal, r.scale).WithObs(r.obsv)
 		fatal, aerr := r.attempt(cl, order, &nominal, ft)
 		cl.Close()
 		// Wait for the demux goroutine to exit: once it has, no straggler
@@ -207,9 +223,14 @@ func (r *Runner) RunPlan(p *core.Plan, inputs []*tensor.Tensor) (*FTReport, erro
 			if j.done {
 				continue
 			}
+			fbStart := time.Now()
 			_, res, err := runPrefix(r.model, r.units, j.id, localCut, j.input)
 			if err != nil {
 				return nil, err
+			}
+			r.obsv.span(TrackRunner, SpanLocalFallback, j.id, fbStart, time.Now())
+			if o := r.obsv; o != nil {
+				o.LocalFallbacks.Inc()
 			}
 			j.res = res
 			j.done = true
@@ -313,6 +334,9 @@ func (r *Runner) attempt(cl *Client, order []*ftJob, nominal *netsim.Channel, ft
 		}
 		if j.tries > 0 {
 			ft.RetriedJobs++
+			if o := r.obsv; o != nil {
+				o.JobsRetried.Inc()
+			}
 		}
 		j.tries++
 		call, cerr := cl.enqueueInfer(j.res, j.cut, j.boundary)
@@ -330,7 +354,9 @@ func (r *Runner) attempt(cl *Client, order []*ftJob, nominal *netsim.Channel, ft
 			if !replanned && r.opts.ReplanFactor > 0 && r.curve != nil {
 				if health, samples := cl.LinkHealth(); samples >= 2 && health < r.opts.ReplanFactor {
 					replanned = true
+					replanStart := time.Now()
 					r.replanRemaining(pending[i+1:], health, nominal, ft)
+					r.obsv.span(TrackRunner, SpanReplan, -1, replanStart, time.Now())
 				}
 			}
 		}
@@ -371,4 +397,7 @@ func (r *Runner) replanRemaining(rest []*ftJob, health float64, nominal *netsim.
 	*nominal = measured // later attempts plan and measure against the degraded link
 	ft.Replans++
 	ft.ReplannedMbps = measured.UplinkMbps
+	if o := r.obsv; o != nil {
+		o.Replans.Inc()
+	}
 }

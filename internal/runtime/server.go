@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -28,6 +29,9 @@ type Server struct {
 	suffix [][]int
 	// workers bounds concurrent inferences per connection.
 	workers int
+	// obsv is the optional tracing + metrics bundle; nil disables
+	// recording.
+	obsv *Obs
 }
 
 // NewServer builds a server for the model. Per-connection concurrency
@@ -57,14 +61,48 @@ func (s *Server) WithWorkers(n int) *Server {
 	return s
 }
 
+// WithObs attaches a tracing + metrics bundle; must be called before
+// serving. Returns s for chaining. The server records per-job spans
+// (decode, queue-wait, cloud-compute, reply-write) and the pool
+// metrics documented on Obs.
+func (s *Server) WithObs(o *Obs) *Server {
+	s.obsv = o
+	return s
+}
+
+// acceptBackoffMax caps the retry delay after transient Accept errors.
+const acceptBackoffMax = time.Second
+
 // Serve accepts connections until the listener closes, handling each
-// connection on its own goroutine.
+// connection on its own goroutine. Transient accept errors (EMFILE
+// under fd exhaustion, ECONNABORTED) are retried with a small
+// exponential backoff instead of killing the whole server; Serve
+// returns only on permanent errors such as net.ErrClosed.
 func (s *Server) Serve(lis net.Listener) error {
+	var delay time.Duration
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return err
+			}
+			// net.Error.Temporary is deprecated for general use, but it
+			// is still the only signal that distinguishes per-connection
+			// accept failures from a dead listener (net/http's accept
+			// loop does the same).
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() { //nolint:staticcheck // see above
+				if delay == 0 {
+					delay = 5 * time.Millisecond
+				} else if delay *= 2; delay > acceptBackoffMax {
+					delay = acceptBackoffMax
+				}
+				time.Sleep(delay)
+				continue
+			}
 			return err
 		}
+		delay = 0
 		go func() {
 			defer conn.Close()
 			_ = s.HandleConn(conn)
@@ -76,12 +114,16 @@ func (s *Server) Serve(lis net.Listener) error {
 // loop owns the socket's read side; executions run on the worker pool
 // and emit replies under a write mutex (whole frames, flushed per
 // reply, so frames never interleave). Each inference reply carries the
-// server's measured compute time so the client can isolate the
-// communication delay (the paper's td − tc). The first error — decode,
-// execution, or write — stops the connection; queued work is abandoned.
+// server's measured compute time and queue wait so the client can
+// isolate the communication delay (the paper's td − tc). The first
+// error — decode, execution, or write — stops the connection; queued
+// work is abandoned. When the transport is closable it is closed on
+// failure so a read loop blocked in ReadByte on an idle client
+// unblocks instead of pinning the goroutine forever.
 func (s *Server) HandleConn(conn io.ReadWriter) error {
 	r := bufio.NewReaderSize(conn, 1<<16)
 	w := bufio.NewWriterSize(conn, 1<<16)
+	closer, _ := conn.(io.Closer)
 
 	var (
 		writeMu  sync.Mutex
@@ -93,16 +135,32 @@ func (s *Server) HandleConn(conn io.ReadWriter) error {
 		errOnce.Do(func() {
 			firstErr = err
 			close(stop)
+			// A worker failure must also surface to a client that is
+			// idle (all requests sent, waiting on replies): closing the
+			// transport both unblocks our reader and drops the peer.
+			if closer != nil {
+				closer.Close()
+			}
 		})
 	}
 	// reply encodes one frame under the write mutex.
 	reply := func(rep *inferReply) error {
 		writeMu.Lock()
-		defer writeMu.Unlock()
-		if err := writeInferReply(w, rep); err != nil {
+		start := time.Now()
+		err := writeInferReply(w, rep)
+		if err == nil {
+			err = w.Flush()
+		}
+		writeMu.Unlock()
+		if err != nil {
 			return err
 		}
-		return w.Flush()
+		if o := s.obsv; o != nil {
+			o.span(TrackServer, SpanReplyWrite, int(rep.JobID), start, time.Now())
+			o.ServerJobs.Inc()
+			o.ServerTxBytes.Add(replyWireBytes)
+		}
+		return nil
 	}
 
 	jobs := make(chan func() (*inferReply, error), s.workers)
@@ -151,21 +209,36 @@ readLoop:
 		}
 		switch typ {
 		case msgInfer:
+			decodeStart := time.Now()
 			req, err := readInferRequestBody(r)
 			if err != nil {
 				fail(err)
 				break readLoop
 			}
-			if !dispatch(func() (*inferReply, error) { return s.infer(req) }) {
+			recv := time.Now()
+			if o := s.obsv; o != nil {
+				o.span(TrackServer, SpanDecode, int(req.JobID), decodeStart, recv)
+				o.ServerRxBytes.Add(int64(RequestWireBytes(req.Tensor.Shape)))
+			}
+			if !dispatch(func() (*inferReply, error) {
+				return s.runJob(int(req.JobID), recv, func() (*inferReply, error) { return s.infer(req) })
+			}) {
 				break readLoop
 			}
 		case msgInferSet:
+			decodeStart := time.Now()
 			req, err := readInferSetRequestBody(r)
 			if err != nil {
 				fail(err)
 				break readLoop
 			}
-			if !dispatch(func() (*inferReply, error) { return s.inferSet(req) }) {
+			recv := time.Now()
+			if o := s.obsv; o != nil {
+				o.span(TrackServer, SpanDecode, int(req.JobID), decodeStart, recv)
+			}
+			if !dispatch(func() (*inferReply, error) {
+				return s.runJob(int(req.JobID), recv, func() (*inferReply, error) { return s.inferSet(req) })
+			}) {
 				break readLoop
 			}
 		case msgPing:
@@ -193,6 +266,30 @@ readLoop:
 	close(jobs)
 	wg.Wait()
 	return firstErr
+}
+
+// runJob executes one dispatched inference on a worker, recording the
+// pool queue wait (decode completion to worker pickup), occupancy, and
+// the compute span, and stamping the reply's QueueNs metadata so the
+// client can tell a saturated pool apart from a degraded link.
+func (s *Server) runJob(jobID int, recv time.Time, infer func() (*inferReply, error)) (*inferReply, error) {
+	start := time.Now()
+	o := s.obsv
+	o.span(TrackServer, SpanQueueWait, jobID, recv, start)
+	if o != nil {
+		o.WorkersBusy.Add(1)
+	}
+	rep, err := infer()
+	end := time.Now()
+	if o != nil {
+		o.WorkersBusy.Add(-1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.QueueNs = start.Sub(recv).Nanoseconds()
+	o.span(TrackServer, SpanCloudCompute, jobID, start, end)
+	return rep, nil
 }
 
 // infer resumes the model from the request's cut and returns the

@@ -114,7 +114,14 @@ func Run(jobs []JobSpec) (*Result, error) {
 	seq := 0
 	for ji, j := range jobs {
 		if len(j.Stages) == 0 {
+			// A zero-stage job completes the instant it is released, and
+			// its completion bounds the makespan like any other (a job
+			// released at t=5 that does nothing still means the batch is
+			// not over before t=5).
 			res.Completions[j.ID] = j.ReleaseMs
+			if j.ReleaseMs > res.Makespan {
+				res.Makespan = j.ReleaseMs
+			}
 			continue
 		}
 		heap.Push(h, event{time: j.ReleaseMs, priority: j.Priority, seq: seq, job: ji, stage: 0})

@@ -127,6 +127,85 @@ func TestEmptyAndStagelessJobs(t *testing.T) {
 	}
 }
 
+// Regression: a stageless job completes at its release time, and that
+// completion must bound the makespan like any other. Run previously
+// recorded the completion but left Makespan untouched, so a batch
+// whose latest event was an empty job reported an early makespan.
+func TestStagelessJobBoundsMakespan(t *testing.T) {
+	jobs := []JobSpec{
+		{ID: 0, Stages: []StageSpec{{Resource: ResMobile, Ms: 3}}},
+		{ID: 1, ReleaseMs: 10}, // stageless, released after job 0 finishes
+	}
+	res, err := Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions[1] != 10 {
+		t.Errorf("stageless completion = %g, want 10", res.Completions[1])
+	}
+	if res.Makespan != 10 {
+		t.Errorf("makespan = %g, want 10 (stageless completion must count)", res.Makespan)
+	}
+	// A stageless job that completes before the real work must not
+	// drag the makespan in either direction.
+	res, err = Run([]JobSpec{
+		{ID: 0, ReleaseMs: 1},
+		{ID: 1, Stages: []StageSpec{{Resource: ResMobile, Ms: 5}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 5 {
+		t.Errorf("makespan = %g, want 5", res.Makespan)
+	}
+}
+
+// Utilization is busy time over makespan, exactly.
+func TestUtilizationValues(t *testing.T) {
+	res, err := Run([]JobSpec{
+		{ID: 0, Stages: []StageSpec{{ResMobile, 4}, {ResUplink, 2}}},
+		{ID: 1, Stages: []StageSpec{{ResMobile, 4}, {ResUplink, 2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mobile: 8 busy over makespan 10; uplink: 4 over 10.
+	if res.Makespan != 10 {
+		t.Fatalf("makespan = %g, want 10", res.Makespan)
+	}
+	if u := res.Utilization(ResMobile); math.Abs(u-0.8) > 1e-12 {
+		t.Errorf("mobile utilization = %g, want 0.8", u)
+	}
+	if u := res.Utilization(ResUplink); math.Abs(u-0.4) > 1e-12 {
+		t.Errorf("uplink utilization = %g, want 0.4", u)
+	}
+}
+
+// Gantt intervals come back sorted by start time per resource, even
+// when priorities make later-submitted jobs run first.
+func TestGanttIntervalOrdering(t *testing.T) {
+	jobs := []JobSpec{
+		{ID: 0, Priority: 3, Stages: []StageSpec{{ResMobile, 2}, {ResUplink, 1}}},
+		{ID: 1, Priority: 1, Stages: []StageSpec{{ResMobile, 1}, {ResUplink, 4}}},
+		{ID: 2, Priority: 2, Stages: []StageSpec{{ResMobile, 3}, {ResUplink, 2}}},
+	}
+	res, err := Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for resName, ivs := range res.Gantt {
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].Start < ivs[i-1].Start {
+				t.Errorf("%s: intervals out of order: %+v before %+v", resName, ivs[i-1], ivs[i])
+			}
+		}
+	}
+	// Priority order: job 1 first on mobile.
+	if res.Gantt[ResMobile][0].JobID != 1 {
+		t.Errorf("first mobile interval = %+v, want job 1", res.Gantt[ResMobile][0])
+	}
+}
+
 func TestZeroDurationStagesPreserveOrder(t *testing.T) {
 	jobs := []JobSpec{
 		{ID: 0, Priority: 0, Stages: []StageSpec{{ResMobile, 0}, {ResUplink, 5}}},

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"dnnjps/internal/obs"
+)
+
+// TraceStage maps a recorded span name onto a simulator resource and
+// stage index, so a live trace can be reshaped into the same Gantt
+// form Run produces and the two compared interval by interval.
+type TraceStage struct {
+	Resource string
+	Stage    int
+}
+
+// RuntimeStages is the canonical mapping for the offloading runtime's
+// resource-occupancy spans (the names internal/runtime records; wait
+// spans like queue-wait and reply-wait are deliberately absent — they
+// occupy no resource). The strings are duplicated rather than imported
+// so sim stays independent of the runtime package; the runtime's tests
+// pin the two sets together.
+func RuntimeStages() map[string]TraceStage {
+	return map[string]TraceStage{
+		"local-compute": {Resource: ResMobile, Stage: 0},
+		"upload":        {Resource: ResUplink, Stage: 1},
+		"cloud-compute": {Resource: ResCloud, Stage: 2},
+	}
+}
+
+// FromTrace reshapes recorded spans into a measured Result: spans whose
+// names appear in stages become busy intervals on their resource,
+// rebased so the earliest mapped span starts at 0 and divided by scale
+// (the runtime's time-compression factor; <= 0 means 1) to recover
+// channel-scale milliseconds. Completions hold each job's latest
+// mapped span end; unmapped spans (waits, recovery events) are
+// ignored. The result is directly comparable with Run's: same Gantt
+// shape, same Utilization semantics.
+func FromTrace(spans []obs.Span, stages map[string]TraceStage, scale float64) *Result {
+	if scale <= 0 {
+		scale = 1
+	}
+	res := &Result{
+		Completions: make(map[int]float64),
+		Gantt:       make(map[string][]Interval),
+		BusyMs:      make(map[string]float64),
+	}
+	base := int64(math.MaxInt64)
+	for _, sp := range spans {
+		if _, ok := stages[sp.Name]; ok && sp.StartNs < base {
+			base = sp.StartNs
+		}
+	}
+	if base == math.MaxInt64 {
+		return res
+	}
+	for _, sp := range spans {
+		st, ok := stages[sp.Name]
+		if !ok {
+			continue
+		}
+		start := float64(sp.StartNs-base) / 1e6 / scale
+		end := float64(sp.EndNs()-base) / 1e6 / scale
+		res.Gantt[st.Resource] = append(res.Gantt[st.Resource],
+			Interval{JobID: int(sp.JobID), Stage: st.Stage, Start: start, End: end})
+		res.BusyMs[st.Resource] += end - start
+		if sp.JobID >= 0 && end > res.Completions[int(sp.JobID)] {
+			res.Completions[int(sp.JobID)] = end
+		}
+		if end > res.Makespan {
+			res.Makespan = end
+		}
+	}
+	for _, ivs := range res.Gantt {
+		sort.Slice(ivs, func(a, b int) bool { return ivs[a].Start < ivs[b].Start })
+	}
+	return res
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dnnjps/internal/obs"
+)
+
+// Round-trip: simulate a plan, re-record its Gantt intervals as trace
+// spans, and bridge them back. The reconstructed Result must match the
+// simulated one interval for interval.
+func TestFromTraceRoundTrip(t *testing.T) {
+	jobs := []JobSpec{
+		{ID: 0, Priority: 0, Stages: []StageSpec{{ResMobile, 3}, {ResUplink, 5}, {ResCloud, 1}}},
+		{ID: 1, Priority: 1, Stages: []StageSpec{{ResMobile, 4}, {ResUplink, 2}, {ResCloud, 1}}},
+	}
+	want, err := Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-record the simulated intervals through a real tracer, offset
+	// from its epoch, with the runtime's span names.
+	nameOf := map[string]string{ResMobile: "local-compute", ResUplink: "upload", ResCloud: "cloud-compute"}
+	tr := obs.NewTracer(0)
+	epoch := tr.Epoch()
+	for resName, ivs := range want.Gantt {
+		for _, iv := range ivs {
+			start := epoch.Add(time.Duration(iv.Start * float64(time.Millisecond)))
+			end := epoch.Add(time.Duration(iv.End * float64(time.Millisecond)))
+			tr.Record(resName, nameOf[resName], iv.JobID, start, end)
+		}
+	}
+	// Noise the bridge must ignore: wait spans and recovery events.
+	tr.Record("uplink", "queue-wait", 0, epoch, epoch.Add(time.Millisecond))
+	tr.Record("runner", "backoff", -1, epoch, epoch.Add(time.Second))
+
+	got := FromTrace(tr.Spans(), RuntimeStages(), 1)
+	const tol = 1e-6 // ns-truncation of the recorded timestamps
+	if math.Abs(got.Makespan-want.Makespan) > tol {
+		t.Errorf("makespan = %g, want %g", got.Makespan, want.Makespan)
+	}
+	for resName, wivs := range want.Gantt {
+		givs := got.Gantt[resName]
+		if len(givs) != len(wivs) {
+			t.Fatalf("%s: %d intervals, want %d", resName, len(givs), len(wivs))
+		}
+		for i := range wivs {
+			if givs[i].JobID != wivs[i].JobID ||
+				math.Abs(givs[i].Start-wivs[i].Start) > tol ||
+				math.Abs(givs[i].End-wivs[i].End) > tol {
+				t.Errorf("%s[%d] = %+v, want %+v", resName, i, givs[i], wivs[i])
+			}
+		}
+		if math.Abs(got.BusyMs[resName]-want.BusyMs[resName]) > tol {
+			t.Errorf("%s busy = %g, want %g", resName, got.BusyMs[resName], want.BusyMs[resName])
+		}
+	}
+	for id, c := range want.Completions {
+		if math.Abs(got.Completions[id]-c) > tol {
+			t.Errorf("completion[%d] = %g, want %g", id, got.Completions[id], c)
+		}
+	}
+}
+
+// The scale argument recovers channel-scale milliseconds from
+// time-compressed measurements.
+func TestFromTraceRescales(t *testing.T) {
+	tr := obs.NewTracer(0)
+	epoch := tr.Epoch()
+	// 2 real ms at scale 0.01 = 200 channel ms.
+	tr.Record(ResUplink, "upload", 0, epoch, epoch.Add(2*time.Millisecond))
+	got := FromTrace(tr.Spans(), RuntimeStages(), 0.01)
+	if math.Abs(got.Makespan-200) > 1e-6 {
+		t.Errorf("makespan = %g, want 200", got.Makespan)
+	}
+	if u := got.Utilization(ResUplink); math.Abs(u-1) > 1e-9 {
+		t.Errorf("utilization = %g, want 1", u)
+	}
+}
+
+// No mapped spans -> an empty, usable Result.
+func TestFromTraceEmpty(t *testing.T) {
+	got := FromTrace(nil, RuntimeStages(), 1)
+	if got.Makespan != 0 || len(got.Gantt) != 0 || got.Utilization(ResMobile) != 0 {
+		t.Errorf("empty trace produced %+v", got)
+	}
+}

@@ -8,6 +8,21 @@ cd "$(dirname "$0")/.."
 echo "== go vet"
 go vet ./...
 
+# Optional analyzers: run when installed, skip cleanly when not (the CI
+# image bakes in only the go toolchain; go vet above always runs).
+if command -v staticcheck > /dev/null 2>&1; then
+    echo "== staticcheck"
+    staticcheck ./...
+else
+    echo "== staticcheck (not installed, skipped)"
+fi
+if command -v govulncheck > /dev/null 2>&1; then
+    echo "== govulncheck"
+    govulncheck ./...
+else
+    echo "== govulncheck (not installed, skipped)"
+fi
+
 echo "== go build"
 go build ./...
 
@@ -24,10 +39,18 @@ echo "== fuzz smoke (10s per target)"
 # Each wire decoder and the fault injector get a short coverage-guided
 # run on top of the committed seed corpora in testdata/fuzz/. A crash
 # here reproduces with: go test -run 'Fuzz<T>/<file>' <pkg>
+fuzz_smoke() {
+    target=$1
+    pkg=$2
+    if ! go test -run NONE -fuzz "^${target}\$" -fuzztime 10s "$pkg" > /dev/null; then
+        echo "FUZZ FAILURE: ${target} in ${pkg} (reproduce: go test -run '${target}/<file>' ${pkg})" >&2
+        exit 1
+    fi
+}
 for target in FuzzReadTensor FuzzHandleConn FuzzReadInferRequest FuzzReadInferReply; do
-    go test -run NONE -fuzz "^${target}\$" -fuzztime 10s ./internal/runtime/ > /dev/null
+    fuzz_smoke "$target" ./internal/runtime/
 done
-go test -run NONE -fuzz '^FuzzInjector$' -fuzztime 10s ./internal/netsim/ > /dev/null
+fuzz_smoke FuzzInjector ./internal/netsim/
 
 echo "== benchmarks compile and run once"
 go test -run NONE -bench . -benchtime 1x ./... > /dev/null
