@@ -6,6 +6,7 @@
 //	jpsbench -all
 //	jpsbench -fig 12 -n 100
 //	jpsbench -fig 13 -model mobilenetv2 -csv out/
+//	jpsbench -fig batch -model mobilenetv2 -batch-window 2ms
 package main
 
 import (
@@ -14,22 +15,49 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"dnnjps/internal/experiments"
 	"dnnjps/internal/netsim"
 	"dnnjps/internal/report"
 )
 
+// Channel-shaping and coalescer knobs, shared by the live-runtime
+// experiment cases below.
+var (
+	batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "with -fig batch: coalescing window of the windowed rows (0-window baseline rows always run)")
+	batchMax     = flag.Int("batch-max", 16, "with -fig batch: maximum jobs per coalesced group")
+	downlinkMbps = flag.Float64("downlink-mbps", 0, "model reply bandwidth on the experiments' fixed channels (0 keeps the historical free-downlink assumption)")
+)
+
+// nExplicit records whether -n was set on the command line; the batch
+// experiment sweeps its default job counts otherwise.
+var nExplicit bool
+
+// withDownlink applies the -downlink-mbps flag to a fixed channel.
+func withDownlink(ch netsim.Channel) netsim.Channel {
+	if *downlinkMbps > 0 {
+		return ch.WithDownlink(*downlinkMbps)
+	}
+	return ch
+}
+
 func main() {
 	var (
-		all      = flag.Bool("all", false, "run every experiment")
-		fig      = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, 3tier, robust, runtime, faults, trace")
-		model    = flag.String("model", "alexnet", "model for figure 4/13 (alexnet, mobilenetv2, ...)")
-		n        = flag.Int("n", 100, "number of inference jobs")
-		csvDir   = flag.String("csv", "", "directory to also write tables as CSV")
-		traceOut = flag.String("trace-out", "", "with -fig trace: also write the recorded spans as Chrome trace_event JSON to this file")
+		all       = flag.Bool("all", false, "run every experiment")
+		fig       = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, 3tier, robust, runtime, faults, trace, batch")
+		model     = flag.String("model", "alexnet", "model for figure 4/13 (alexnet, mobilenetv2, ...)")
+		n         = flag.Int("n", 100, "number of inference jobs")
+		csvDir    = flag.String("csv", "", "directory to also write tables as CSV")
+		traceOut  = flag.String("trace-out", "", "with -fig trace: also write the recorded spans as Chrome trace_event JSON to this file")
+		traceJSON = flag.String("trace-json", "", "with -fig trace: also write the recorded spans as plain JSON (obs.ReadJSON format, used by the committed regression corpus)")
 	)
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "n" {
+			nExplicit = true
+		}
+	})
 
 	env := experiments.DefaultEnv()
 	env.NJobs = *n
@@ -43,7 +71,7 @@ func main() {
 		os.Exit(2)
 	}
 	for _, id := range ids {
-		tables, err := run(env, id, *model, *traceOut)
+		tables, err := run(env, id, *model, *traceOut, *traceJSON)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "jpsbench: %s: %v\n", id, err)
 			os.Exit(1)
@@ -64,7 +92,7 @@ func main() {
 	}
 }
 
-func run(env experiments.Env, id, model, traceOut string) ([]*report.Table, error) {
+func run(env experiments.Env, id, model, traceOut, traceJSON string) ([]*report.Table, error) {
 	switch id {
 	case "4":
 		rows := experiments.Fig4(env, model, netsim.WiFi)
@@ -147,7 +175,7 @@ func run(env experiments.Env, id, model, traceOut string) ([]*report.Table, erro
 		// Live execution: real engine compute on this host plus the
 		// simulated Wi-Fi channel in real time, so a run takes a few
 		// seconds. Deliberately not part of -all.
-		res, err := experiments.RuntimePipeline(env, model, netsim.WiFi, 8, 1.0)
+		res, err := experiments.RuntimePipeline(env, model, withDownlink(netsim.WiFi), 8, 1.0)
 		if err != nil {
 			return nil, err
 		}
@@ -156,7 +184,7 @@ func run(env experiments.Env, id, model, traceOut string) ([]*report.Table, erro
 		// Instrumented live execution: the run is recorded span by span,
 		// bridged into Gantt form, and plotted against the Prop. 4.1
 		// pipeline the plan was priced on. Real time, not part of -all.
-		res, err := experiments.RuntimeTrace(env, model, netsim.WiFi, 8, 1.0)
+		res, err := experiments.RuntimeTrace(env, model, withDownlink(netsim.WiFi), 8, 1.0)
 		if err != nil {
 			return nil, err
 		}
@@ -178,13 +206,27 @@ func run(env experiments.Env, id, model, traceOut string) ([]*report.Table, erro
 			}
 			fmt.Printf("wrote Chrome trace to %s (open in chrome://tracing or Perfetto)\n\n", traceOut)
 		}
+		if traceJSON != "" {
+			f, err := os.Create(traceJSON)
+			if err != nil {
+				return nil, err
+			}
+			werr := res.Tracer.WriteJSON(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return nil, werr
+			}
+			fmt.Printf("wrote span JSON to %s\n\n", traceJSON)
+		}
 		return []*report.Table{experiments.TraceTable(res)}, nil
 	case "faults":
 		// Live execution under injected uplink frame drops: the same
 		// plan runs through the fault-tolerant runner at each drop rate
 		// and is compared against the no-fault Prop. 4.1 closed form.
 		// Like "runtime", this runs in real time and is not part of -all.
-		rows, err := experiments.RuntimeFaults(env, model, netsim.WiFi, 12, 1.0,
+		rows, err := experiments.RuntimeFaults(env, model, withDownlink(netsim.WiFi), 12, 1.0,
 			[]float64{0, 1, 5, 20}, 1)
 		if err != nil {
 			return nil, err
@@ -215,6 +257,21 @@ func run(env experiments.Env, id, model, traceOut string) ([]*report.Table, erro
 			return nil, err
 		}
 		return []*report.Table{experiments.ThreeTierTable(rows)}, nil
+	case "batch":
+		// Live execution of the server-side coalescer: a cloud-only
+		// plan floods the server at each job count, once with batching
+		// off (window 0, the batch-1 baseline) and once at the flag's
+		// window. Real engine compute in real time, not part of -all.
+		counts := []int{8, 32, 128}
+		if nExplicit {
+			counts = []int{env.NJobs}
+		}
+		rows, err := experiments.RuntimeBatch(env, model, withDownlink(netsim.WiFi),
+			counts, []time.Duration{0, *batchWindow}, *batchMax, 1e-3)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.RuntimeBatchTable(rows)}, nil
 	case "robust":
 		rows, err := experiments.Robustness(env, model, netsim.FourG,
 			[]float64{-50, -25, -10, 0, 10, 25, 50, 100})
@@ -223,7 +280,7 @@ func run(env experiments.Env, id, model, traceOut string) ([]*report.Table, erro
 		}
 		return []*report.Table{experiments.RobustnessTable(model, netsim.FourG, rows)}, nil
 	default:
-		return nil, fmt.Errorf("unknown experiment %q (have 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, 3tier, robust, runtime, faults, trace)", id)
+		return nil, fmt.Errorf("unknown experiment %q (have 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, 3tier, robust, runtime, faults, trace, batch)", id)
 	}
 }
 

@@ -7,6 +7,14 @@
 //
 //	jpsserve -model mobilenetv2 -addr :7443 -seed 42
 //
+// With -batch-window the server coalesces same-shape requests that
+// arrive within the window into one batched forward (see DESIGN.md
+// "Cross-job batching"); -downlink-mbps paces the server's replies at
+// a modeled downlink bandwidth, for end-to-end runs over symmetric
+// low-band channels:
+//
+//	jpsserve -model mobilenetv2 -batch-window 2ms -batch-max 16 -downlink-mbps 8
+//
 // For fault-tolerance testing the server can degrade its own side of
 // every accepted connection with the netsim fault injector:
 //
@@ -28,6 +36,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"time"
 
 	"dnnjps/internal/engine"
 	"dnnjps/internal/models"
@@ -44,6 +53,10 @@ func main() {
 		workers = flag.Int("workers", 0, "engine worker goroutines per layer; 0 = GOMAXPROCS")
 		conc    = flag.Int("conc", 0, "concurrent inferences per connection (worker pool); 0 = GOMAXPROCS. Multiplies with -workers, so size the product to the core count")
 
+		batchWindow = flag.Duration("batch-window", 0, "coalesce same-shape requests arriving within this window into one batched forward (0 = disabled)")
+		batchMax    = flag.Int("batch-max", 16, "maximum jobs per coalesced group (with -batch-window)")
+		downMbps    = flag.Float64("downlink-mbps", 0, "pace replies at this modeled downlink bandwidth (0 = unshaped)")
+
 		faultDrop  = flag.Float64("fault-drop", 0, "probability of dropping each frame in either direction")
 		faultStall = flag.Float64("fault-stall-p", 0, "probability of stalling each frame")
 		stallMs    = flag.Float64("fault-stall-ms", 50, "stall duration in channel-model ms (with -fault-stall-p)")
@@ -59,7 +72,7 @@ func main() {
 		StallMs:              *stallMs,
 		DisconnectAfterBytes: *discBytes,
 	}
-	if err := run(*model, *addr, *seed, *workers, *conc, spec, *faultSeed, *metricsAddr); err != nil {
+	if err := run(*model, *addr, *seed, *workers, *conc, *batchWindow, *batchMax, *downMbps, spec, *faultSeed, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "jpsserve:", err)
 		os.Exit(1)
 	}
@@ -90,7 +103,7 @@ func obsMux(tr *obs.Tracer, m *obs.Metrics) *http.ServeMux {
 	return mux
 }
 
-func run(model, addr string, seed int64, workers, conc int, spec netsim.FaultSpec, faultSeed int64, metricsAddr string) error {
+func run(model, addr string, seed int64, workers, conc int, batchWindow time.Duration, batchMax int, downMbps float64, spec netsim.FaultSpec, faultSeed int64, metricsAddr string) error {
 	g, err := models.Build(model)
 	if err != nil {
 		return err
@@ -106,6 +119,18 @@ func run(model, addr string, seed int64, workers, conc int, spec netsim.FaultSpe
 	srv := runtime.NewServer(m)
 	if conc > 0 {
 		srv.WithWorkers(conc)
+	}
+	if batchWindow > 0 {
+		fmt.Printf("batching: window %v, max %d jobs/group\n", batchWindow, batchMax)
+		srv.WithBatching(batchWindow, batchMax)
+	}
+	// The server's writes are the client's downlink: pacing them models
+	// reply bandwidth without the client's cooperation.
+	shapeDown := func(conn net.Conn) net.Conn { return conn }
+	if downMbps > 0 {
+		fmt.Printf("downlink shaped to %.2f Mb/s\n", downMbps)
+		dlCh := netsim.Channel{Name: "downlink", UplinkMbps: downMbps}
+		shapeDown = func(conn net.Conn) net.Conn { return netsim.Shape(conn, dlCh, 1) }
 	}
 	if metricsAddr != "" {
 		tr := obs.NewTracer(0)
@@ -125,7 +150,20 @@ func run(model, addr string, seed int64, workers, conc int, spec netsim.FaultSpe
 	faulty := spec.DropProb > 0 || spec.StallProb > 0 || spec.DisconnectAfterBytes > 0
 	fmt.Printf("serving %s on %s\n", model, lis.Addr())
 	if !faulty {
-		return srv.Serve(lis)
+		if downMbps <= 0 {
+			return srv.Serve(lis)
+		}
+		// Shaped replies need a per-connection wrapper, so accept by hand.
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return err
+			}
+			go func() {
+				defer conn.Close()
+				_ = srv.HandleConn(shapeDown(conn))
+			}()
+		}
 	}
 
 	// Fault mode: wrap each accepted connection in the injector so
@@ -138,7 +176,7 @@ func run(model, addr string, seed int64, workers, conc int, spec netsim.FaultSpe
 		if err != nil {
 			return err
 		}
-		fc := netsim.Inject(conn, spec, spec, faultSeed+i, 1)
+		fc := netsim.Inject(shapeDown(conn), spec, spec, faultSeed+i, 1)
 		go func(id int64) {
 			defer conn.Close()
 			if err := srv.HandleConn(fc); err != nil {

@@ -18,13 +18,13 @@ import (
 )
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("lenet", "127.0.0.1:0", 1, 0, 0, netsim.FaultSpec{}, 1, ""); err == nil {
+	if err := run("lenet", "127.0.0.1:0", 1, 0, 0, 0, 16, 0, netsim.FaultSpec{}, 1, ""); err == nil {
 		t.Error("unknown model must error")
 	}
-	if err := run("alexnet", "256.256.256.256:99999", 1, 0, 4, netsim.FaultSpec{}, 1, ""); err == nil {
+	if err := run("alexnet", "256.256.256.256:99999", 1, 0, 4, 0, 16, 0, netsim.FaultSpec{}, 1, ""); err == nil {
 		t.Error("unlistenable address must error")
 	}
-	if err := run("squeezenet", "127.0.0.1:0", 1, 0, 0, netsim.FaultSpec{}, 1, "256.256.256.256:99999"); err == nil {
+	if err := run("squeezenet", "127.0.0.1:0", 1, 0, 0, 0, 16, 0, netsim.FaultSpec{}, 1, "256.256.256.256:99999"); err == nil {
 		t.Error("unlistenable metrics address must error")
 	}
 }

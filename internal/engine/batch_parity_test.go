@@ -1,0 +1,255 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"dnnjps/internal/dag"
+	"dnnjps/internal/models"
+	"dnnjps/internal/nn"
+	"dnnjps/internal/tensor"
+)
+
+// Batched-vs-batch-1 equivalence: ForwardBatch packs n inputs and runs
+// widened GEMMs, but every per-image output element accumulates the
+// same products in the same order as a solo Forward — so outputs must
+// be bit-identical, at any batch size and worker count.
+
+// runBatchParity runs each input through a solo Forward and the whole
+// set through ForwardBatch, and requires exact equality per image.
+func runBatchParity(t *testing.T, g *dag.Graph, seed int64, ns ...int) {
+	t.Helper()
+	m := Load(g, seed)
+	inShape := g.Node(g.Source()).OutShape
+	for _, n := range ns {
+		for _, workers := range []int{1, 3} {
+			m.Parallel(workers)
+			inputs := make([]*tensor.Tensor, n)
+			refs := make([]*tensor.Tensor, n)
+			for b := range inputs {
+				inputs[b] = randInput(inShape, seed+200+int64(b))
+				out, err := m.Forward(inputs[b].Clone())
+				if err != nil {
+					t.Fatalf("n=%d workers=%d: solo forward %d: %v", n, workers, b, err)
+				}
+				refs[b] = out.Clone()
+			}
+			got, err := m.ForwardBatch(inputs)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: batched forward: %v", n, workers, err)
+			}
+			if len(got) != n {
+				t.Fatalf("n=%d: got %d outputs", n, len(got))
+			}
+			for b := range refs {
+				if !got[b].Shape.Equal(refs[b].Shape) {
+					t.Fatalf("n=%d workers=%d image %d: shape %v, want %v", n, workers, b, got[b].Shape, refs[b].Shape)
+				}
+				for i := range refs[b].Data {
+					if got[b].Data[i] != refs[b].Data[i] {
+						t.Fatalf("n=%d workers=%d image %d: out[%d] = %g, solo = %g",
+							n, workers, b, i, got[b].Data[i], refs[b].Data[i])
+					}
+				}
+			}
+		}
+	}
+	m.Parallel(1)
+}
+
+func TestBatchConvParity(t *testing.T) {
+	cases := []struct {
+		inC, inH, inW int
+		l             nn.Conv2D
+	}{
+		{3, 15, 15, nn.Conv2D{OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, Bias: true}},
+		{8, 14, 14, nn.Conv2D{OutC: 16, KH: 1, KW: 1, Stride: 1}}, // pure-1x1 fast path
+		{8, 14, 14, nn.Conv2D{OutC: 16, KH: 1, KW: 1, Stride: 2}}, // strided 1x1, must lower
+		{6, 12, 12, nn.Conv2D{OutC: 8, KH: 3, KW: 3, Stride: 2, Groups: 2, Pad: 1, Bias: true}},
+		{4, 10, 12, nn.Conv2D{OutC: 5, KH: 1, KW: 3, Stride: 1, PadH: -1, PadW: 1}}, // rectangular
+	}
+	for i, c := range cases {
+		c := c
+		t.Run(fmt.Sprintf("case%d_k%dx%d_s%d_g%d", i, c.l.KH, c.l.KW, c.l.Stride, c.l.Groups), func(t *testing.T) {
+			g := dag.New(fmt.Sprintf("batchconv%d", i))
+			in := g.Add(&nn.Input{LayerName: "in", Shape: tensor.NewCHW(c.inC, c.inH, c.inW)})
+			c.l.LayerName = "conv"
+			g.Add(&c.l, in)
+			if err := g.Finalize(); err != nil {
+				t.Fatal(err)
+			}
+			runBatchParity(t, g, int64(i)+7, 2, 3, 16)
+		})
+	}
+}
+
+func TestBatchDWConvParity(t *testing.T) {
+	cases := []struct {
+		inC, inH, inW int
+		l             nn.DepthwiseConv2D
+	}{
+		{8, 16, 16, nn.DepthwiseConv2D{KH: 3, KW: 3, Stride: 1, Pad: 1, Bias: true}},
+		{3, 7, 7, nn.DepthwiseConv2D{KH: 7, KW: 7, Stride: 1, Pad: 3}}, // empty interior: all border
+		{5, 12, 12, nn.DepthwiseConv2D{KH: 3, KW: 3, Stride: 3}},       // no pad: all interior
+	}
+	for i, c := range cases {
+		c := c
+		t.Run(fmt.Sprintf("case%d_k%dx%d_s%d_p%d", i, c.l.KH, c.l.KW, c.l.Stride, c.l.Pad), func(t *testing.T) {
+			g := dag.New(fmt.Sprintf("batchdw%d", i))
+			in := g.Add(&nn.Input{LayerName: "in", Shape: tensor.NewCHW(c.inC, c.inH, c.inW)})
+			c.l.LayerName = "dw"
+			g.Add(&c.l, in)
+			if err := g.Finalize(); err != nil {
+				t.Fatal(err)
+			}
+			runBatchParity(t, g, int64(i)+31, 2, 3, 16)
+		})
+	}
+}
+
+func TestBatchDenseParity(t *testing.T) {
+	for i, outN := range []int{1, 10, 257} {
+		g := dag.New(fmt.Sprintf("batchdense%d", i))
+		in := g.Add(&nn.Input{LayerName: "in", Shape: tensor.NewVec(123)})
+		g.Add(&nn.Dense{LayerName: "fc", Out: outN, Bias: i%2 == 0}, in)
+		if err := g.Finalize(); err != nil {
+			t.Fatal(err)
+		}
+		runBatchParity(t, g, int64(i)+51, 2, 3, 16)
+	}
+}
+
+// Flatten with spatial extent > 1 needs a real transpose in the packed
+// layout; feed it straight into a dense head like AlexNet's classifier.
+func TestBatchFlattenDenseParity(t *testing.T) {
+	g := dag.New("batchflat")
+	in := g.Add(&nn.Input{LayerName: "in", Shape: tensor.NewCHW(4, 6, 6)})
+	cv := g.Add(&nn.Conv2D{LayerName: "conv", OutC: 6, KH: 3, KW: 3, Stride: 1, Pad: 1, Bias: true}, in)
+	fl := g.Add(&nn.Flatten{LayerName: "flat"}, cv)
+	g.Add(&nn.Dense{LayerName: "fc", Out: 9, Bias: true}, fl)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	runBatchParity(t, g, 63, 2, 3, 16)
+}
+
+// LRN + pools + softmax through an AlexNet-style stack.
+func TestBatchLRNPoolParity(t *testing.T) {
+	g := dag.New("batchlrn")
+	in := g.Add(&nn.Input{LayerName: "in", Shape: tensor.NewCHW(3, 17, 17)})
+	cv := g.Add(&nn.Conv2D{LayerName: "conv", OutC: 8, KH: 5, KW: 5, Stride: 2, Pad: 2, Bias: true}, in)
+	r0 := g.Add(nn.NewActivation("relu", nn.ReLU), cv)
+	lr := g.Add(nn.NewLRN("lrn", 5), r0)
+	mp := g.Add(nn.NewMaxPool2D("pool", 3, 2, 0), lr)
+	ap := g.Add(nn.NewAvgPool2D("avg", 2, 1, 0), mp)
+	fl := g.Add(&nn.Flatten{LayerName: "flat"}, ap)
+	fc := g.Add(&nn.Dense{LayerName: "fc", Out: 7, Bias: true}, fl)
+	g.Add(nn.NewSoftmax("sm"), fc)
+	if err := g.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	runBatchParity(t, g, 71, 2, 3, 16)
+}
+
+// The branchy model covers Add, Concat, BatchNorm-free residual wiring,
+// depthwise, GAP and the dense head under the liveness tracker.
+func TestBatchForwardParityBranchy(t *testing.T) {
+	runBatchParity(t, branchyModel(t), 17, 2, 3, 16)
+}
+
+func TestBatchForwardParityMobileNetV2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full mobilenetv2 batched forward is slow")
+	}
+	runBatchParity(t, models.MustBuild("mobilenetv2"), 3, 2)
+}
+
+// Partitioned batched execution — the server path: boundary tensors
+// from n jobs are packed per boundary node and the suffix executes once
+// at batch n. Ragged groups (batch sizes that aren't a divisor of the
+// job count) are the common case when a coalescer flushes on max size.
+func TestBatchSuffixParityRagged(t *testing.T) {
+	g := branchyModel(t)
+	m := Load(g, 9).Parallel(2)
+	b1, _ := g.NodeByName("b1")
+	b2, _ := g.NodeByName("b2")
+	mobile := g.Ancestors(b1.ID, b2.ID)
+	var prefix, suffix []int
+	for _, id := range g.Topo() {
+		if mobile[id] {
+			prefix = append(prefix, id)
+		} else {
+			suffix = append(suffix, id)
+		}
+	}
+	const jobs = 7
+	bounds1 := make([]*tensor.Tensor, 0, jobs)
+	bounds2 := make([]*tensor.Tensor, 0, jobs)
+	refs := make([]*tensor.Tensor, 0, jobs)
+	for j := 0; j < jobs; j++ {
+		in := randInput(g.Node(g.Source()).OutShape, 300+int64(j))
+		acts := map[int]*tensor.Tensor{}
+		if err := m.Execute(acts, in, prefix); err != nil {
+			t.Fatal(err)
+		}
+		bounds1 = append(bounds1, acts[b1.ID].Clone())
+		bounds2 = append(bounds2, acts[b2.ID].Clone())
+		solo := map[int]*tensor.Tensor{b1.ID: acts[b1.ID], b2.ID: acts[b2.ID]}
+		if err := m.Execute(solo, nil, suffix); err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, solo[g.Sink()].Clone())
+	}
+	// Ragged split 7 = 3 + 3 + 1, as a max-3 coalescer would flush it.
+	for lo := 0; lo < jobs; lo += 3 {
+		hi := lo + 3
+		if hi > jobs {
+			hi = jobs
+		}
+		n := hi - lo
+		p1, err := PackBatch(bounds1[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := PackBatch(bounds2[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		acts := map[int]*tensor.Tensor{b1.ID: p1, b2.ID: p2}
+		if err := m.ExecuteBatch(acts, n, nil, suffix); err != nil {
+			t.Fatal(err)
+		}
+		outs, err := UnpackBatch(acts[g.Sink()], n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes := ArgmaxBatch(acts[g.Sink()], n)
+		for b, out := range outs {
+			ref := refs[lo+b]
+			for i := range ref.Data {
+				if out.Data[i] != ref.Data[i] {
+					t.Fatalf("group %d image %d: out[%d] = %g, solo = %g", lo/3, b, i, out.Data[i], ref.Data[i])
+				}
+			}
+			if want := Argmax(ref); classes[b] != want {
+				t.Fatalf("group %d image %d: class %d, solo %d", lo/3, b, classes[b], want)
+			}
+		}
+	}
+}
+
+// PackBatch must reject shape mismatches; UnpackBatch must reject
+// non-divisible batches.
+func TestPackBatchValidation(t *testing.T) {
+	a := tensor.New(tensor.NewCHW(2, 3, 3))
+	b := tensor.New(tensor.NewCHW(2, 3, 4))
+	if _, err := PackBatch([]*tensor.Tensor{a, b}); err == nil {
+		t.Fatal("want shape-mismatch error")
+	}
+	if _, err := PackBatch(nil); err == nil {
+		t.Fatal("want empty-batch error")
+	}
+	if _, err := UnpackBatch(tensor.New(tensor.NewCHW(5, 3, 3)), 2); err == nil {
+		t.Fatal("want non-divisible error")
+	}
+}

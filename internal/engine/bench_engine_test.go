@@ -94,6 +94,66 @@ func BenchmarkForward_mobilenetv2(b *testing.B) {
 	benchBothKernels(b, models.MustBuild("mobilenetv2"))
 }
 
+// BenchmarkBatchedForward measures cross-job batching on the server's
+// actual workload: the deepest mobilenetv2 cut (boundary after the
+// head's global average pool, the cut JPS picks on low-bandwidth
+// channels where the 5 KB boundary minimizes upload). The remaining
+// suffix — the 1280x1000 dense head — is weight-streaming bound at
+// batch 1: sgemv reads 5 MB of weights for 1.3 MFLOP of work. Packing
+// N jobs amortizes that stream into one GEMM, the win the coalescer
+// exists for. (Conv-dominated suffixes from earlier cuts are already
+// compute-bound and gain only ~1.2x; see EXPERIMENTS.md.)
+// ns/inference is ns/op divided by N, directly comparable across
+// subbenchmarks. The acceptance bar is N=32 at >= 2x over N=1.
+func BenchmarkBatchedForward(b *testing.B) {
+	g := models.MustBuild("mobilenetv2")
+	m := Load(g, 1).Parallel(runtime.GOMAXPROCS(0))
+	boundary, ok := g.NodeByName("head/gap")
+	if !ok {
+		b.Fatal("mobilenetv2 has no head/gap node")
+	}
+	mobile := g.Ancestors(boundary.ID)
+	var prefix, suffix []int
+	for _, id := range g.Topo() {
+		if mobile[id] {
+			prefix = append(prefix, id)
+		} else {
+			suffix = append(suffix, id)
+		}
+	}
+	acts := map[int]*tensor.Tensor{}
+	if err := m.Execute(acts, randInput(g.Node(g.Source()).OutShape, 7), prefix); err != nil {
+		b.Fatal(err)
+	}
+	bt := acts[boundary.ID].Clone()
+
+	for _, n := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			tensors := make([]*tensor.Tensor, n)
+			for i := range tensors {
+				tensors[i] = bt.Clone()
+			}
+			packed, err := PackBatch(tensors)
+			if err != nil {
+				b.Fatal(err)
+			}
+			run := func() {
+				acts := map[int]*tensor.Tensor{boundary.ID: packed}
+				if err := m.ExecuteBatch(acts, n, nil, suffix); err != nil {
+					b.Fatal(err)
+				}
+			}
+			run() // warm the arena at this batch size
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/inference")
+		})
+	}
+}
+
 // TestForwardSteadyStateAllocs is the -benchmem assertion of the
 // acceptance criteria: once the arena is warm, a Forward pass performs
 // O(1) tensor allocations — the sink tensor it hands to the caller

@@ -178,6 +178,23 @@ func (m *Model) Forward(input *tensor.Tensor) (*tensor.Tensor, error) {
 	return acts[m.g.Sink()], nil
 }
 
+// ForwardBatch runs the whole model on a batch of equally shaped
+// inputs and returns the per-input sink outputs. The inputs are packed
+// into the engine's batched layout (see batch.go), executed as one
+// pass — each conv/dense layer issues a single widened SGEMM instead
+// of len(inputs) narrow ones — and the sink is unpacked again.
+func (m *Model) ForwardBatch(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	packed, err := PackBatch(inputs)
+	if err != nil {
+		return nil, err
+	}
+	acts := map[int]*tensor.Tensor{}
+	if err := m.ExecuteBatch(acts, len(inputs), packed, m.g.Topo()); err != nil {
+		return nil, err
+	}
+	return UnpackBatch(acts[m.g.Sink()], len(inputs))
+}
+
 // execState tracks activation liveness for one Execute call so the
 // arena can reclaim each buffer as soon as its last consumer inside
 // the node list has run. owner[i] is the node whose eval allocated the
@@ -292,6 +309,24 @@ func (st *execState) canOverwrite(p int) bool {
 // need — the sink, cut boundaries feeding nodes outside the list, and
 // any tensor the caller provided — are always retained.
 func (m *Model) Execute(acts map[int]*tensor.Tensor, input *tensor.Tensor, nodes []int) error {
+	return m.executeN(acts, 1, input, nodes)
+}
+
+// ExecuteBatch is Execute over a packed batch of n equally shaped
+// activations (see PackBatch for the layout). Every activation in acts
+// — seeded boundary tensors and produced ones alike — is a packed
+// batch-n tensor; per-node shapes are the batched form of the node's
+// OutShape (dim 0 scaled by n). With n == 1 it is exactly Execute,
+// bit for bit: the batched kernels degenerate to the batch-1 code
+// paths and accumulate every output element in the same order.
+func (m *Model) ExecuteBatch(acts map[int]*tensor.Tensor, n int, input *tensor.Tensor, nodes []int) error {
+	if n < 1 {
+		return fmt.Errorf("engine: batch size %d", n)
+	}
+	return m.executeN(acts, n, input, nodes)
+}
+
+func (m *Model) executeN(acts map[int]*tensor.Tensor, n int, input *tensor.Tensor, nodes []int) error {
 	st := m.newExecState(nodes)
 	var ins []*tensor.Tensor
 	for _, id := range nodes {
@@ -300,8 +335,8 @@ func (m *Model) Execute(acts map[int]*tensor.Tensor, input *tensor.Tensor, nodes
 			if input == nil {
 				return fmt.Errorf("engine: %q needs an input tensor", node.Layer.Name())
 			}
-			if !input.Shape.Equal(node.OutShape) {
-				return fmt.Errorf("engine: input shape %v, model wants %v", input.Shape, node.OutShape)
+			if want := batchShape(node.OutShape, n); !input.Shape.Equal(want) {
+				return fmt.Errorf("engine: input shape %v, model wants %v", input.Shape, want)
 			}
 			acts[id] = input
 			continue
@@ -316,7 +351,7 @@ func (m *Model) Execute(acts map[int]*tensor.Tensor, input *tensor.Tensor, nodes
 			}
 			ins = append(ins, a)
 		}
-		out, err := m.eval(id, node, ins, preds, st)
+		out, err := m.evalN(id, node, ins, preds, st, n)
 		if err != nil {
 			return err
 		}
@@ -332,6 +367,53 @@ func (m *Model) Execute(acts map[int]*tensor.Tensor, input *tensor.Tensor, nodes
 		}
 	}
 	return nil
+}
+
+// evalN dispatches one layer at batch size n. n == 1 takes the
+// original single-image kernels (including the KernelDirect reference
+// path); n > 1 takes the batched GEMM kernels in batch.go, which share
+// the per-element accumulation order with their batch-1 counterparts.
+func (m *Model) evalN(id int, node *dag.Node, ins []*tensor.Tensor, preds []int, st *execState, n int) (*tensor.Tensor, error) {
+	if n == 1 {
+		return m.eval(id, node, ins, preds, st)
+	}
+	inShapes := m.g.InputShapes(id)
+	switch l := node.Layer.(type) {
+	case *nn.Conv2D:
+		return conv2dGEMMBatch(m.arena, ins[0], inShapes[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride,
+			l.EffPadH(), l.EffPadW(), maxInt(l.Groups, 1), m.workers, n), nil
+	case *nn.DepthwiseConv2D:
+		return dwconv2dBatch(m.arena, ins[0], inShapes[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride, l.Pad, m.workers, n), nil
+	case *nn.MaxPool2D:
+		return maxpoolBatch(m.arena, ins[0], inShapes[0], node.OutShape, l.K, l.Stride, l.Pad, m.workers, n), nil
+	case *nn.AvgPool2D:
+		return avgpoolBatch(m.arena, ins[0], inShapes[0], node.OutShape, l.K, l.Stride, l.Pad, m.workers, n), nil
+	case *nn.GlobalAvgPool2D:
+		// The packed layout makes GAP batch-oblivious: each of the C·n
+		// planes averages independently and lands at index c·n+b — the
+		// packed vector layout.
+		return globalAvgPool(m.arena, ins[0]), nil
+	case *nn.Dense:
+		return denseGEMMBatch(m.arena, ins[0], m.params[id], l.Out, m.workers, n), nil
+	case *nn.Activation:
+		return activate(m.arena, ins[0], l.Func, st.canOverwrite(preds[0])), nil
+	case *nn.BatchNorm:
+		return batchNorm(m.arena, ins[0], m.params[id], n), nil
+	case *nn.LRN:
+		return lrnBatch(m.arena, ins[0], l.Size, n), nil
+	case *nn.Dropout:
+		return ins[0], nil // identity at inference
+	case *nn.Flatten:
+		return flattenBatch(m.arena, ins[0], n), nil
+	case *nn.Concat:
+		return concat(m.arena, ins, batchShape(node.OutShape, n)), nil
+	case *nn.Add:
+		return add(m.arena, ins, st.canOverwrite(preds[0])), nil
+	case *nn.Softmax:
+		return softmaxBatch(m.arena, ins[0], n), nil
+	default:
+		return nil, fmt.Errorf("engine: unsupported layer type %T (%s)", node.Layer, node.Layer.Name())
+	}
 }
 
 // eval dispatches one layer.
@@ -363,7 +445,7 @@ func (m *Model) eval(id int, node *dag.Node, ins []*tensor.Tensor, preds []int, 
 	case *nn.Activation:
 		return activate(m.arena, ins[0], l.Func, st.canOverwrite(preds[0])), nil
 	case *nn.BatchNorm:
-		return batchNorm(m.arena, ins[0], m.params[id]), nil
+		return batchNorm(m.arena, ins[0], m.params[id], 1), nil
 	case *nn.LRN:
 		return lrn(m.arena, ins[0], l.Size), nil
 	case *nn.Dropout:

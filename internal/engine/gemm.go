@@ -40,7 +40,10 @@ func sgemmAcc(m, k, n int, a, b, c []float32, workers int) {
 // sgemmPanel multiplies rows [lo,hi) of A into the matching rows of C.
 // Loop order is jb → kb → i → k → j: a K×N panel of B is streamed over
 // the whole row panel before moving on, so B panel rows are read from
-// cache m times each.
+// cache m times each. Rows are processed in pairs so each loaded B
+// quad feeds two output rows — per-element accumulation order is
+// unchanged (each row's adds stay sequential in ascending k), only the
+// B-panel traffic halves.
 func sgemmPanel(lo, hi, k, n int, a, b, c []float32) {
 	for jb := 0; jb < n; jb += gemmBlockN {
 		je := jb + gemmBlockN
@@ -52,7 +55,50 @@ func sgemmPanel(lo, hi, k, n int, a, b, c []float32) {
 			if ke > k {
 				ke = k
 			}
-			for i := lo; i < hi; i++ {
+			i := lo
+			for ; i+2 <= hi; i += 2 {
+				arow0 := a[i*k : i*k+k : i*k+k]
+				arow1 := a[(i+1)*k:][:k:k]
+				crow0 := c[i*n+jb : i*n+je : i*n+je]
+				crow1 := c[(i+1)*n+jb:][: je-jb : je-jb]
+				w := len(crow0)
+				kk := kb
+				for ; kk+4 <= ke; kk += 4 {
+					a00, a01, a02, a03 := arow0[kk], arow0[kk+1], arow0[kk+2], arow0[kk+3]
+					a10, a11, a12, a13 := arow1[kk], arow1[kk+1], arow1[kk+2], arow1[kk+3]
+					b0 := b[kk*n+jb:][:w]
+					b1 := b[(kk+1)*n+jb:][:w]
+					b2 := b[(kk+2)*n+jb:][:w]
+					b3 := b[(kk+3)*n+jb:][:w]
+					// Four sequential adds per element keep the
+					// per-element accumulation in ascending k (Go
+					// never reassociates floating-point ops).
+					for j := range crow0 {
+						e0, e1, e2, e3 := b0[j], b1[j], b2[j], b3[j]
+						v := crow0[j]
+						v += a00 * e0
+						v += a01 * e1
+						v += a02 * e2
+						v += a03 * e3
+						crow0[j] = v
+						u := crow1[j]
+						u += a10 * e0
+						u += a11 * e1
+						u += a12 * e2
+						u += a13 * e3
+						crow1[j] = u
+					}
+				}
+				for ; kk < ke; kk++ {
+					av0, av1 := arow0[kk], arow1[kk]
+					brow := b[kk*n+jb:][:w]
+					for j := range crow0 {
+						crow0[j] += av0 * brow[j]
+						crow1[j] += av1 * brow[j]
+					}
+				}
+			}
+			for ; i < hi; i++ {
 				arow := a[i*k : i*k+k : i*k+k]
 				crow := c[i*n+jb : i*n+je : i*n+je]
 				w := len(crow)
@@ -63,9 +109,6 @@ func sgemmPanel(lo, hi, k, n int, a, b, c []float32) {
 					b1 := b[(kk+1)*n+jb:][:w]
 					b2 := b[(kk+2)*n+jb:][:w]
 					b3 := b[(kk+3)*n+jb:][:w]
-					// Four sequential adds per element keep the
-					// per-element accumulation in ascending k (Go
-					// never reassociates floating-point ops).
 					for j := range crow {
 						v := crow[j]
 						v += a0 * b0[j]

@@ -24,56 +24,62 @@ func im2colGroup(src, dst []float32, cLo, icpg, inH, inW, kh, kw, stride, padH, 
 			c := k / (kh * kw)
 			r := k % (kh * kw) / kw
 			s := k % kw
-			row := dst[k*hw : (k+1)*hw]
-			chanBase := (cLo + c) * inH * inW
-			idx := 0
-			for oh := 0; oh < outH; oh++ {
-				ih := oh*stride - padH + r
-				if ih < 0 || ih >= inH {
-					for i := 0; i < outW; i++ {
-						row[idx] = 0
-						idx++
-					}
-					continue
-				}
-				base := chanBase + ih*inW
-				if stride == 1 {
-					// Valid ow range is a contiguous span: zero the
-					// left/right padding edges, copy the middle.
-					wLo, wHi := padW-s, inW+padW-s
-					if wLo < 0 {
-						wLo = 0
-					}
-					if wHi > outW {
-						wHi = outW
-					}
-					for i := 0; i < wLo; i++ {
-						row[idx] = 0
-						idx++
-					}
-					if wHi > wLo {
-						copy(row[idx:idx+wHi-wLo], src[base+wLo-padW+s:])
-						idx += wHi - wLo
-					}
-					for i := wHi; i < outW; i++ {
-						row[idx] = 0
-						idx++
-					}
-					continue
-				}
-				iw := s - padW
-				for ow := 0; ow < outW; ow++ {
-					if iw >= 0 && iw < inW {
-						row[idx] = src[base+iw]
-					} else {
-						row[idx] = 0
-					}
-					idx++
-					iw += stride
-				}
-			}
+			im2colRow(src, dst[k*hw:(k+1)*hw], (cLo+c)*inH*inW,
+				r, s, inH, inW, stride, padH, padW, outH, outW)
 		}
 	})
+}
+
+// im2colRow fills one patch-matrix row: kernel offset (r, s) of the
+// input plane at flat offset chanBase, one element per output
+// position. The batched lowering reuses it with plane (c·n+b).
+func im2colRow(src, row []float32, chanBase, r, s, inH, inW, stride, padH, padW, outH, outW int) {
+	idx := 0
+	for oh := 0; oh < outH; oh++ {
+		ih := oh*stride - padH + r
+		if ih < 0 || ih >= inH {
+			for i := 0; i < outW; i++ {
+				row[idx] = 0
+				idx++
+			}
+			continue
+		}
+		base := chanBase + ih*inW
+		if stride == 1 {
+			// Valid ow range is a contiguous span: zero the
+			// left/right padding edges, copy the middle.
+			wLo, wHi := padW-s, inW+padW-s
+			if wLo < 0 {
+				wLo = 0
+			}
+			if wHi > outW {
+				wHi = outW
+			}
+			for i := 0; i < wLo; i++ {
+				row[idx] = 0
+				idx++
+			}
+			if wHi > wLo {
+				copy(row[idx:idx+wHi-wLo], src[base+wLo-padW+s:])
+				idx += wHi - wLo
+			}
+			for i := wHi; i < outW; i++ {
+				row[idx] = 0
+				idx++
+			}
+			continue
+		}
+		iw := s - padW
+		for ow := 0; ow < outW; ow++ {
+			if iw >= 0 && iw < inW {
+				row[idx] = src[base+iw]
+			} else {
+				row[idx] = 0
+			}
+			idx++
+			iw += stride
+		}
+	}
 }
 
 // conv2dGEMM is the grouped convolution via im2col + SGEMM. 1×1

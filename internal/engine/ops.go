@@ -86,11 +86,12 @@ func dwconv2dRange(in, out *tensor.Tensor, p params, kh, kw, stride, pad, inH, i
 		if p.b != nil {
 			bias = p.b[c]
 		}
+		inBase := c * inH * inW
 		for oh := 0; oh < outH; oh++ {
 			ihBase := oh*stride - pad
 			for ow := 0; ow < outW; ow++ {
 				out.Data[(c*outH+oh)*outW+ow] = dwCell(in.Data, p.w, bias,
-					c, ihBase, ow*stride-pad, wBase, kh, kw, inH, inW)
+					inBase, ihBase, ow*stride-pad, wBase, kh, kw, inH, inW)
 			}
 		}
 	}
@@ -98,14 +99,16 @@ func dwconv2dRange(in, out *tensor.Tensor, p params, kh, kw, stride, pad, inH, i
 
 // dwCell computes one depthwise output element with bounds checks,
 // accumulating r-major then c — the shared order of both kernel paths.
-func dwCell(src, w []float32, bias float32, c, ihBase, iwBase, wBase, kh, kw, inH, inW int) float32 {
+// inBase is the flat offset of the input plane being convolved, which
+// lets the batched path address plane (c·n+b) with the same code.
+func dwCell(src, w []float32, bias float32, inBase, ihBase, iwBase, wBase, kh, kw, inH, inW int) float32 {
 	sum := bias
 	for r := 0; r < kh; r++ {
 		ih := ihBase + r
 		if ih < 0 || ih >= inH {
 			continue
 		}
-		rowIn := (c*inH + ih) * inW
+		rowIn := inBase + ih*inW
 		rowW := wBase + r*kw
 		for cc := 0; cc < kw; cc++ {
 			iw := iwBase + cc
@@ -135,52 +138,63 @@ func dwconv2dSplit(arena *tensor.Arena, in *tensor.Tensor, outShape tensor.Shape
 
 	parallelFor(workers, outC, func(cLo, cHi int) {
 		for c := cLo; c < cHi; c++ {
-			wBase := c * kh * kw
 			var bias float32
 			if p.b != nil {
 				bias = p.b[c]
 			}
-			borderRow := func(oh int) {
-				ihBase := oh*stride - pad
-				for ow := 0; ow < outW; ow++ {
-					out.Data[(c*outH+oh)*outW+ow] = dwCell(in.Data, p.w, bias,
-						c, ihBase, ow*stride-pad, wBase, kh, kw, inH, inW)
-				}
-			}
-			for oh := 0; oh < ohLo; oh++ {
-				borderRow(oh)
-			}
-			for oh := ohHi; oh < outH; oh++ {
-				borderRow(oh)
-			}
-			for oh := ohLo; oh < ohHi; oh++ {
-				ihBase := oh*stride - pad
-				outRow := (c*outH + oh) * outW
-				for ow := 0; ow < owLo; ow++ {
-					out.Data[outRow+ow] = dwCell(in.Data, p.w, bias,
-						c, ihBase, ow*stride-pad, wBase, kh, kw, inH, inW)
-				}
-				for ow := owHi; ow < outW; ow++ {
-					out.Data[outRow+ow] = dwCell(in.Data, p.w, bias,
-						c, ihBase, ow*stride-pad, wBase, kh, kw, inH, inW)
-				}
-				for ow := owLo; ow < owHi; ow++ {
-					iwBase := ow*stride - pad
-					sum := bias
-					for r := 0; r < kh; r++ {
-						base := (c*inH+ihBase+r)*inW + iwBase
-						src := in.Data[base : base+kw : base+kw]
-						wRow := p.w[wBase+r*kw:][:kw]
-						for cc, wv := range wRow {
-							sum += src[cc] * wv
-						}
-					}
-					out.Data[outRow+ow] = sum
-				}
-			}
+			dwPlane(in.Data, out.Data, p.w, bias, c*inH*inW, c*outH*outW, c*kh*kw,
+				kh, kw, stride, pad, inH, inW, outH, outW, ohLo, ohHi, owLo, owHi)
 		}
 	})
 	return out
+}
+
+// dwPlane runs the interior/border-split depthwise convolution of one
+// input plane (flat offset inBase) into one output plane (outBase)
+// with the kernel at wBase. Both the single-image path (plane c) and
+// the batched path (plane c·n+b) go through here, so their per-element
+// accumulation order is identical by construction.
+func dwPlane(src, dst, w []float32, bias float32, inBase, outBase, wBase,
+	kh, kw, stride, pad, inH, inW, outH, outW, ohLo, ohHi, owLo, owHi int) {
+	borderRow := func(oh int) {
+		ihBase := oh*stride - pad
+		outRow := outBase + oh*outW
+		for ow := 0; ow < outW; ow++ {
+			dst[outRow+ow] = dwCell(src, w, bias,
+				inBase, ihBase, ow*stride-pad, wBase, kh, kw, inH, inW)
+		}
+	}
+	for oh := 0; oh < ohLo; oh++ {
+		borderRow(oh)
+	}
+	for oh := ohHi; oh < outH; oh++ {
+		borderRow(oh)
+	}
+	for oh := ohLo; oh < ohHi; oh++ {
+		ihBase := oh*stride - pad
+		outRow := outBase + oh*outW
+		for ow := 0; ow < owLo; ow++ {
+			dst[outRow+ow] = dwCell(src, w, bias,
+				inBase, ihBase, ow*stride-pad, wBase, kh, kw, inH, inW)
+		}
+		for ow := owHi; ow < outW; ow++ {
+			dst[outRow+ow] = dwCell(src, w, bias,
+				inBase, ihBase, ow*stride-pad, wBase, kh, kw, inH, inW)
+		}
+		for ow := owLo; ow < owHi; ow++ {
+			iwBase := ow*stride - pad
+			sum := bias
+			for r := 0; r < kh; r++ {
+				base := inBase + (ihBase+r)*inW + iwBase
+				srow := src[base : base+kw : base+kw]
+				wRow := w[wBase+r*kw:][:kw]
+				for cc, wv := range wRow {
+					sum += srow[cc] * wv
+				}
+			}
+			dst[outRow+ow] = sum
+		}
+	}
 }
 
 // interiorRange returns the [lo, hi) span of output positions whose
@@ -206,30 +220,36 @@ func maxpool(arena *tensor.Arena, in *tensor.Tensor, outShape tensor.Shape, k, s
 	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
 	parallelFor(workers, outC, func(cLo, cHi int) {
 		for c := cLo; c < cHi; c++ {
-			for oh := 0; oh < outH; oh++ {
-				for ow := 0; ow < outW; ow++ {
-					best := float32(math.Inf(-1))
-					for r := 0; r < k; r++ {
-						ih := oh*stride - pad + r
-						if ih < 0 || ih >= inH {
-							continue
-						}
-						for cc := 0; cc < k; cc++ {
-							iw := ow*stride - pad + cc
-							if iw < 0 || iw >= inW {
-								continue
-							}
-							if v := in.Data[(c*inH+ih)*inW+iw]; v > best {
-								best = v
-							}
-						}
-					}
-					out.Data[(c*outH+oh)*outW+ow] = best
-				}
-			}
+			maxpoolPlane(in.Data[c*inH*inW:], out.Data[c*outH*outW:],
+				inH, inW, outH, outW, k, stride, pad)
 		}
 	})
 	return out
+}
+
+// maxpoolPlane pools one plane; src/dst are the plane-offset slices.
+func maxpoolPlane(src, dst []float32, inH, inW, outH, outW, k, stride, pad int) {
+	for oh := 0; oh < outH; oh++ {
+		for ow := 0; ow < outW; ow++ {
+			best := float32(math.Inf(-1))
+			for r := 0; r < k; r++ {
+				ih := oh*stride - pad + r
+				if ih < 0 || ih >= inH {
+					continue
+				}
+				for cc := 0; cc < k; cc++ {
+					iw := ow*stride - pad + cc
+					if iw < 0 || iw >= inW {
+						continue
+					}
+					if v := src[ih*inW+iw]; v > best {
+						best = v
+					}
+				}
+			}
+			dst[oh*outW+ow] = best
+		}
+	}
 }
 
 func avgpool(arena *tensor.Arena, in *tensor.Tensor, outShape tensor.Shape, k, stride, pad, workers int) *tensor.Tensor {
@@ -238,34 +258,40 @@ func avgpool(arena *tensor.Arena, in *tensor.Tensor, outShape tensor.Shape, k, s
 	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
 	parallelFor(workers, outC, func(cLo, cHi int) {
 		for c := cLo; c < cHi; c++ {
-			for oh := 0; oh < outH; oh++ {
-				for ow := 0; ow < outW; ow++ {
-					var sum float32
-					count := 0
-					for r := 0; r < k; r++ {
-						ih := oh*stride - pad + r
-						if ih < 0 || ih >= inH {
-							continue
-						}
-						for cc := 0; cc < k; cc++ {
-							iw := ow*stride - pad + cc
-							if iw < 0 || iw >= inW {
-								continue
-							}
-							sum += in.Data[(c*inH+ih)*inW+iw]
-							count++
-						}
-					}
-					v := float32(0)
-					if count > 0 {
-						v = sum / float32(count)
-					}
-					out.Data[(c*outH+oh)*outW+ow] = v
-				}
-			}
+			avgpoolPlane(in.Data[c*inH*inW:], out.Data[c*outH*outW:],
+				inH, inW, outH, outW, k, stride, pad)
 		}
 	})
 	return out
+}
+
+// avgpoolPlane pools one plane; src/dst are the plane-offset slices.
+func avgpoolPlane(src, dst []float32, inH, inW, outH, outW, k, stride, pad int) {
+	for oh := 0; oh < outH; oh++ {
+		for ow := 0; ow < outW; ow++ {
+			var sum float32
+			count := 0
+			for r := 0; r < k; r++ {
+				ih := oh*stride - pad + r
+				if ih < 0 || ih >= inH {
+					continue
+				}
+				for cc := 0; cc < k; cc++ {
+					iw := ow*stride - pad + cc
+					if iw < 0 || iw >= inW {
+						continue
+					}
+					sum += src[ih*inW+iw]
+					count++
+				}
+			}
+			v := float32(0)
+			if count > 0 {
+				v = sum / float32(count)
+			}
+			dst[oh*outW+ow] = v
+		}
+	}
 }
 
 func globalAvgPool(arena *tensor.Arena, in *tensor.Tensor) *tensor.Tensor {
@@ -342,10 +368,13 @@ func activate(arena *tensor.Arena, in *tensor.Tensor, fn nn.ActFunc, inPlace boo
 	return out
 }
 
-func batchNorm(arena *tensor.Arena, in *tensor.Tensor, p params) *tensor.Tensor {
+// batchNorm folds the per-channel scale/shift. The packed batch layout
+// keeps the n planes of one image channel contiguous, so batch n just
+// widens each channel's span from h·w to n·h·w elements.
+func batchNorm(arena *tensor.Arena, in *tensor.Tensor, p params, n int) *tensor.Tensor {
 	out := arena.Get(in.Shape)
-	c, h, w := in.Shape.C(), in.Shape.H(), in.Shape.W()
-	plane := h * w
+	c, h, w := in.Shape.C()/n, in.Shape.H(), in.Shape.W()
+	plane := h * w * n
 	for ch := 0; ch < c; ch++ {
 		scale, shift := p.w[ch], p.b[ch]
 		base := ch * plane

@@ -60,9 +60,9 @@ func TestConvDirectGEMMParity(t *testing.T) {
 		{3, 15, 15, nn.Conv2D{OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1, Bias: true}},
 		{3, 16, 16, nn.Conv2D{OutC: 8, KH: 3, KW: 3, Stride: 2, Pad: 1}},
 		{4, 13, 13, nn.Conv2D{OutC: 6, KH: 5, KW: 5, Stride: 3, Pad: 2, Bias: true}},
-		{8, 14, 14, nn.Conv2D{OutC: 16, KH: 1, KW: 1, Stride: 1}},              // pure-GEMM fast path
-		{8, 14, 14, nn.Conv2D{OutC: 16, KH: 1, KW: 1, Stride: 2}},              // strided 1x1, must lower
-		{6, 12, 12, nn.Conv2D{OutC: 8, KH: 3, KW: 3, Stride: 1, Groups: 2}},    // grouped
+		{8, 14, 14, nn.Conv2D{OutC: 16, KH: 1, KW: 1, Stride: 1}},           // pure-GEMM fast path
+		{8, 14, 14, nn.Conv2D{OutC: 16, KH: 1, KW: 1, Stride: 2}},           // strided 1x1, must lower
+		{6, 12, 12, nn.Conv2D{OutC: 8, KH: 3, KW: 3, Stride: 1, Groups: 2}}, // grouped
 		{9, 11, 11, nn.Conv2D{OutC: 9, KH: 3, KW: 3, Stride: 2, Groups: 3, Pad: 1, Bias: true}},
 		{4, 10, 12, nn.Conv2D{OutC: 5, KH: 1, KW: 3, Stride: 1, PadH: -1, PadW: 1}}, // rectangular
 		{4, 12, 10, nn.Conv2D{OutC: 5, KH: 3, KW: 1, Stride: 1, PadH: 1, PadW: -1}},

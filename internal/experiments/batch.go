@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"dnnjps/internal/engine"
+	"dnnjps/internal/flowshop"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/obs"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/report"
+	"dnnjps/internal/runtime"
+	"dnnjps/internal/tensor"
+)
+
+// RuntimeBatchResult is one live run of the server-side coalescer: n
+// concurrent jobs cut at the model's deepest parameterized position
+// (suffix = the weight-heavy head) are fired at the server all at
+// once via Client.RunBoundaryJobs, so the coalescer sees genuine
+// request concurrency, at one batch-window setting.
+type RuntimeBatchResult struct {
+	Model    string
+	Jobs     int
+	WindowMs float64
+	BatchMax int
+	// MakespanMs is the measured first-enqueue → last-reply span.
+	MakespanMs float64
+	// ServerBusyMs sums the server's distinct cloud-compute intervals.
+	// Members of one batch group share a single execution span, so
+	// identical intervals are counted once: this is the wall time the
+	// suffix stage actually occupied, the quantity batching shrinks.
+	ServerBusyMs float64
+	// MeanBatch is the average executed group size (1 when the
+	// coalescer is disarmed: window 0 is the batch-1 baseline).
+	MeanBatch float64
+	// BatchedJobs / SoloJobs split the jobs by whether they shared a
+	// group (solo = flushed alone despite batching being armed).
+	BatchedJobs int64
+	SoloJobs    int64
+	// FormulaMs is Prop. 4.1's two-stage closed form for this run:
+	// with no mobile stage it degenerates to the uplink bound Σg. The
+	// gap between it and the measured makespan is the server stage —
+	// the term the closed form excludes and batching attacks.
+	FormulaMs float64
+}
+
+// RuntimeBatch executes the concurrent-job probe for each job count at
+// each coalescing window over loopback TCP and reports makespan,
+// server busy time and achieved batch sizes. A window of 0 disables
+// the coalescer and serves as the batch-1 baseline; nonzero windows
+// trade up to that much queueing delay per job for grouped suffix
+// executions (one batched forward per group — Theorem 5.3 guarantees a
+// JPS plan feeds the server at most two boundary shapes, so grouping
+// by cut cannot fragment). The cut is the deepest offloaded position
+// whose suffix still holds parameters: the suffix is the classifier
+// head, weight-streaming-bound, the regime where one shared weight
+// pass per group pays off even on a single core.
+func RuntimeBatch(env Env, model string, ch netsim.Channel, jobCounts []int, windows []time.Duration, batchMax int, timeScale float64) ([]*RuntimeBatchResult, error) {
+	g := mustModel(model)
+	const seed = 42
+	m := engine.Load(g, seed)
+	units := profile.LineView(g)
+
+	// Deepest offloaded cut whose suffix still holds parameterized
+	// compute: past it the server would only run an unparameterized
+	// epilogue (softmax/pool), which batching cannot help. At this cut
+	// the suffix is the model's head — for the paper's models a small
+	// upload and a weight-streaming-bound remainder.
+	cut := len(units) - 2
+	tailParams := int64(0)
+	for i := len(units) - 2; i >= 0; i-- {
+		for _, id := range units[i+1].Nodes {
+			tailParams += g.NodeParams(id)
+		}
+		if tailParams > 0 {
+			cut = i
+			break
+		}
+	}
+	var prefix []int
+	for _, u := range units[:cut+1] {
+		prefix = append(prefix, u.Nodes...)
+	}
+	inShape := g.Node(units[0].Exit).OutShape
+	boundShape := g.Node(units[cut].Exit).OutShape
+
+	// A few distinct real boundary activations, recycled across jobs
+	// (computing one heavy prefix per job would only delay the probe).
+	const distinct = 4
+	protos := make([]*tensor.Tensor, 0, distinct)
+	for i := 0; i < distinct; i++ {
+		in := tensor.New(inShape)
+		for j := range in.Data {
+			in.Data[j] = float32((j+i*13)%29)/29 - 0.5
+		}
+		acts := map[int]*tensor.Tensor{}
+		if err := m.Execute(acts, in, prefix); err != nil {
+			return nil, err
+		}
+		protos = append(protos, acts[units[cut].Exit].Clone())
+	}
+
+	var results []*RuntimeBatchResult
+	for _, n := range jobCounts {
+		boundaries := make([]*tensor.Tensor, n)
+		for i := range boundaries {
+			boundaries[i] = protos[i%distinct]
+		}
+		for _, window := range windows {
+			tracer := obs.NewTracer(0)
+			o := runtime.NewObs(tracer, obs.NewMetrics())
+			lis, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			srv := runtime.NewServer(m).WithWorkers(4).WithObs(o)
+			if window > 0 {
+				srv = srv.WithBatching(window, batchMax)
+			}
+			go func() {
+				defer lis.Close()
+				conn, err := lis.Accept()
+				if err != nil {
+					return
+				}
+				defer conn.Close()
+				_ = srv.HandleConn(conn)
+			}()
+			conn, err := net.Dial("tcp", lis.Addr().String())
+			if err != nil {
+				return nil, err
+			}
+			cl := runtime.NewClient(conn, m, ch, timeScale)
+			rep, err := cl.RunBoundaryJobs(cut, boundaries)
+			conn.Close()
+			if err != nil {
+				return nil, err
+			}
+
+			// Server busy time: sum cloud-compute spans, counting each
+			// distinct (start, duration) interval once — batch members
+			// carry copies of their group's shared execution span.
+			type interval struct{ start, dur int64 }
+			seen := map[interval]bool{}
+			var busyNs int64
+			for _, sp := range tracer.Spans() {
+				if sp.Track != runtime.TrackServer || sp.Name != runtime.SpanCloudCompute {
+					continue
+				}
+				iv := interval{sp.StartNs, sp.DurNs}
+				if !seen[iv] {
+					seen[iv] = true
+					busyNs += sp.DurNs
+				}
+			}
+
+			meanBatch := 1.0
+			if c := o.BatchSize.Count(); c > 0 {
+				meanBatch = o.BatchSize.Sum() / float64(c)
+			}
+
+			// Prop. 4.1 reference, as in RuntimePipeline: measured f
+			// (zero here — no mobile stage), channel-model g.
+			up := timeScale * ch.TxMs(runtime.RequestWireBytes(boundShape))
+			seq := make([]flowshop.Job, 0, n)
+			for _, r := range rep.Results {
+				seq = append(seq, flowshop.Job{ID: r.JobID, A: r.MobileMs, B: up})
+			}
+
+			results = append(results, &RuntimeBatchResult{
+				Model:        model,
+				Jobs:         n,
+				WindowMs:     float64(window) / float64(time.Millisecond),
+				BatchMax:     batchMax,
+				MakespanMs:   rep.MakespanMs,
+				ServerBusyMs: float64(busyNs) / 1e6,
+				MeanBatch:    meanBatch,
+				BatchedJobs:  o.BatchedJobs.Value(),
+				SoloJobs:     o.SoloJobs.Value(),
+				FormulaMs:    flowshop.FormulaMakespan(seq),
+			})
+		}
+	}
+	return results, nil
+}
+
+// RuntimeBatchTable renders coalescer runs; rows with window 0 are the
+// batch-1 baselines the other windows are read against.
+func RuntimeBatchTable(results []*RuntimeBatchResult) *report.Table {
+	t := report.NewTable(
+		"Cross-job batching — makespan and server CPU vs coalescing window",
+		"Model", "Jobs", "Window(ms)", "Makespan(ms)", "ServerBusy(ms)", "MeanBatch", "Batched", "Solo", "Prop4.1(ms)")
+	for _, r := range results {
+		t.AddRow(displayName(r.Model), r.Jobs, fmtMs(r.WindowMs), fmtMs(r.MakespanMs),
+			fmtMs(r.ServerBusyMs), fmt.Sprintf("%.2f", r.MeanBatch),
+			r.BatchedJobs, r.SoloJobs, fmtMs(r.FormulaMs))
+	}
+	return t
+}

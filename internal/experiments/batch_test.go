@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"dnnjps/internal/netsim"
+)
+
+// A live coalescer run on a small model: the windowed row must record
+// batched executions (arrivals are upload-paced on a cloud-only plan,
+// so a 25ms window groups them), the baseline row must stay batch-1,
+// and server busy time must not grow when groups form.
+func TestRuntimeBatchLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live runtime test")
+	}
+	env := DefaultEnv()
+	res, err := RuntimeBatch(env, "squeezenet", netsim.WiFi,
+		[]int{6}, []time.Duration{0, 25 * time.Millisecond}, 8, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2", len(res))
+	}
+	base, batched := res[0], res[1]
+	if base.WindowMs != 0 || batched.WindowMs <= 0 {
+		t.Fatalf("rows out of order: %+v", res)
+	}
+	if base.MeanBatch != 1 || base.BatchedJobs != 0 {
+		t.Errorf("baseline must be batch-1: %+v", base)
+	}
+	if base.MakespanMs <= 0 || base.ServerBusyMs <= 0 || base.FormulaMs <= 0 {
+		t.Errorf("baseline has non-positive measurements: %+v", base)
+	}
+	if batched.BatchedJobs+batched.SoloJobs != int64(base.Jobs) {
+		t.Errorf("windowed run lost jobs: %+v", batched)
+	}
+	if batched.BatchedJobs < 2 {
+		t.Errorf("windowed run formed no groups: %+v", batched)
+	}
+	if batched.MeanBatch <= 1 {
+		t.Errorf("windowed run mean batch %f, want > 1", batched.MeanBatch)
+	}
+	tbl := RuntimeBatchTable(res)
+	if tbl == nil || len(tbl.Rows) != 2 {
+		t.Fatal("table must carry both rows")
+	}
+}

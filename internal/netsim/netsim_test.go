@@ -187,3 +187,79 @@ func TestShapeDefaultTimeScale(t *testing.T) {
 		t.Errorf("default time scale = %g, want 1", sc.timeScale)
 	}
 }
+
+func TestShapedConnPacesReads(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	var slept time.Duration
+	sc := Shape(client, Channel{UplinkMbps: 8}.WithDownlink(8), 1) // 1 MB/s down
+	sc.sleep = func(d time.Duration) { slept += d }
+
+	go func() {
+		payload := make([]byte, 100_000)
+		if _, err := server.Write(payload); err != nil {
+			return
+		}
+	}()
+
+	buf := make([]byte, 4096)
+	var got int
+	for got < 100_000 {
+		n, err := sc.Read(buf)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		got += n
+	}
+	// 100 KB at 1 MB/s = 100 ms, modulo sub-millisecond residual debt.
+	total := slept + sc.downDebt
+	if math.Abs(total.Seconds()-0.1) > 0.001 {
+		t.Errorf("read pacing %v, want ~100ms", total)
+	}
+}
+
+func TestShapedConnReadPassthroughWithoutDownlink(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	var slept time.Duration
+	sc := Shape(client, Channel{UplinkMbps: 8}, 1) // DownlinkMbps 0
+	sc.sleep = func(d time.Duration) { slept += d }
+
+	go func() { _, _ = server.Write(make([]byte, 100_000)) }()
+
+	buf := make([]byte, 4096)
+	var got int
+	for got < 100_000 {
+		n, err := sc.Read(buf)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		got += n
+	}
+	if slept != 0 || sc.downDebt != 0 {
+		t.Errorf("unmodeled downlink slept %v (debt %v), want passthrough", slept, sc.downDebt)
+	}
+}
+
+func TestRxMs(t *testing.T) {
+	ch := Channel{UplinkMbps: 8}.WithDownlink(8) // 1 MB/s each way
+	if got := ch.RxMs(1_000_000); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("RxMs(1MB) = %g, want 1000", got)
+	}
+	if got := ch.RxMs(0); got != 0 {
+		t.Errorf("RxMs(0) = %g, want 0", got)
+	}
+	if got := (Channel{UplinkMbps: 8}).RxMs(1_000_000); got != 0 {
+		t.Errorf("unmodeled downlink RxMs = %g, want 0", got)
+	}
+	if got := ch.DownBytesPerSec(); math.Abs(got-1e6) > 1e-9 {
+		t.Errorf("DownBytesPerSec = %g, want 1e6", got)
+	}
+	if got := (Channel{UplinkMbps: 8}).DownBytesPerSec(); got != 0 {
+		t.Errorf("unmodeled DownBytesPerSec = %g, want 0", got)
+	}
+}

@@ -26,6 +26,14 @@ type ShapedConn struct {
 	mu          sync.Mutex
 	debt        time.Duration // accumulated unsent pacing time
 
+	// Downlink pacing (reads). Zero downPerSec passes reads straight
+	// through — the historical uplink-only shaping. The read side has
+	// its own lock and debt so a paced reply never serializes behind a
+	// paced upload: the directions are separate physical resources.
+	downPerSec float64
+	downMu     sync.Mutex
+	downDebt   time.Duration
+
 	// Ground-truth byte accounting for the observability layer: every
 	// byte and write that actually reached the underlying conn,
 	// regardless of what the channel model predicted it should cost.
@@ -42,6 +50,7 @@ func Shape(conn net.Conn, ch Channel, timeScale float64) *ShapedConn {
 	return &ShapedConn{
 		Conn:        conn,
 		bytesPerSec: ch.BytesPerSec(),
+		downPerSec:  ch.DownBytesPerSec(),
 		timeScale:   timeScale,
 		sleep:       time.Sleep,
 	}
@@ -66,6 +75,26 @@ func (s *ShapedConn) Write(p []byte) (int, error) {
 	if n > 0 {
 		s.nBytes.Add(int64(n))
 		s.nWrites.Add(1)
+	}
+	return n, err
+}
+
+// Read forwards to the underlying conn, then paces the received bytes
+// at the downlink bandwidth. Pacing after the read (rather than before)
+// means the sleep charges exactly the bytes that actually arrived, with
+// the same debt accounting as the write side. With an unmodeled
+// downlink this is a passthrough.
+func (s *ShapedConn) Read(p []byte) (int, error) {
+	n, err := s.Conn.Read(p)
+	if n > 0 && s.downPerSec > 0 {
+		s.downMu.Lock()
+		s.downDebt += time.Duration(float64(n) / s.downPerSec * float64(time.Second) * s.timeScale)
+		if s.downDebt >= time.Millisecond {
+			slept := s.downDebt
+			s.downDebt = 0
+			s.sleep(slept)
+		}
+		s.downMu.Unlock()
 	}
 	return n, err
 }

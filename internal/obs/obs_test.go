@@ -170,6 +170,39 @@ func TestTracerWriteJSON(t *testing.T) {
 	}
 }
 
+// ReadJSON must invert WriteJSON exactly: same epoch, drop count, and
+// spans — the contract the trace-regression corpus depends on.
+func TestTracerJSONRoundTrip(t *testing.T) {
+	tr := NewTracer(4)
+	e := tr.Epoch()
+	tr.Record("mobile", "local-compute", 0, e, e.Add(time.Millisecond))
+	tr.Record("uplink", "upload", 0, e.Add(time.Millisecond), e.Add(3*time.Millisecond))
+	tr.Record("cloud", "cloud-compute", 0, e.Add(3*time.Millisecond), e.Add(4*time.Millisecond))
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Epoch.Equal(tr.Epoch()) || d.Dropped != 0 {
+		t.Errorf("epoch/dropped mismatch: %+v", d)
+	}
+	want := tr.Spans()
+	if len(d.Spans) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(d.Spans), len(want))
+	}
+	for i := range want {
+		if d.Spans[i] != want[i] {
+			t.Errorf("span %d: %+v, want %+v", i, d.Spans[i], want[i])
+		}
+	}
+	if _, err := ReadJSON(bytes.NewReader([]byte("{"))); err == nil {
+		t.Error("truncated dump must error")
+	}
+}
+
 func TestMetricsPrometheusExposition(t *testing.T) {
 	m := NewMetrics()
 	c := m.Counter("jps_jobs_completed_total", "jobs that finished")

@@ -182,6 +182,34 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	return enc.Encode(d)
 }
 
+// TraceDump is the parsed form of WriteJSON's output: the recording
+// epoch, the ring's drop count, and the chronologically sorted spans.
+type TraceDump struct {
+	Epoch   time.Time
+	Dropped int64
+	Spans   []Span
+}
+
+// ReadJSON parses a trace previously exported with WriteJSON — the
+// inverse used by trace-driven regression tests, which replay a
+// committed recording through the simulator instead of re-measuring
+// wall-clock behavior.
+func ReadJSON(r io.Reader) (*TraceDump, error) {
+	var d struct {
+		Epoch   string `json:"epoch"`
+		Dropped int64  `json:"dropped"`
+		Spans   []Span `json:"spans"`
+	}
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("obs: parse trace dump: %w", err)
+	}
+	epoch, err := time.Parse(time.RFC3339Nano, d.Epoch)
+	if err != nil {
+		return nil, fmt.Errorf("obs: parse trace epoch: %w", err)
+	}
+	return &TraceDump{Epoch: epoch, Dropped: d.Dropped, Spans: d.Spans}, nil
+}
+
 // chromeEvent is one trace_event entry. Complete ("X") events carry a
 // microsecond timestamp and duration; metadata ("M") events name the
 // synthetic threads.

@@ -32,14 +32,14 @@ func BlockProfile(g *dag.Graph, mobile, cloud Device, ch netsim.Channel, dt tens
 			last.MobileMs += m
 			last.CloudMs += c
 			last.Bytes = b
-			last.CommMs = ch.TxMs(b)
+			last.CommMs = ch.TxMs(b) + ch.RxMs(ReplyBytes)
 			continue
 		}
 		stats = append(stats, BlockStat{
 			Label:    u.Label,
 			MobileMs: m,
 			CloudMs:  c,
-			CommMs:   ch.TxMs(b),
+			CommMs:   ch.TxMs(b) + ch.RxMs(ReplyBytes),
 			Bytes:    b,
 		})
 	}
@@ -83,7 +83,7 @@ func PathCurve(g *dag.Graph, path []int, mobile, cloud Device, ch netsim.Channel
 			c.G[i] = 0
 		} else {
 			c.Bytes[i] = g.OutBytes(id, dt)
-			c.G[i] = ch.TxMs(c.Bytes[i])
+			c.G[i] = ch.TxMs(c.Bytes[i]) + ch.RxMs(ReplyBytes)
 		}
 	}
 	return c

@@ -10,6 +10,14 @@ import (
 	"dnnjps/internal/tensor"
 )
 
+// ReplyBytes is the on-the-wire size of the runtime's inference reply
+// frame (type byte + 24-byte body + CRC). The profile layer cannot
+// import internal/runtime (runtime builds on profile), so the value is
+// duplicated here and pinned to runtime.ReplyWireBytes by a test in
+// that package. It prices the downlink leg of every offloaded cut on
+// channels that model reply bandwidth (Channel.DownlinkMbps > 0).
+const ReplyBytes = 29
+
 // Unit is one step of the line view of a graph: the articulation node
 // every path crosses (Exit) together with the parallel-region interior
 // nodes since the previous articulation. For a line DAG each unit is a
@@ -65,8 +73,10 @@ type Curve struct {
 	Channel netsim.Channel
 	// F is the cumulative mobile computation time in ms.
 	F []float64
-	// G is the upload time in ms of the tensor crossing the cut
-	// (w0 + bytes/bandwidth); 0 at the last index.
+	// G is the communication time in ms of the cut: the upload of the
+	// tensor crossing it (w0 + bytes/bandwidth) plus, on channels that
+	// model the downlink, the reply frame's transit; 0 at the last
+	// index.
 	G []float64
 	// CloudMs is the remaining cloud computation time in ms.
 	CloudMs []float64
@@ -109,7 +119,7 @@ func BuildCurve(g *dag.Graph, mobile, cloud Device, ch netsim.Channel, dt tensor
 			c.G[i] = 0
 		} else {
 			c.Bytes[i] = g.OutBytes(u.Exit, dt)
-			c.G[i] = ch.TxMs(c.Bytes[i])
+			c.G[i] = ch.TxMs(c.Bytes[i]) + ch.RxMs(ReplyBytes)
 		}
 	}
 	return c
@@ -170,7 +180,9 @@ func (c *Curve) Reprice(ch netsim.Channel) *Curve {
 		Labels:  append([]string(nil), c.Labels...),
 	}
 	for i, b := range c.Bytes {
-		out.G[i] = ch.TxMs(b)
+		if b > 0 {
+			out.G[i] = ch.TxMs(b) + ch.RxMs(ReplyBytes)
+		}
 	}
 	return out
 }

@@ -1,0 +1,109 @@
+// Trace-driven regression corpus: a recording of one live
+// `jpsbench -fig trace -trace-json` run (squeezenet, 8 jobs, Wi-Fi,
+// real time) is committed under testdata and replayed through the
+// discrete-event bridge on every CI run. The assertions pin the
+// pipeline's structural invariants — per-job stage causality, a
+// serialized uplink, the exact recorded makespan — without any
+// wall-clock sensitivity: the trace is data, not a re-measurement, so
+// a decoder or bridge regression fails this test deterministically.
+package regression_test
+
+import (
+	"os"
+	"testing"
+
+	"dnnjps/internal/obs"
+	"dnnjps/internal/sim"
+)
+
+const traceFile = "testdata/trace_squeezenet_wifi_n8.json"
+
+// goldenMakespanMs is the replayed makespan of the committed trace.
+const goldenMakespanMs = 2496.314663
+
+func loadTrace(t *testing.T) *obs.TraceDump {
+	t.Helper()
+	f, err := os.Open(traceFile)
+	if err != nil {
+		t.Fatalf("open corpus: %v", err)
+	}
+	defer f.Close()
+	d, err := obs.ReadJSON(f)
+	if err != nil {
+		t.Fatalf("parse corpus: %v", err)
+	}
+	return d
+}
+
+func TestTraceCorpusReplaysToGoldenMakespan(t *testing.T) {
+	d := loadTrace(t)
+	if d.Dropped != 0 {
+		t.Fatalf("corpus recorded %d dropped spans; re-record it", d.Dropped)
+	}
+	res := sim.FromTrace(d.Spans, sim.RuntimeStages(), 1.0)
+	if diff := res.Makespan - goldenMakespanMs; diff > 1e-3 || diff < -1e-3 {
+		t.Errorf("replayed makespan %.6f ms, golden %.6f ms", res.Makespan, goldenMakespanMs)
+	}
+	if len(res.Completions) != 8 {
+		t.Fatalf("got %d job completions, want 8", len(res.Completions))
+	}
+	var last float64
+	for j := 0; j < 8; j++ {
+		c, ok := res.Completions[j]
+		if !ok || c <= 0 {
+			t.Fatalf("job %d has no completion", j)
+		}
+		if c > last {
+			last = c
+		}
+	}
+	if last != res.Makespan {
+		t.Errorf("makespan %.6f != latest completion %.6f", res.Makespan, last)
+	}
+}
+
+// The uplink is a single writer goroutine: its busy intervals must
+// never overlap, in the recording exactly as in the Prop. 4.1 model.
+func TestTraceCorpusUplinkSerialized(t *testing.T) {
+	d := loadTrace(t)
+	res := sim.FromTrace(d.Spans, sim.RuntimeStages(), 1.0)
+	ups := res.Gantt[sim.ResUplink]
+	if len(ups) != 8 {
+		t.Fatalf("got %d uplink intervals, want 8", len(ups))
+	}
+	for i := 1; i < len(ups); i++ {
+		if ups[i-1].End > ups[i].Start {
+			t.Errorf("uplink intervals %d and %d overlap: [%f,%f] then [%f,%f]",
+				i-1, i, ups[i-1].Start, ups[i-1].End, ups[i].Start, ups[i].End)
+		}
+	}
+}
+
+// Per-job causality: each job's mobile prefix ends before its upload
+// starts, and its upload ends before its cloud suffix starts — the
+// three-stage ordering every scheduling result in the paper assumes.
+func TestTraceCorpusStageOrdering(t *testing.T) {
+	d := loadTrace(t)
+	res := sim.FromTrace(d.Spans, sim.RuntimeStages(), 1.0)
+	stage := func(resource string, job int) (start, end float64) {
+		t.Helper()
+		for _, iv := range res.Gantt[resource] {
+			if iv.JobID == job {
+				return iv.Start, iv.End
+			}
+		}
+		t.Fatalf("job %d missing on %s", job, resource)
+		return 0, 0
+	}
+	for j := 0; j < 8; j++ {
+		_, mEnd := stage(sim.ResMobile, j)
+		uStart, uEnd := stage(sim.ResUplink, j)
+		cStart, _ := stage(sim.ResCloud, j)
+		if mEnd > uStart {
+			t.Errorf("job %d: mobile ends %.6f after upload starts %.6f", j, mEnd, uStart)
+		}
+		if uEnd > cStart {
+			t.Errorf("job %d: upload ends %.6f after cloud starts %.6f", j, uEnd, cStart)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package runtime
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"dnnjps/internal/engine"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/obs"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/tensor"
+)
+
+// Server-side cross-job batching: correctness of the coalescer under
+// ragged flushes, reply demultiplexing when a group member is invalid,
+// and the timer-expiry flush path.
+
+// batchPair wires a client against a batching server and returns the
+// client plus the server's observability bundle for counter assertions.
+func batchPair(t *testing.T, m *engine.Model, window time.Duration, max int) (*Client, *Obs) {
+	t.Helper()
+	cConn, sConn := net.Pipe()
+	o := NewObs(obs.NewTracer(1<<12), obs.NewMetrics())
+	srv := NewServer(m).WithWorkers(4).WithBatching(window, max).WithObs(o)
+	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
+	t.Cleanup(func() { cConn.Close() })
+	return NewClient(cConn, m, netsim.WiFi, 1e-6), o
+}
+
+// boundaryAt computes the exact boundary activation job i would upload
+// at the given cut, plus the class a pure local forward predicts.
+func boundaryAt(t *testing.T, m *engine.Model, cut, i int) (*tensor.Tensor, int) {
+	t.Helper()
+	units := profile.LineView(m.Graph())
+	var prefix []int
+	for _, u := range units[:cut+1] {
+		prefix = append(prefix, u.Nodes...)
+	}
+	in := input(i)
+	acts := map[int]*tensor.Tensor{}
+	if err := m.Execute(acts, in, prefix); err != nil {
+		t.Fatal(err)
+	}
+	boundary := acts[units[cut].Exit].Clone()
+	want, err := m.Forward(in.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return boundary, engine.Argmax(want)
+}
+
+// A full plan through the coalescer: 16 same-cut jobs with batchMax 3
+// force ragged groups (the final flush carries a partial batch), and
+// every class must still match a pure local forward. The counters must
+// account for every job exactly once.
+func TestRunPlanWithBatchingCorrectness(t *testing.T) {
+	m := testModel(t)
+	cl, o := batchPair(t, m, 20*time.Millisecond, 3)
+
+	const n = 16
+	plan := uniformPlan(n, 1)
+	inputs := make([]*tensor.Tensor, n)
+	for i := range inputs {
+		inputs[i] = input(i * 3)
+	}
+	rep, err := cl.RunPlan(plan, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		want, _ := m.Forward(inputs[r.JobID].Clone())
+		if r.Class != engine.Argmax(want) {
+			t.Errorf("job %d: class %d, want %d", r.JobID, r.Class, engine.Argmax(want))
+		}
+		if r.CloudMs < 0 || r.CommMs < 0 {
+			t.Errorf("job %d: negative attribution %+v", r.JobID, r)
+		}
+	}
+	if got := o.BatchedJobs.Value() + o.SoloJobs.Value(); got != n {
+		t.Errorf("batched %d + solo %d = %d jobs accounted, want %d",
+			o.BatchedJobs.Value(), o.SoloJobs.Value(), got, n)
+	}
+	if o.BatchSize.Count() == 0 {
+		t.Error("no batch groups observed")
+	}
+	if float64(n)/float64(o.BatchSize.Count()) != o.BatchSize.Sum()/float64(o.BatchSize.Count()) {
+		t.Errorf("batch-size histogram sum %v over %d groups does not cover %d jobs",
+			o.BatchSize.Sum(), o.BatchSize.Count(), n)
+	}
+}
+
+// The window-expiry flush: fewer jobs than batchMax must still complete
+// once the window elapses, grouped into one batched execution.
+func TestBatchWindowFlushesPartialGroup(t *testing.T) {
+	m := testModel(t)
+	cl, o := batchPair(t, m, 5*time.Millisecond, 64)
+
+	const cut = 1
+	res := [2]*JobResult{}
+	calls := [2]*call{}
+	wants := [2]int{}
+	for i := range res {
+		boundary, want := boundaryAt(t, m, cut, i*5)
+		wants[i] = want
+		res[i] = &JobResult{JobID: i}
+		c, err := cl.enqueueInfer(res[i], cut, boundary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls[i] = c
+	}
+	for i, c := range calls {
+		if err := cl.await(c); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if res[i].Class != wants[i] {
+			t.Errorf("job %d: class %d, want %d", i, res[i].Class, wants[i])
+		}
+	}
+	if o.BatchedJobs.Value() != 2 {
+		t.Errorf("batched jobs %d, want 2 (one group of two via window expiry)", o.BatchedJobs.Value())
+	}
+}
+
+// One invalid member must not poison its group: the valid jobs' replies
+// demux to the right callers with the right classes, and only then does
+// the connection fail with the invalid job's error.
+func TestBatchPartialFailureDemux(t *testing.T) {
+	m := testModel(t)
+	cl, _ := batchPair(t, m, 50*time.Millisecond, 3)
+
+	const cut = 1
+	b0, want0 := boundaryAt(t, m, cut, 2)
+	b1, want1 := boundaryAt(t, m, cut, 9)
+
+	res0 := &JobResult{JobID: 0}
+	c0, err := cl.enqueueInfer(res0, cut, b0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1 := &JobResult{JobID: 1}
+	c1, err := cl.enqueueInfer(res1, cut, b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong boundary shape for every cut of this model: the server
+	// detects it during batch assembly, not at decode time, so it joins
+	// the same group as the two valid jobs and the group still flushes
+	// on max size.
+	resBad := &JobResult{JobID: 2}
+	cBad, err := cl.enqueueInfer(resBad, cut, tensor.New(tensor.NewCHW(1, 2, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cl.await(c0); err != nil {
+		t.Fatalf("valid job 0 must survive its group-mate's failure: %v", err)
+	}
+	if err := cl.await(c1); err != nil {
+		t.Fatalf("valid job 1 must survive its group-mate's failure: %v", err)
+	}
+	if res0.Class != want0 || res1.Class != want1 {
+		t.Errorf("classes %d/%d, want %d/%d: batch demux crossed replies",
+			res0.Class, res1.Class, want0, want1)
+	}
+	if err := cl.await(cBad); err == nil {
+		t.Fatal("invalid job must fail")
+	}
+	if cl.Err() == nil {
+		t.Fatal("connection must record the invalid job's error")
+	}
+}
+
+// A batch whose every member is invalid must fail the connection
+// without wedging the coalescer or the pool.
+func TestBatchAllInvalidFails(t *testing.T) {
+	m := testModel(t)
+	cl, _ := batchPair(t, m, 5*time.Millisecond, 2)
+
+	bad := func(id int) *call {
+		c, err := cl.enqueueInfer(&JobResult{JobID: id}, 1, tensor.New(tensor.NewVec(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	c0, c1 := bad(0), bad(1)
+	if err := cl.await(c0); err == nil {
+		t.Fatal("invalid job 0 must fail")
+	}
+	if err := cl.await(c1); err == nil {
+		t.Fatal("invalid job 1 must fail")
+	}
+}
+
+// WithBatching(0, …) and WithBatching(…, 1) must leave the original
+// solo dispatch in place — no coalescer goroutine, no added latency.
+func TestBatchingDisabledConfigs(t *testing.T) {
+	m := testModel(t)
+	for _, cfg := range []struct {
+		window time.Duration
+		max    int
+	}{{0, 16}, {time.Millisecond, 1}, {time.Millisecond, 0}} {
+		cl, o := batchPair(t, m, cfg.window, cfg.max)
+		in := input(1)
+		want, _ := m.Forward(in.Clone())
+		res, err := cl.RunJob(0, 1, in.Clone())
+		if err != nil {
+			t.Fatalf("window=%v max=%d: %v", cfg.window, cfg.max, err)
+		}
+		if res.Class != engine.Argmax(want) {
+			t.Errorf("window=%v max=%d: class %d, want %d", cfg.window, cfg.max, res.Class, engine.Argmax(want))
+		}
+		if o.BatchSize.Count() != 0 {
+			t.Errorf("window=%v max=%d: coalescer ran despite disabled config", cfg.window, cfg.max)
+		}
+	}
+}

@@ -91,11 +91,16 @@ func benchSetup(b *testing.B) (*engine.Model, *core.Plan, []*tensor.Tensor, floa
 // server's read loop, which net.Pipe's synchronous rendezvous does not.
 func benchDial(b *testing.B, m *engine.Model) net.Conn {
 	b.Helper()
+	return benchDialServer(b, NewServer(m))
+}
+
+// benchDialServer is benchDial for a caller-configured server.
+func benchDialServer(b *testing.B, srv *Server) net.Conn {
+	b.Helper()
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv := NewServer(m)
 	go func() {
 		defer lis.Close()
 		conn, err := lis.Accept()
@@ -153,6 +158,69 @@ func BenchmarkRunPlanSync(b *testing.B) {
 		}
 		conn.Close()
 	}
+}
+
+// BenchmarkServerCoalescer measures the server stage with and without
+// cross-job batching on its best-case workload: 32 concurrent jobs all
+// cut at mobilenetv2's deepest unit (boundary after the head's global
+// average pool), leaving the weight-streaming-bound dense head as the
+// cloud suffix. "solo" dispatches each job to a pool worker as the seed
+// runtime did; "batched" coalesces the whole wave into one widened
+// GEMM. ns/job is wall time per inference seen by the client — the
+// server-stage throughput number quoted in EXPERIMENTS.md.
+func BenchmarkServerCoalescer(b *testing.B) {
+	g, err := models.Build("mobilenetv2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := engine.Load(g, 42)
+	units := profile.LineView(g)
+	node, ok := g.NodeByName("head/gap")
+	if !ok {
+		b.Fatal("mobilenetv2 has no head/gap node")
+	}
+	cut := -1
+	for i, u := range units {
+		if u.Exit == node.ID {
+			cut = i
+		}
+	}
+	if cut < 0 {
+		b.Fatal("head/gap is not a unit boundary")
+	}
+	boundary := tensor.New(node.OutShape)
+	for i := range boundary.Data {
+		boundary.Data[i] = float32(i%31)/31 - 0.5
+	}
+	const jobs = 32
+
+	run := func(b *testing.B, srv *Server) {
+		conn := benchDialServer(b, srv)
+		defer conn.Close()
+		cl := NewClient(conn, m, netsim.WiFi, 1e-6)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			calls := make([]*call, jobs)
+			for j := range calls {
+				c, err := cl.enqueueInfer(&JobResult{JobID: j}, cut, boundary)
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls[j] = c
+			}
+			for _, c := range calls {
+				if err := cl.await(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*jobs), "ns/job")
+	}
+	b.Run("solo", func(b *testing.B) { run(b, NewServer(m).WithWorkers(4)) })
+	b.Run("batched", func(b *testing.B) {
+		run(b, NewServer(m).WithWorkers(4).WithBatching(10*time.Millisecond, jobs))
+	})
 }
 
 // BenchmarkWriteInferRequest measures the encode side of the wire

@@ -85,10 +85,12 @@ type wireMsg struct {
 func NewClient(conn net.Conn, m *engine.Model, ch netsim.Channel, timeScale float64) *Client {
 	shaped := netsim.Shape(conn, ch, timeScale)
 	return &Client{
-		model:      m,
-		units:      profile.LineView(m.Graph()),
+		model: m,
+		units: profile.LineView(m.Graph()),
+		// Reads go through the shaper too: with a modeled downlink the
+		// reply frames are paced; otherwise Read is a passthrough.
 		conn:       shaped,
-		r:          bufio.NewReaderSize(conn, 1<<16),
+		r:          bufio.NewReaderSize(shaped, 1<<16),
 		w:          bufio.NewWriterSize(shaped, 1<<16),
 		ch:         ch,
 		scale:      timeScale,
@@ -531,6 +533,45 @@ func (c *Client) RunPlan(p *core.Plan, inputs []*tensor.Tensor) (*Report, error)
 	}
 
 	sort.Slice(results, func(i, j int) bool { return results[i].JobID < results[j].JobID })
+	rep := &Report{Results: results}
+	for _, r := range results {
+		if ms := float64(r.Done.Sub(start).Nanoseconds()) / 1e6; ms > rep.MakespanMs {
+			rep.MakespanMs = ms
+		}
+	}
+	return rep, nil
+}
+
+// RunBoundaryJobs enqueues one job per boundary tensor at the given
+// cut — all in flight at once — and awaits every reply. Unlike
+// RunPlan there is no mobile stage: arrivals at the server are paced
+// by the uplink alone, as if many devices shared the channel, which
+// makes this the server-stage probe of the batching experiment (the
+// coalescer sees genuine request concurrency instead of prefix-compute
+// spacing). Job i's ID is i; boundary tensors must match the cut's
+// exit shape. The cut must be a real offloaded position (not the last
+// unit).
+func (c *Client) RunBoundaryJobs(cut int, boundaries []*tensor.Tensor) (*Report, error) {
+	if cut < 0 || cut >= len(c.units)-1 {
+		return nil, fmt.Errorf("runtime: boundary-job cut %d out of range [0,%d)", cut, len(c.units)-1)
+	}
+	start := time.Now()
+	results := make([]*JobResult, len(boundaries))
+	calls := make([]*call, 0, len(boundaries))
+	for i, b := range boundaries {
+		res := &JobResult{JobID: i, Cut: cut}
+		results[i] = res
+		cl, err := c.enqueueInfer(res, cut, b)
+		if err != nil {
+			return nil, err
+		}
+		calls = append(calls, cl)
+	}
+	for _, cl := range calls {
+		if err := c.await(cl); err != nil {
+			return nil, err
+		}
+	}
 	rep := &Report{Results: results}
 	for _, r := range results {
 		if ms := float64(r.Done.Sub(start).Nanoseconds()) / 1e6; ms > rep.MakespanMs {

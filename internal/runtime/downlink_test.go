@@ -1,0 +1,82 @@
+package runtime
+
+import (
+	"math"
+	"net"
+	"testing"
+
+	"dnnjps/internal/engine"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/tensor"
+)
+
+// The profile layer prices the downlink leg of a cut with its own copy
+// of the reply frame size (it cannot import this package). The two
+// constants must never drift.
+func TestReplyBytesPinnedToProtocol(t *testing.T) {
+	if profile.ReplyBytes != ReplyWireBytes {
+		t.Fatalf("profile.ReplyBytes = %d, runtime.ReplyWireBytes = %d: reply pricing drifted from the wire format",
+			profile.ReplyBytes, ReplyWireBytes)
+	}
+}
+
+// On a channel with a modeled downlink, every offloaded cut's G must
+// carry the reply transit on top of the upload — the term that stops
+// symmetric low-band planning from treating replies as free.
+func TestCurvePricesReplyOnSymmetricChannel(t *testing.T) {
+	m := testModel(t)
+	up := netsim.Channel{Name: "asym", UplinkMbps: 1.1, SetupMs: 60}
+	sym := up.WithDownlink(1.1)
+	asym := profile.BuildCurve(m.Graph(), profile.RaspberryPi4(), profile.CloudGPU(), up, tensor.Float32)
+	got := profile.BuildCurve(m.Graph(), profile.RaspberryPi4(), profile.CloudGPU(), sym, tensor.Float32)
+	wantExtra := sym.RxMs(profile.ReplyBytes)
+	if wantExtra <= 0 {
+		t.Fatal("symmetric channel must price the reply")
+	}
+	for i := 0; i < got.Len()-1; i++ {
+		if diff := got.G[i] - asym.G[i]; math.Abs(diff-wantExtra) > 1e-9 {
+			t.Errorf("cut %d: G diff %g, want reply transit %g", i, diff, wantExtra)
+		}
+	}
+	if got.G[got.Len()-1] != 0 {
+		t.Error("local-only cut must stay free of communication")
+	}
+	// Reprice must apply the same term.
+	rep := asym.Reprice(sym)
+	for i := 0; i < rep.Len(); i++ {
+		if rep.G[i] != got.G[i] {
+			t.Errorf("cut %d: Reprice G %g, BuildCurve G %g", i, rep.G[i], got.G[i])
+		}
+	}
+}
+
+// End to end over a symmetric low-bandwidth channel: replies are paced
+// through the shaper's read side and every class still matches a local
+// forward.
+func TestRunPlanOverSymmetricChannel(t *testing.T) {
+	m := testModel(t)
+	ch := netsim.Channel{Name: "sym", UplinkMbps: 2, SetupMs: 5}.WithDownlink(2)
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	srv := NewServer(m).WithWorkers(2)
+	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
+	cl := NewClient(cConn, m, ch, 1e-6)
+
+	const n = 8
+	plan := uniformPlan(n, 1)
+	inputs := make([]*tensor.Tensor, n)
+	for i := range inputs {
+		inputs[i] = input(i)
+	}
+	rep, err := cl.RunPlan(plan, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Results {
+		want, _ := m.Forward(inputs[r.JobID].Clone())
+		if r.Class != engine.Argmax(want) {
+			t.Errorf("job %d: class %d, want %d", r.JobID, r.Class, engine.Argmax(want))
+		}
+	}
+}

@@ -157,7 +157,7 @@ func NewGeneralClient(conn net.Conn, m *engine.Model, ch netsim.Channel, timeSca
 		model: m,
 		conn:  shaped,
 		rw: bufio.NewReadWriter(
-			bufio.NewReaderSize(conn, 1<<16),
+			bufio.NewReaderSize(shaped, 1<<16),
 			bufio.NewWriterSize(shaped, 1<<16)),
 		ch: ch,
 	}

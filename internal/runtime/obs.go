@@ -21,17 +21,18 @@ const (
 // SpanCloudCompute) map 1:1 onto simulator resources; the rest are
 // waits and recovery events.
 const (
-	SpanLocalCompute  = "local-compute" // mobile: one job's prefix
-	SpanQueueWait     = "queue-wait"    // uplink: enqueue -> writer pickup; server: decode -> worker pickup
-	SpanSerialize     = "serialize"     // uplink: frame encode inside the upload
-	SpanUpload        = "upload"        // uplink: setup delay + encode + paced transmit
-	SpanReplyWait     = "reply-wait"    // cloud: upload end -> reply delivered
-	SpanDecode        = "decode"        // server: request body decode
-	SpanCloudCompute  = "cloud-compute" // server: model suffix execution
-	SpanReplyWrite    = "reply-write"   // server: reply encode + flush
-	SpanRedial        = "redial"        // runner: dial attempt
-	SpanBackoff       = "backoff"       // runner: jittered backoff sleep
-	SpanReplan        = "replan"        // runner: mid-run re-planning
+	SpanLocalCompute  = "local-compute"  // mobile: one job's prefix
+	SpanQueueWait     = "queue-wait"     // uplink: enqueue -> writer pickup; server: decode -> worker pickup
+	SpanSerialize     = "serialize"      // uplink: frame encode inside the upload
+	SpanUpload        = "upload"         // uplink: setup delay + encode + paced transmit
+	SpanReplyWait     = "reply-wait"     // cloud: upload end -> reply delivered
+	SpanDecode        = "decode"         // server: request body decode
+	SpanCoalesceWait  = "coalesce-wait"  // server: decode -> batch-group flush (batching only)
+	SpanCloudCompute  = "cloud-compute"  // server: model suffix execution
+	SpanReplyWrite    = "reply-write"    // server: reply encode + flush
+	SpanRedial        = "redial"         // runner: dial attempt
+	SpanBackoff       = "backoff"        // runner: jittered backoff sleep
+	SpanReplan        = "replan"         // runner: mid-run re-planning
 	SpanLocalFallback = "local-fallback" // runner: job finished on the mobile engine
 )
 
@@ -63,6 +64,11 @@ type Obs struct {
 	ServerRxBytes *obs.Counter // jps_server_rx_bytes_total (request frames)
 	ServerTxBytes *obs.Counter // jps_server_tx_bytes_total (reply frames)
 	WorkersBusy   *obs.Gauge   // jps_server_workers_busy (pool occupancy)
+
+	// Cross-job batching (see coalesce.go).
+	BatchSize   *obs.Histogram // jps_server_batch_size (jobs per executed group)
+	BatchedJobs *obs.Counter   // jps_server_batched_jobs_total (jobs executed in groups of >= 2)
+	SoloJobs    *obs.Counter   // jps_server_solo_jobs_total (jobs executed alone despite batching)
 }
 
 // NewObs wires a tracer and a metric registry into the runtime's
@@ -88,6 +94,10 @@ func NewObs(tr *obs.Tracer, m *obs.Metrics) *Obs {
 		ServerRxBytes: m.Counter("jps_server_rx_bytes_total", "wire bytes of decoded inference requests"),
 		ServerTxBytes: m.Counter("jps_server_tx_bytes_total", "wire bytes of written reply frames"),
 		WorkersBusy:   m.Gauge("jps_server_workers_busy", "inference worker pool occupancy"),
+
+		BatchSize:   m.Histogram("jps_server_batch_size", "jobs per executed batch group", nil),
+		BatchedJobs: m.Counter("jps_server_batched_jobs_total", "jobs executed in coalesced groups of two or more"),
+		SoloJobs:    m.Counter("jps_server_solo_jobs_total", "jobs executed alone while batching was enabled"),
 	}
 }
 

@@ -67,6 +67,20 @@ func uniformPlan(n, cut int) *core.Plan {
 // exceeded the bound by the summed cloud compute + reply RTTs (one
 // per job, ~25% here).
 func TestRunPlanMatchesProp41(t *testing.T) {
+	prop41Closure(t, func(s *Server) {})
+}
+
+// TestRunPlanMatchesProp41Batched re-runs the closure with the cross-job
+// coalescer armed. On this plan jobs reach the server one uplink
+// transmission (~16 ms) apart, so every window expires solo — the
+// coalescer must degrade to job-at-a-time dispatch and cost at most one
+// extra window on the tail, far inside the 15% tolerance.
+func TestRunPlanMatchesProp41Batched(t *testing.T) {
+	prop41Closure(t, func(s *Server) { s.WithBatching(2*time.Millisecond, 16) })
+}
+
+func prop41Closure(t *testing.T, configure func(*Server)) {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("timing test")
 	}
@@ -89,6 +103,7 @@ func TestRunPlanMatchesProp41(t *testing.T) {
 	cConn, sConn := net.Pipe()
 	defer cConn.Close()
 	srv := NewServer(m).WithWorkers(4)
+	configure(srv)
 	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
 	cl := NewClient(cConn, m, ch, scale)
 

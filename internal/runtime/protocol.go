@@ -80,9 +80,13 @@ type inferReply struct {
 	QueueNs int64
 }
 
-// replyWireBytes is the full on-the-wire size of a reply frame: type
-// byte + 24-byte body + CRC-32C trailer.
-const replyWireBytes = 1 + 24 + 4
+// ReplyWireBytes is the full on-the-wire size of a reply frame: type
+// byte + 24-byte body + CRC-32C trailer. Exported so the profile
+// layer's duplicated copy (profile.ReplyBytes, which prices the
+// downlink leg of a cut) can be pinned to it by test.
+const ReplyWireBytes = 1 + 24 + 4
+
+const replyWireBytes = ReplyWireBytes
 
 // RequestWireBytes returns the exact on-the-wire size of an infer
 // request carrying a boundary tensor of the given shape — the byte

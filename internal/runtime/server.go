@@ -29,6 +29,10 @@ type Server struct {
 	suffix [][]int
 	// workers bounds concurrent inferences per connection.
 	workers int
+	// batchWindow/batchMax configure the cross-job coalescer (see
+	// coalesce.go); window 0 or max 1 disables it.
+	batchWindow time.Duration
+	batchMax    int
 	// obsv is the optional tracing + metrics bundle; nil disables
 	// recording.
 	obsv *Obs
@@ -58,6 +62,22 @@ func (s *Server) WithWorkers(n int) *Server {
 		n = 1
 	}
 	s.workers = n
+	return s
+}
+
+// WithBatching enables the cross-job coalescer: decoded infer requests
+// of the same cut wait up to window for companions (at most max per
+// group) and execute as one batched suffix pass. Window 0 or max < 2
+// keeps the original job-at-a-time dispatch. Must be called before
+// serving; returns s for chaining. Only line-view infer requests
+// coalesce — general-plan (msgInferSet) requests always run solo, as
+// their node sets need not match.
+func (s *Server) WithBatching(window time.Duration, max int) *Server {
+	if max < 1 {
+		max = 1
+	}
+	s.batchWindow = window
+	s.batchMax = max
 	return s
 }
 
@@ -163,18 +183,14 @@ func (s *Server) HandleConn(conn io.ReadWriter) error {
 		return nil
 	}
 
-	jobs := make(chan func() (*inferReply, error), s.workers)
+	jobs := make(chan func() error, s.workers)
 	var wg sync.WaitGroup
 	for i := 0; i < s.workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for run := range jobs {
-				rep, err := run()
-				if err == nil {
-					err = reply(rep)
-				}
-				if err != nil {
+				if err := run(); err != nil {
 					fail(err)
 					return
 				}
@@ -182,15 +198,36 @@ func (s *Server) HandleConn(conn io.ReadWriter) error {
 		}()
 	}
 
-	// dispatch hands one decoded request to the pool, backing off to
-	// the stop signal so a failed pool never deadlocks the reader.
-	dispatch := func(run func() (*inferReply, error)) bool {
+	// dispatch hands one unit of work to the pool, backing off to the
+	// stop signal so a failed pool never deadlocks the reader.
+	dispatch := func(run func() error) bool {
 		select {
 		case jobs <- run:
 			return true
 		case <-stop:
 			return false
 		}
+	}
+
+	// solo wraps a single-job inference into a pool unit: run, then
+	// reply.
+	solo := func(jobID int, recv time.Time, infer func() (*inferReply, error)) func() error {
+		return func() error {
+			rep, err := s.runJob(jobID, recv, infer)
+			if err != nil {
+				return err
+			}
+			return reply(rep)
+		}
+	}
+
+	// With batching enabled, infer requests detour through the
+	// coalescer, whose goroutine is then the sole dispatcher of batch
+	// groups into the pool.
+	var co *coalescer
+	if s.batchWindow > 0 && s.batchMax > 1 {
+		co = newCoalescer(s.batchWindow, s.batchMax, dispatch, stop,
+			func(g *batchGroup, flushed time.Time) error { return s.runBatch(g, flushed, reply) })
 	}
 
 readLoop:
@@ -220,9 +257,11 @@ readLoop:
 				o.span(TrackServer, SpanDecode, int(req.JobID), decodeStart, recv)
 				o.ServerRxBytes.Add(int64(RequestWireBytes(req.Tensor.Shape)))
 			}
-			if !dispatch(func() (*inferReply, error) {
-				return s.runJob(int(req.JobID), recv, func() (*inferReply, error) { return s.infer(req) })
-			}) {
+			if co != nil {
+				if !co.submit(pendingJob{req: req, recv: recv}) {
+					break readLoop
+				}
+			} else if !dispatch(solo(int(req.JobID), recv, func() (*inferReply, error) { return s.infer(req) })) {
 				break readLoop
 			}
 		case msgInferSet:
@@ -236,9 +275,7 @@ readLoop:
 			if o := s.obsv; o != nil {
 				o.span(TrackServer, SpanDecode, int(req.JobID), decodeStart, recv)
 			}
-			if !dispatch(func() (*inferReply, error) {
-				return s.runJob(int(req.JobID), recv, func() (*inferReply, error) { return s.inferSet(req) })
-			}) {
+			if !dispatch(solo(int(req.JobID), recv, func() (*inferReply, error) { return s.inferSet(req) })) {
 				break readLoop
 			}
 		case msgPing:
@@ -262,6 +299,13 @@ readLoop:
 			fail(fmt.Errorf("runtime: unknown message type %d", typ))
 			break readLoop
 		}
+	}
+	// Flush any batch groups still inside their window before closing
+	// the pool: the client may be idle, having sent everything, and its
+	// last jobs must not be dropped. On the failure path the coalescer
+	// drains without dispatching.
+	if co != nil {
+		co.finish()
 	}
 	close(jobs)
 	wg.Wait()

@@ -22,14 +22,17 @@ BEGIN { print "[" }
 /^Benchmark/ {
     name = $1; iters = $2; ns = $3
     bytes = "null"; allocs = "null"; mbs = "null"
+    nsinf = "null"; nsjob = "null"
     for (i = 4; i <= NF; i++) {
         if ($(i) == "B/op") bytes = $(i-1)
         if ($(i) == "allocs/op") allocs = $(i-1)
         if ($(i) == "MB/s") mbs = $(i-1)
+        if ($(i) == "ns/inference") nsinf = $(i-1)
+        if ($(i) == "ns/job") nsjob = $(i-1)
     }
     if (n++) printf ",\n"
-    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-        name, iters, ns, mbs, bytes, allocs
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"ns_per_inference\": %s, \"ns_per_job\": %s}", \
+        name, iters, ns, mbs, bytes, allocs, nsinf, nsjob
 }
 END { print "\n]" }
 ' "$RAW" > "$OUT"
