@@ -45,7 +45,7 @@ func withDownlink(ch netsim.Channel) netsim.Channel {
 func main() {
 	var (
 		all       = flag.Bool("all", false, "run every experiment")
-		fig       = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, 3tier, robust, runtime, faults, trace, batch")
+		fig       = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, quant, 3tier, robust, runtime, faults, trace, batch")
 		model     = flag.String("model", "alexnet", "model for figure 4/13 (alexnet, mobilenetv2, ...)")
 		n         = flag.Int("n", 100, "number of inference jobs")
 		csvDir    = flag.String("csv", "", "directory to also write tables as CSV")
@@ -64,7 +64,7 @@ func main() {
 
 	ids := []string{*fig}
 	if *all {
-		ids = []string{"4", "11", "12", "12d", "table1", "13", "14", "ablations", "hetero", "stream", "dtypes", "3tier", "robust"}
+		ids = []string{"4", "11", "12", "12d", "table1", "13", "14", "ablations", "hetero", "stream", "dtypes", "quant", "3tier", "robust"}
 	}
 	if !*all && *fig == "" {
 		flag.Usage()
@@ -251,6 +251,12 @@ func run(env experiments.Env, id, model, traceOut, traceJSON string) ([]*report.
 			return nil, err
 		}
 		return []*report.Table{experiments.AblationDTypesTable(rows)}, nil
+	case "quant":
+		rows, err := experiments.Quant(env)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.QuantTable(rows)}, nil
 	case "3tier":
 		rows, err := experiments.ThreeTier(env)
 		if err != nil {
@@ -280,7 +286,7 @@ func run(env experiments.Env, id, model, traceOut, traceJSON string) ([]*report.
 		}
 		return []*report.Table{experiments.RobustnessTable(model, netsim.FourG, rows)}, nil
 	default:
-		return nil, fmt.Errorf("unknown experiment %q (have 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, 3tier, robust, runtime, faults, trace, batch)", id)
+		return nil, fmt.Errorf("unknown experiment %q (have 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, quant, 3tier, robust, runtime, faults, trace, batch)", id)
 	}
 }
 

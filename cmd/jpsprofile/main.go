@@ -9,6 +9,7 @@
 // Usage:
 //
 //	jpsprofile -model alexnet
+//	jpsprofile -model alexnet -quant
 //	jpsprofile -model mobilenetv2 -o lookup.json
 //	jpsprofile -model alexnet -calibrate -engine=gemm -workers 0
 //	jpsprofile -model alexnet -calibrate -engine=direct
@@ -35,6 +36,7 @@ func main() {
 		mbps    = flag.Float64("mbps", 18.88, "bandwidth for the block profile")
 		out     = flag.String("o", "", "write a JSON lookup table (all preset channels) to this file")
 		dot     = flag.String("dot", "", "write the model's Graphviz DOT to this file")
+		quant   = flag.Bool("quant", false, "price the int8 deployment: quantized mobile device + 1-byte cut tensors")
 		cal     = flag.Bool("calibrate", false, "calibrate a device model by timing real engine runs on this machine")
 		eng     = flag.String("engine", "gemm", "engine kernel path for -calibrate: gemm (im2col+SGEMM) or direct (reference loops)")
 		workers = flag.Int("workers", 1, "engine worker goroutines for -calibrate; 0 = GOMAXPROCS")
@@ -52,7 +54,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*model, *mbps, *out, *dot); err != nil {
+	if err := run(*model, *mbps, *out, *dot, *quant); err != nil {
 		fmt.Fprintln(os.Stderr, "jpsprofile:", err)
 		os.Exit(1)
 	}
@@ -104,12 +106,18 @@ func calibrate(model string, mbps float64, kernel engine.KernelPath, workers int
 	return nil
 }
 
-func run(model string, mbps float64, out, dot string) error {
+func run(model string, mbps float64, out, dot string, quant bool) error {
 	g, err := models.Build(model)
 	if err != nil {
 		return err
 	}
 	pi, gpu := profile.RaspberryPi4(), profile.CloudGPU()
+	dt := tensor.Float32
+	if quant {
+		// The int8 deployment: quantized mobile compute and 1-byte cut
+		// tensors. The cloud side stays fp32 (it dequantizes at decode).
+		pi, dt = pi.Quantized(), tensor.Int8
+	}
 	ch := netsim.At(mbps)
 
 	fmt.Printf("%s: %d layers, %.2f GFLOPs, %.1fM params\n",
@@ -117,7 +125,7 @@ func run(model string, mbps float64, out, dot string) error {
 	fmt.Printf("local-only: %.1f ms on %s, %.2f ms on %s\n\n",
 		pi.TotalTimeMs(g), pi.Name, gpu.TotalTimeMs(g), gpu.Name)
 
-	stats := profile.BlockProfile(g, pi, gpu, ch, tensor.Float32)
+	stats := profile.BlockProfile(g, pi, gpu, ch, dt)
 	t := report.NewTable(fmt.Sprintf("Per-block profile of %s at %s", model, ch),
 		"Block", "Mobile ms", "Cloud ms", "Comm ms", "Cut bytes")
 	for _, s := range stats {
@@ -132,7 +140,7 @@ func run(model string, mbps float64, out, dot string) error {
 		if err != nil {
 			return err
 		}
-		if err := g.WriteDOT(f, tensor.Float32); err != nil {
+		if err := g.WriteDOT(f, dt); err != nil {
 			f.Close()
 			return err
 		}
@@ -147,7 +155,7 @@ func run(model string, mbps float64, out, dot string) error {
 	}
 	tab := profile.NewLookupTable()
 	for _, preset := range netsim.Presets() {
-		tab.Put(profile.BuildCurve(g, pi, gpu, preset, tensor.Float32))
+		tab.Put(profile.BuildCurve(g, pi, gpu, preset, dt))
 	}
 	f, err := os.Create(out)
 	if err != nil {

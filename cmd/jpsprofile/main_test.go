@@ -13,7 +13,7 @@ func TestRunProfileWithArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	lookup := filepath.Join(dir, "lookup.json")
 	dot := filepath.Join(dir, "model.dot")
-	if err := run("alexnet", 18.88, lookup, dot); err != nil {
+	if err := run("alexnet", 18.88, lookup, dot, false); err != nil {
 		t.Fatal(err)
 	}
 
@@ -40,13 +40,19 @@ func TestRunProfileWithArtifacts(t *testing.T) {
 }
 
 func TestRunProfileNoArtifacts(t *testing.T) {
-	if err := run("mobilenetv2", 5.85, "", ""); err != nil {
+	if err := run("mobilenetv2", 5.85, "", "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProfileQuant(t *testing.T) {
+	if err := run("mobilenetv2", 5.85, "", "", true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunProfileUnknownModel(t *testing.T) {
-	if err := run("lenet", 5.85, "", ""); err == nil {
+	if err := run("lenet", 5.85, "", "", false); err == nil {
 		t.Error("unknown model must error")
 	}
 }

@@ -108,36 +108,77 @@ func ArgmaxBatch(t *tensor.Tensor, n int) []int {
 	return classes
 }
 
-// im2colGroupBatch fills dst (kSize × n·hw, row-major) with the
-// side-by-side patch matrices of n packed images: row k, image b
-// occupies columns [b·hw, (b+1)·hw).
-func im2colGroupBatch(src, dst []float32, cLo, icpg, inH, inW, kh, kw, stride, padH, padW, outH, outW, workers, n int) {
-	hw := outH * outW
-	nhw := n * hw
-	parallelFor(workers, icpg*kh*kw, func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			c := k / (kh * kw)
-			r := k % (kh * kw) / kw
-			s := k % kw
-			for b := 0; b < n; b++ {
-				im2colRow(src, dst[k*nhw+b*hw:k*nhw+(b+1)*hw], ((cLo+c)*n+b)*inH*inW,
-					r, s, inH, inW, stride, padH, padW, outH, outW)
-			}
-		}
+// im2colGroupBatch fills dst (kSize × bt·hw, row-major) with the
+// side-by-side patch matrices of packed images [b0, b0+bt): row k,
+// image b0+bi occupies columns [bi·hw, (bi+1)·hw).
+func im2colGroupBatch(src, dst []float32, cLo, icpg, inH, inW, kh, kw, stride, padH, padW, outH, outW, workers, n, b0, bt int) {
+	rows := icpg * kh * kw
+	if serialSpan(workers, rows) {
+		im2colRowsBatch(0, rows, src, dst, cLo, inH, inW, kh, kw, stride, padH, padW, outH, outW, n, b0, bt)
+		return
+	}
+	parallelFor(workers, rows, func(lo, hi int) {
+		im2colRowsBatch(lo, hi, src, dst, cLo, inH, inW, kh, kw, stride, padH, padW, outH, outW, n, b0, bt)
 	})
 }
 
-// conv2dGEMMBatch is conv2dGEMM over a packed batch: one SGEMM of
-// (ocpg × kSize)·(kSize × n·hw) per group. inShape/outShape are the
-// per-image shapes from the graph; in is packed batch-n.
-func conv2dGEMMBatch(arena *tensor.Arena, in *tensor.Tensor, inShape, outShape tensor.Shape, p params, kh, kw, stride, padH, padW, groups, workers, n int) *tensor.Tensor {
+// im2colRowsBatch fills batched patch-matrix rows [lo, hi).
+func im2colRowsBatch(lo, hi int, src, dst []float32, cLo, inH, inW, kh, kw, stride, padH, padW, outH, outW, n, b0, bt int) {
+	hw := outH * outW
+	bhw := bt * hw
+	for k := lo; k < hi; k++ {
+		c := k / (kh * kw)
+		r := k % (kh * kw) / kw
+		s := k % kw
+		for bi := 0; bi < bt; bi++ {
+			im2colRow(src, dst[k*bhw+bi*hw:k*bhw+(bi+1)*hw], ((cLo+c)*n+b0+bi)*inH*inW,
+				r, s, inH, inW, stride, padH, padW, outH, outW)
+		}
+	}
+}
+
+// batchTileElems caps the im2col scratch of one image group so the
+// patch slab the SGEMM streams stays cache-resident instead of
+// materializing kSize × n·hw floats for the whole batch at once.
+const batchTileElems = 1 << 21 // 8 MiB of float32
+
+// batchTile picks the image-group width for the retiled batched conv:
+// wide enough that the group's column count amortizes the packed
+// A-panel reuse inside the microkernel (≥ 2·microNC columns when the
+// batch allows), narrow enough that the group scratch respects
+// batchTileElems.
+func batchTile(kSize, hw, n int) int {
+	bt := (2*microNC + hw - 1) / hw
+	for bt > 1 && kSize*bt*hw > batchTileElems {
+		bt--
+	}
+	if bt < 1 {
+		bt = 1
+	}
+	if bt > n {
+		bt = n
+	}
+	return bt
+}
+
+// conv2dGEMMBatch is conv2dGEMM over a packed batch, retiled across
+// images: per group of the convolution, the batch is processed in image
+// groups of batchTile width, each an SGEMM of
+// (ocpg × kSize)·(kSize × bt·hw) whose C slab is a column window of the
+// packed output (row stride n·hw). Per-element accumulation order is
+// untouched by the tiling — grouping only partitions C's columns — so
+// outputs stay bit-identical to n separate Forwards at any tile width.
+// inShape/outShape are the per-image shapes from the graph; in is
+// packed batch-n.
+func conv2dGEMMBatch(arena *tensor.Arena, kern KernelPath, in *tensor.Tensor, inShape, outShape tensor.Shape, p params, kh, kw, stride, padH, padW, groups, workers, n int) *tensor.Tensor {
 	out := arena.Get(batchShape(outShape, n))
 	inC, inH, inW := inShape.C(), inShape.H(), inShape.W()
 	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
 	icpg := inC / groups
 	ocpg := outC / groups
 	kSize := kh * kw * icpg
-	nhw := n * outH * outW
+	hw := outH * outW
+	nhw := n * hw
 
 	for oc := 0; oc < outC; oc++ {
 		row := out.Data[oc*nhw : (oc+1)*nhw]
@@ -152,23 +193,30 @@ func conv2dGEMMBatch(arena *tensor.Arena, in *tensor.Tensor, inShape, outShape t
 
 	// For a pure 1×1 the packed group slice is already the patch
 	// matrix: row ic starts at ic·n·plane and column (b, pos) sits at
-	// b·plane+pos — exactly the packed data order.
+	// b·plane+pos — exactly the packed data order. No scratch is
+	// materialized, so no image retiling is needed either.
 	pure1x1 := kh == 1 && kw == 1 && stride == 1 && padH == 0 && padW == 0
-	var scratch []float32
-	if !pure1x1 {
-		scratch = arena.GetSlice(kSize * nhw)
-		defer arena.PutSlice(scratch)
-	}
-	for g := 0; g < groups; g++ {
-		b := scratch
-		if pure1x1 {
-			b = in.Data[g*icpg*n*inH*inW : (g+1)*icpg*n*inH*inW]
-		} else {
-			im2colGroupBatch(in.Data, scratch, g*icpg, icpg, inH, inW, kh, kw, stride, padH, padW, outH, outW, workers, n)
+	if pure1x1 {
+		for g := 0; g < groups; g++ {
+			b := in.Data[g*icpg*n*inH*inW : (g+1)*icpg*n*inH*inW]
+			a := p.w[g*ocpg*kSize : (g+1)*ocpg*kSize]
+			c := out.Data[g*ocpg*nhw : (g+1)*ocpg*nhw]
+			sgemmAcc(kern, ocpg, kSize, nhw, nhw, a, b, c, workers)
 		}
+		return out
+	}
+
+	bt := batchTile(kSize, hw, n)
+	scratch := arena.GetSlice(kSize * bt * hw)
+	defer arena.PutSlice(scratch)
+	for g := 0; g < groups; g++ {
 		a := p.w[g*ocpg*kSize : (g+1)*ocpg*kSize]
-		c := out.Data[g*ocpg*nhw : (g+1)*ocpg*nhw]
-		sgemmAcc(ocpg, kSize, nhw, a, b, c, workers)
+		for b0 := 0; b0 < n; b0 += bt {
+			bw := min(bt, n-b0)
+			im2colGroupBatch(in.Data, scratch, g*icpg, icpg, inH, inW, kh, kw, stride, padH, padW, outH, outW, workers, n, b0, bw)
+			c := out.Data[g*ocpg*nhw+b0*hw:]
+			sgemmAcc(kern, ocpg, kSize, bw*hw, nhw, a, scratch, c, workers)
+		}
 	}
 	return out
 }
@@ -182,29 +230,43 @@ func dwconv2dBatch(arena *tensor.Arena, in *tensor.Tensor, inShape, outShape ten
 	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
 	ohLo, ohHi := interiorRange(inH, kh, stride, pad, outH)
 	owLo, owHi := interiorRange(inW, kw, stride, pad, outW)
+	if serialSpan(workers, outC*n) {
+		dwBatchPlanes(0, outC*n, in.Data, out.Data, p, n, kh, kw, stride, pad,
+			inH, inW, outH, outW, ohLo, ohHi, owLo, owHi)
+		return out
+	}
 	parallelFor(workers, outC*n, func(pLo, pHi int) {
-		for pl := pLo; pl < pHi; pl++ {
-			c := pl / n
-			var bias float32
-			if p.b != nil {
-				bias = p.b[c]
-			}
-			dwPlane(in.Data, out.Data, p.w, bias, pl*inH*inW, pl*outH*outW, c*kh*kw,
-				kh, kw, stride, pad, inH, inW, outH, outW, ohLo, ohHi, owLo, owHi)
-		}
+		dwBatchPlanes(pLo, pHi, in.Data, out.Data, p, n, kh, kw, stride, pad,
+			inH, inW, outH, outW, ohLo, ohHi, owLo, owHi)
 	})
 	return out
+}
+
+// dwBatchPlanes convolves packed planes [pLo, pHi); plane pl holds
+// image pl%n of channel pl/n.
+func dwBatchPlanes(pLo, pHi int, src, dst []float32, p params, n, kh, kw, stride, pad,
+	inH, inW, outH, outW, ohLo, ohHi, owLo, owHi int) {
+	for pl := pLo; pl < pHi; pl++ {
+		c := pl / n
+		var bias float32
+		if p.b != nil {
+			bias = p.b[c]
+		}
+		dwPlane(src, dst, p.w, bias, pl*inH*inW, pl*outH*outW, c*kh*kw,
+			kh, kw, stride, pad, inH, inW, outH, outW, ohLo, ohHi, owLo, owHi)
+	}
 }
 
 func maxpoolBatch(arena *tensor.Arena, in *tensor.Tensor, inShape, outShape tensor.Shape, k, stride, pad, workers, n int) *tensor.Tensor {
 	out := arena.Get(batchShape(outShape, n))
 	inH, inW := inShape.H(), inShape.W()
 	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
+	if serialSpan(workers, outC*n) {
+		maxpoolPlanes(in.Data, out.Data, 0, outC*n, inH, inW, outH, outW, k, stride, pad)
+		return out
+	}
 	parallelFor(workers, outC*n, func(pLo, pHi int) {
-		for pl := pLo; pl < pHi; pl++ {
-			maxpoolPlane(in.Data[pl*inH*inW:], out.Data[pl*outH*outW:],
-				inH, inW, outH, outW, k, stride, pad)
-		}
+		maxpoolPlanes(in.Data, out.Data, pLo, pHi, inH, inW, outH, outW, k, stride, pad)
 	})
 	return out
 }
@@ -213,11 +275,12 @@ func avgpoolBatch(arena *tensor.Arena, in *tensor.Tensor, inShape, outShape tens
 	out := arena.Get(batchShape(outShape, n))
 	inH, inW := inShape.H(), inShape.W()
 	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
+	if serialSpan(workers, outC*n) {
+		avgpoolPlanes(in.Data, out.Data, 0, outC*n, inH, inW, outH, outW, k, stride, pad)
+		return out
+	}
 	parallelFor(workers, outC*n, func(pLo, pHi int) {
-		for pl := pLo; pl < pHi; pl++ {
-			avgpoolPlane(in.Data[pl*inH*inW:], out.Data[pl*outH*outW:],
-				inH, inW, outH, outW, k, stride, pad)
-		}
+		avgpoolPlanes(in.Data, out.Data, pLo, pHi, inH, inW, outH, outW, k, stride, pad)
 	})
 	return out
 }
@@ -228,7 +291,7 @@ func avgpoolBatch(arena *tensor.Arena, in *tensor.Tensor, inShape, outShape tens
 // output vector is exactly C. This is where batching pays most — the
 // weight matrix streams through once per batch instead of once per
 // job.
-func denseGEMMBatch(arena *tensor.Arena, in *tensor.Tensor, p params, outN, workers, n int) *tensor.Tensor {
+func denseGEMMBatch(arena *tensor.Arena, kern KernelPath, in *tensor.Tensor, p params, outN, workers, n int) *tensor.Tensor {
 	out := arena.Get(tensor.NewVec(outN * n))
 	inF := len(in.Data) / n
 	for o := 0; o < outN; o++ {
@@ -241,7 +304,7 @@ func denseGEMMBatch(arena *tensor.Arena, in *tensor.Tensor, p params, outN, work
 			row[i] = bias
 		}
 	}
-	sgemmAcc(outN, inF, n, p.w, in.Data, out.Data, workers)
+	sgemmAcc(kern, outN, inF, n, n, p.w, in.Data, out.Data, workers)
 	return out
 }
 

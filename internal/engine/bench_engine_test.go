@@ -39,6 +39,8 @@ func benchBothKernels(b *testing.B, g *dag.Graph) {
 	b.Helper()
 	workers := runtime.GOMAXPROCS(0)
 	b.Run("gemm", func(b *testing.B) { benchModel(b, g, KernelGEMM, workers) })
+	b.Run("panel", func(b *testing.B) { benchModel(b, g, KernelPanel, workers) })
+	b.Run("micro", func(b *testing.B) { benchModel(b, g, KernelMicro, workers) })
 	b.Run("direct", func(b *testing.B) { benchModel(b, g, KernelDirect, workers) })
 }
 
@@ -87,11 +89,43 @@ func BenchmarkDense_4096x4096(b *testing.B) {
 }
 
 func BenchmarkForward_alexnet(b *testing.B) {
-	benchBothKernels(b, models.MustBuild("alexnet"))
+	g := models.MustBuild("alexnet")
+	benchBothKernels(b, g)
+	b.Run("quant", func(b *testing.B) { benchQuantModel(b, g) })
 }
 
 func BenchmarkForward_mobilenetv2(b *testing.B) {
-	benchBothKernels(b, models.MustBuild("mobilenetv2"))
+	g := models.MustBuild("mobilenetv2")
+	benchBothKernels(b, g)
+	b.Run("quant", func(b *testing.B) { benchQuantModel(b, g) })
+}
+
+// benchQuantModel times the int8 inference path. On server-class amd64
+// this is not expected to beat fp32 — scalar int8 multiplies have no
+// throughput edge over scalar float32 FMA in gc-compiled Go — the
+// quantized path's payoff is the 4x smaller wire payload and the
+// modeled speedup on int8-capable mobile targets (see EXPERIMENTS.md).
+func benchQuantModel(b *testing.B, g *dag.Graph) {
+	b.Helper()
+	m := Load(g, 1).Parallel(runtime.GOMAXPROCS(0))
+	cal, err := m.CalibrateSynthetic(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Quantize(cal); err != nil {
+		b.Fatal(err)
+	}
+	in := randInput(g.Node(g.Source()).OutShape, 7)
+	if _, err := m.Forward(in); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Forward(in); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkBatchedForward measures cross-job batching on the server's
@@ -105,12 +139,25 @@ func BenchmarkForward_mobilenetv2(b *testing.B) {
 // compute-bound and gain only ~1.2x; see EXPERIMENTS.md.)
 // ns/inference is ns/op divided by N, directly comparable across
 // subbenchmarks. The acceptance bar is N=32 at >= 2x over N=1.
+//
+// The N=32/tiled leg runs a conv-dominated suffix instead: alexnet cut
+// after conv2's pool, so the batched conv3–5 layers exercise the
+// image-group im2col retiling (batchTile in batch.go) rather than the
+// pure-1x1 and dense fast paths.
 func BenchmarkBatchedForward(b *testing.B) {
-	g := models.MustBuild("mobilenetv2")
+	benchBatchedSuffix(b, "mobilenetv2", "head/gap", []int{1, 8, 32}, "")
+	benchBatchedSuffix(b, "alexnet", "conv2/pool", []int{1, 32}, "/tiled")
+}
+
+// benchBatchedSuffix cuts the model at the named boundary and times
+// ExecuteBatch over the suffix at each batch size, as N=<n><tag> legs.
+func benchBatchedSuffix(b *testing.B, model, cut string, sizes []int, tag string) {
+	b.Helper()
+	g := models.MustBuild(model)
 	m := Load(g, 1).Parallel(runtime.GOMAXPROCS(0))
-	boundary, ok := g.NodeByName("head/gap")
+	boundary, ok := g.NodeByName(cut)
 	if !ok {
-		b.Fatal("mobilenetv2 has no head/gap node")
+		b.Fatalf("%s has no %s node", model, cut)
 	}
 	mobile := g.Ancestors(boundary.ID)
 	var prefix, suffix []int
@@ -127,8 +174,8 @@ func BenchmarkBatchedForward(b *testing.B) {
 	}
 	bt := acts[boundary.ID].Clone()
 
-	for _, n := range []int{1, 8, 32} {
-		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+	for _, n := range []int(sizes) {
+		b.Run(fmt.Sprintf("N=%d%s", n, tag), func(b *testing.B) {
 			tensors := make([]*tensor.Tensor, n)
 			for i := range tensors {
 				tensors[i] = bt.Clone()
@@ -175,7 +222,41 @@ func TestForwardSteadyStateAllocs(t *testing.T) {
 	}
 	m := Load(g, 1) // workers=1: goroutine spawns would count as allocations
 	input := randInput(tensor.NewCHW(16, 48, 48), 3)
-	for i := 0; i < 3; i++ { // warm the arena
+	// One activation is ~147 KiB and the model has 15 layers; without
+	// the arena a Forward allocates >1.8 MiB. Steady state must stay
+	// under a single activation: essentially just the sink vector the
+	// caller keeps (bookkeeping and kernel closures are all pooled or
+	// guarded — see serialSpan and the Model state pools).
+	checkSteadyStateAllocs(t, m, input, 64<<10, 8)
+}
+
+// TestForwardSteadyStateAllocsMobilenet pins the alloc count on the
+// real depthwise-separable model: 153 layers of mixed kernels (GEMM
+// conv, depthwise split, batchnorm, residual adds) must still run at
+// O(1) steady-state allocations. Before the serialSpan guards and the
+// execState/acts pools this sat at ~69 allocs/op — one escaping
+// parallelFor closure per heavy kernel call plus per-call bookkeeping.
+func TestForwardSteadyStateAllocsMobilenet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mobilenetv2 forwards are ~100ms each")
+	}
+	g, err := models.Build("mobilenetv2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Load(g, 1)
+	input := randInput(g.Node(g.Source()).OutShape, 3)
+	checkSteadyStateAllocs(t, m, input, 16<<10, 8)
+}
+
+// checkSteadyStateAllocs warms the model's arena on input, then
+// asserts per-Forward allocation bounds.
+func checkSteadyStateAllocs(t *testing.T, m *Model, input *tensor.Tensor, maxBytes, maxAllocs int64) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("alloc counts are nondeterministic under -race (sync.Pool randomly drops Puts)")
+	}
+	for i := 0; i < 3; i++ { // warm the arena and the state pools
 		if _, err := m.Forward(input); err != nil {
 			t.Fatal(err)
 		}
@@ -188,15 +269,12 @@ func TestForwardSteadyStateAllocs(t *testing.T) {
 			}
 		}
 	})
-	// One activation is ~147 KiB and the model has 15 layers; without
-	// the arena a Forward allocates >1.8 MiB. Steady state must stay
-	// under a single activation: sink vector + maps + liveness slices.
-	if got := res.AllocedBytesPerOp(); got > 64<<10 {
-		t.Errorf("steady-state Forward allocates %d B/op, want <= 64 KiB (arena not recycling?)", got)
+	if got := res.AllocedBytesPerOp(); got > maxBytes {
+		t.Errorf("steady-state Forward allocates %d B/op, want <= %d (arena not recycling?)", got, maxBytes)
 	}
-	// Allocation count must not scale with the 15 layers' tensors:
-	// bookkeeping slices, the acts map, the sink, and a few arena pops.
-	if got := res.AllocsPerOp(); got > 40 {
-		t.Errorf("steady-state Forward does %d allocs/op, want <= 40", got)
+	// Allocation count must not scale with layer count: the sink tensor
+	// handed to the caller plus at most a few arena misses.
+	if got := res.AllocsPerOp(); got > maxAllocs {
+		t.Errorf("steady-state Forward does %d allocs/op, want <= %d", got, maxAllocs)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"sync"
 
 	"dnnjps/internal/dag"
 	"dnnjps/internal/nn"
@@ -29,14 +30,22 @@ import (
 type KernelPath int
 
 const (
-	// KernelGEMM lowers conv2d via im2col onto the cache-blocked
-	// parallel SGEMM, runs depthwise conv with an interior/border
-	// split, and dense layers as a parallel matrix-vector product.
-	// This is the default and fastest path.
+	// KernelGEMM lowers conv2d via im2col onto the blocked parallel
+	// SGEMM, runs depthwise conv with an interior/border split, and
+	// dense layers as a register-blocked matrix-vector product. The
+	// SGEMM driver is chosen per GOARCH (see microPreferred in
+	// gemm_tile_*.go): the streaming panel loop on amd64, the packed
+	// register-tile microkernel elsewhere. This is the default path.
 	KernelGEMM KernelPath = iota
 	// KernelDirect is the naive nested-loop reference implementation,
 	// kept for parity tests and kernel-path comparisons.
 	KernelDirect
+	// KernelPanel forces the GEMM lowering onto the cache-blocked
+	// streaming panel loop regardless of GOARCH.
+	KernelPanel
+	// KernelMicro forces the GEMM lowering onto the packed
+	// register-tile microkernel regardless of GOARCH.
+	KernelMicro
 )
 
 func (k KernelPath) String() string {
@@ -45,6 +54,10 @@ func (k KernelPath) String() string {
 		return "gemm"
 	case KernelDirect:
 		return "direct"
+	case KernelPanel:
+		return "panel"
+	case KernelMicro:
+		return "micro"
 	default:
 		return fmt.Sprintf("kernel(%d)", int(k))
 	}
@@ -58,8 +71,12 @@ func ParseKernelPath(s string) (KernelPath, error) {
 		return KernelGEMM, nil
 	case "direct":
 		return KernelDirect, nil
+	case "panel":
+		return KernelPanel, nil
+	case "micro":
+		return KernelMicro, nil
 	default:
-		return 0, fmt.Errorf("engine: unknown kernel path %q (want gemm or direct)", s)
+		return 0, fmt.Errorf("engine: unknown kernel path %q (want gemm, panel, micro, or direct)", s)
 	}
 }
 
@@ -76,6 +93,9 @@ type Model struct {
 	workers int        // convolution parallelism; see Parallel
 	kernel  KernelPath // heavy-layer implementation; see WithKernel
 	arena   *tensor.Arena
+	quant   *quantState // int8 inference mode; nil = float32 (see quant.go)
+	states  sync.Pool   // recycled *execState bookkeeping (see executeN)
+	acts    sync.Pool   // recycled activation maps for Forward/ForwardBatch
 }
 
 // Load instantiates weights for every parametric layer of the graph.
@@ -171,11 +191,28 @@ func initSlice(seed int64, name string, n, fanIn int) []float32 {
 // Forward runs the whole model on one input tensor and returns the
 // sink's output.
 func (m *Model) Forward(input *tensor.Tensor) (*tensor.Tensor, error) {
-	acts := map[int]*tensor.Tensor{}
+	acts := m.getActs()
+	defer m.putActs(acts)
 	if err := m.Execute(acts, input, m.g.Topo()); err != nil {
 		return nil, err
 	}
 	return acts[m.g.Sink()], nil
+}
+
+// getActs hands out a recycled activation map for whole-model runs.
+// The liveness tracker retires entries eagerly, so by the end of a
+// full-topo pass only the sink (which the caller keeps) is left and the
+// map's buckets can be reused as-is.
+func (m *Model) getActs() map[int]*tensor.Tensor {
+	if a, _ := m.acts.Get().(map[int]*tensor.Tensor); a != nil {
+		return a
+	}
+	return make(map[int]*tensor.Tensor, 8)
+}
+
+func (m *Model) putActs(acts map[int]*tensor.Tensor) {
+	clear(acts)
+	m.acts.Put(acts)
 }
 
 // ForwardBatch runs the whole model on a batch of equally shaped
@@ -188,7 +225,8 @@ func (m *Model) ForwardBatch(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) 
 	if err != nil {
 		return nil, err
 	}
-	acts := map[int]*tensor.Tensor{}
+	acts := m.getActs()
+	defer m.putActs(acts)
 	if err := m.ExecuteBatch(acts, len(inputs), packed, m.g.Topo()); err != nil {
 		return nil, err
 	}
@@ -209,22 +247,40 @@ type execState struct {
 	refs       []int
 	pooled     []bool           // owner's buffer came from the arena
 	tens       []*tensor.Tensor // owner's tensor, kept for recycling
+	inList     []bool           // scratch: node is in this call's list
+	ins        []*tensor.Tensor // scratch: predecessor activations
 }
 
+// newExecState hands out liveness bookkeeping for one executeN call,
+// recycled through the model's state pool — the graph size is fixed, so
+// a returned state's slices always fit and a steady-state Forward pays
+// no bookkeeping allocations.
 func (m *Model) newExecState(nodes []int) *execState {
 	n := m.g.Len()
-	st := &execState{
-		remaining:  make([]int, n),
-		releasable: make([]bool, n),
-		owner:      make([]int, n),
-		refs:       make([]int, n),
-		pooled:     make([]bool, n),
-		tens:       make([]*tensor.Tensor, n),
+	st, _ := m.states.Get().(*execState)
+	if st == nil {
+		st = &execState{
+			remaining:  make([]int, n),
+			releasable: make([]bool, n),
+			owner:      make([]int, n),
+			refs:       make([]int, n),
+			pooled:     make([]bool, n),
+			tens:       make([]*tensor.Tensor, n),
+			inList:     make([]bool, n),
+		}
+	} else {
+		for i := range st.remaining {
+			st.remaining[i] = 0
+			st.releasable[i] = false
+			st.refs[i] = 0
+			st.pooled[i] = false
+			st.inList[i] = false
+		}
 	}
 	for i := range st.owner {
 		st.owner[i] = -1
 	}
-	inList := make([]bool, n)
+	inList := st.inList
 	for _, id := range nodes {
 		inList[id] = true
 	}
@@ -323,12 +379,27 @@ func (m *Model) ExecuteBatch(acts map[int]*tensor.Tensor, n int, input *tensor.T
 	if n < 1 {
 		return fmt.Errorf("engine: batch size %d", n)
 	}
+	if n > 1 && m.quant != nil {
+		// The batched kernels are float32-only; mixing them with the
+		// int8 solo path would make results depend on coalescing.
+		return fmt.Errorf("engine: batched execution is not supported on a quantized model")
+	}
 	return m.executeN(acts, n, input, nodes)
+}
+
+// releaseState returns a state to the pool, dropping its tensor
+// references so pooled bookkeeping never pins activations alive.
+func (m *Model) releaseState(st *execState) {
+	for i := range st.tens {
+		st.tens[i] = nil
+	}
+	st.ins = st.ins[:0]
+	m.states.Put(st)
 }
 
 func (m *Model) executeN(acts map[int]*tensor.Tensor, n int, input *tensor.Tensor, nodes []int) error {
 	st := m.newExecState(nodes)
-	var ins []*tensor.Tensor
+	defer m.releaseState(st)
 	for _, id := range nodes {
 		node := m.g.Node(id)
 		if _, ok := node.Layer.(*nn.Input); ok {
@@ -342,20 +413,20 @@ func (m *Model) executeN(acts map[int]*tensor.Tensor, n int, input *tensor.Tenso
 			continue
 		}
 		preds := m.g.Preds(id)
-		ins = ins[:0]
+		st.ins = st.ins[:0]
 		for _, p := range preds {
 			a, ok := acts[p]
 			if !ok {
 				return fmt.Errorf("engine: %q missing activation of predecessor %q",
 					node.Layer.Name(), m.g.Node(p).Layer.Name())
 			}
-			ins = append(ins, a)
+			st.ins = append(st.ins, a)
 		}
-		out, err := m.evalN(id, node, ins, preds, st, n)
+		out, err := m.evalN(id, node, st.ins, preds, st, n)
 		if err != nil {
 			return err
 		}
-		st.adopt(id, out, ins, preds)
+		st.adopt(id, out, st.ins, preds)
 		acts[id] = out
 		for _, p := range preds {
 			if st.remaining[p] > 0 {
@@ -380,7 +451,7 @@ func (m *Model) evalN(id int, node *dag.Node, ins []*tensor.Tensor, preds []int,
 	inShapes := m.g.InputShapes(id)
 	switch l := node.Layer.(type) {
 	case *nn.Conv2D:
-		return conv2dGEMMBatch(m.arena, ins[0], inShapes[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride,
+		return conv2dGEMMBatch(m.arena, m.kernel, ins[0], inShapes[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride,
 			l.EffPadH(), l.EffPadW(), maxInt(l.Groups, 1), m.workers, n), nil
 	case *nn.DepthwiseConv2D:
 		return dwconv2dBatch(m.arena, ins[0], inShapes[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride, l.Pad, m.workers, n), nil
@@ -394,7 +465,7 @@ func (m *Model) evalN(id int, node *dag.Node, ins []*tensor.Tensor, preds []int,
 		// packed vector layout.
 		return globalAvgPool(m.arena, ins[0]), nil
 	case *nn.Dense:
-		return denseGEMMBatch(m.arena, ins[0], m.params[id], l.Out, m.workers, n), nil
+		return denseGEMMBatch(m.arena, m.kernel, ins[0], m.params[id], l.Out, m.workers, n), nil
 	case *nn.Activation:
 		return activate(m.arena, ins[0], l.Func, st.canOverwrite(preds[0])), nil
 	case *nn.BatchNorm:
@@ -420,13 +491,19 @@ func (m *Model) evalN(id int, node *dag.Node, ins []*tensor.Tensor, preds []int,
 func (m *Model) eval(id int, node *dag.Node, ins []*tensor.Tensor, preds []int, st *execState) (*tensor.Tensor, error) {
 	switch l := node.Layer.(type) {
 	case *nn.Conv2D:
+		if m.quant != nil {
+			return m.qconv2d(id, l, ins[0], preds[0], node.OutShape), nil
+		}
 		if m.kernel == KernelDirect {
 			return conv2dDirect(m.arena, ins[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride,
 				l.EffPadH(), l.EffPadW(), maxInt(l.Groups, 1), m.workers), nil
 		}
-		return conv2dGEMM(m.arena, ins[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride,
+		return conv2dGEMM(m.arena, m.kernel, ins[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride,
 			l.EffPadH(), l.EffPadW(), maxInt(l.Groups, 1), m.workers), nil
 	case *nn.DepthwiseConv2D:
+		if m.quant != nil {
+			return m.qdwconv2d(id, l, ins[0], preds[0], node.OutShape), nil
+		}
 		if m.kernel == KernelDirect {
 			return dwconv2dDirect(m.arena, ins[0], node.OutShape, m.params[id], l.KH, l.KW, l.Stride, l.Pad, m.workers), nil
 		}
@@ -438,6 +515,9 @@ func (m *Model) eval(id int, node *dag.Node, ins []*tensor.Tensor, preds []int, 
 	case *nn.GlobalAvgPool2D:
 		return globalAvgPool(m.arena, ins[0]), nil
 	case *nn.Dense:
+		if m.quant != nil {
+			return m.qdense(id, l, ins[0], preds[0]), nil
+		}
 		if m.kernel == KernelDirect {
 			return denseDirect(m.arena, ins[0], m.params[id], l.Out), nil
 		}
@@ -445,6 +525,9 @@ func (m *Model) eval(id int, node *dag.Node, ins []*tensor.Tensor, preds []int, 
 	case *nn.Activation:
 		return activate(m.arena, ins[0], l.Func, st.canOverwrite(preds[0])), nil
 	case *nn.BatchNorm:
+		if m.quant != nil && m.quant.folded[id] {
+			return ins[0], nil // absorbed into the producing conv's epilogue
+		}
 		return batchNorm(m.arena, ins[0], m.params[id], 1), nil
 	case *nn.LRN:
 		return lrn(m.arena, ins[0], l.Size), nil

@@ -21,19 +21,32 @@ const (
 	gemmBlockN = 768
 )
 
-// sgemmAcc computes C += A·B for row-major A (m×k), B (k×n), C (m×n),
-// splitting the rows of C across the given number of workers. C must
-// be pre-initialized (zero or bias) by the caller.
-func sgemmAcc(m, k, n int, a, b, c []float32, workers int) {
+// sgemmAcc computes C += A·B for row-major A (m×k), B (k×n), C (m×n
+// with row stride ldc ≥ n). C must be pre-initialized (zero or bias) by
+// the caller. kern selects the driver: KernelPanel forces the streaming
+// panel loop, KernelMicro the packed register-tile microkernel, and
+// KernelGEMM takes the arch-preferred driver (microPreferred in
+// gemm_tile_*.go). All drivers accumulate every output element in the
+// same ascending-k order, so the choice never changes the output.
+func sgemmAcc(kern KernelPath, m, k, n, ldc int, a, b, c []float32, workers int) {
 	if m == 0 || k == 0 || n == 0 {
 		return
 	}
-	if n == 1 {
+	if n == 1 && ldc == 1 {
 		sgemvAcc(m, k, a, b, c, workers)
 		return
 	}
+	micro := kern == KernelMicro || (kern == KernelGEMM && microPreferred)
+	if micro && m >= microMR && n >= microNR && k >= 4 {
+		sgemmMicro(m, k, n, ldc, a, b, c, workers)
+		return
+	}
+	if serialSpan(workers, m) {
+		sgemmPanel(0, m, k, n, ldc, a, b, c)
+		return
+	}
 	parallelFor(workers, m, func(lo, hi int) {
-		sgemmPanel(lo, hi, k, n, a, b, c)
+		sgemmPanel(lo, hi, k, n, ldc, a, b, c)
 	})
 }
 
@@ -44,7 +57,7 @@ func sgemmAcc(m, k, n int, a, b, c []float32, workers int) {
 // quad feeds two output rows — per-element accumulation order is
 // unchanged (each row's adds stay sequential in ascending k), only the
 // B-panel traffic halves.
-func sgemmPanel(lo, hi, k, n int, a, b, c []float32) {
+func sgemmPanel(lo, hi, k, n, ldc int, a, b, c []float32) {
 	for jb := 0; jb < n; jb += gemmBlockN {
 		je := jb + gemmBlockN
 		if je > n {
@@ -59,8 +72,8 @@ func sgemmPanel(lo, hi, k, n int, a, b, c []float32) {
 			for ; i+2 <= hi; i += 2 {
 				arow0 := a[i*k : i*k+k : i*k+k]
 				arow1 := a[(i+1)*k:][:k:k]
-				crow0 := c[i*n+jb : i*n+je : i*n+je]
-				crow1 := c[(i+1)*n+jb:][: je-jb : je-jb]
+				crow0 := c[i*ldc+jb : i*ldc+je : i*ldc+je]
+				crow1 := c[(i+1)*ldc+jb:][: je-jb : je-jb]
 				w := len(crow0)
 				kk := kb
 				for ; kk+4 <= ke; kk += 4 {
@@ -100,7 +113,7 @@ func sgemmPanel(lo, hi, k, n int, a, b, c []float32) {
 			}
 			for ; i < hi; i++ {
 				arow := a[i*k : i*k+k : i*k+k]
-				crow := c[i*n+jb : i*n+je : i*n+je]
+				crow := c[i*ldc+jb : i*ldc+je : i*ldc+je]
 				w := len(crow)
 				kk := kb
 				for ; kk+4 <= ke; kk += 4 {
@@ -132,17 +145,56 @@ func sgemmPanel(lo, hi, k, n int, a, b, c []float32) {
 
 // sgemvAcc computes y += A·x for row-major A (m×k), accumulating each
 // row's dot product in ascending index order — the same order as the
-// direct dense kernel. Rows are split across workers.
+// direct dense kernel. Rows are split across workers, and within a
+// worker they are walked eight at a time: each row still owns a single
+// accumulator fed in ascending k (bit-identical to the one-row loop),
+// but the eight independent add chains hide the FP-add latency that
+// serializes a lone dot product, and each x element is loaded once per
+// eight rows instead of once per row.
 func sgemvAcc(m, k int, a, x, y []float32, workers int) {
+	if serialSpan(workers, m) {
+		sgemvRows(0, m, k, a, x, y)
+		return
+	}
 	parallelFor(workers, m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := a[i*k : i*k+k : i*k+k]
-			xx := x[:len(row)]
-			v := y[i]
-			for j, w := range row {
-				v += w * xx[j]
-			}
-			y[i] = v
-		}
+		sgemvRows(lo, hi, k, a, x, y)
 	})
+}
+
+// sgemvRows accumulates rows [lo, hi) of the matrix-vector product.
+func sgemvRows(lo, hi, k int, a, x, y []float32) {
+	xx := x[:k:k]
+	i := lo
+	for ; i+8 <= hi; i += 8 {
+		r0 := a[i*k : i*k+k : i*k+k]
+		r1 := a[(i+1)*k:][:k:k]
+		r2 := a[(i+2)*k:][:k:k]
+		r3 := a[(i+3)*k:][:k:k]
+		r4 := a[(i+4)*k:][:k:k]
+		r5 := a[(i+5)*k:][:k:k]
+		r6 := a[(i+6)*k:][:k:k]
+		r7 := a[(i+7)*k:][:k:k]
+		v0, v1, v2, v3 := y[i], y[i+1], y[i+2], y[i+3]
+		v4, v5, v6, v7 := y[i+4], y[i+5], y[i+6], y[i+7]
+		for j, xv := range xx {
+			v0 += r0[j] * xv
+			v1 += r1[j] * xv
+			v2 += r2[j] * xv
+			v3 += r3[j] * xv
+			v4 += r4[j] * xv
+			v5 += r5[j] * xv
+			v6 += r6[j] * xv
+			v7 += r7[j] * xv
+		}
+		y[i], y[i+1], y[i+2], y[i+3] = v0, v1, v2, v3
+		y[i+4], y[i+5], y[i+6], y[i+7] = v4, v5, v6, v7
+	}
+	for ; i < hi; i++ {
+		row := a[i*k : i*k+k : i*k+k]
+		v := y[i]
+		for j, w := range row {
+			v += w * xx[j]
+		}
+		y[i] = v
+	}
 }

@@ -1,0 +1,37 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSgemmCrossover sweeps the column count at a fixed deep-K
+// GEMM to locate where the packed microkernel overtakes the panel
+// loop; the sgemmAcc dispatch threshold is set from its output.
+func BenchmarkSgemmCrossover(b *testing.B) {
+	const m, k = 256, 1152
+	a := make([]float32, m*k)
+	for i := range a {
+		a[i] = float32(i%13) * 0.125
+	}
+	for _, n := range []int{16, 32, 64, 128, 256, 512, 1024} {
+		bb := make([]float32, k*n)
+		c := make([]float32, m*n)
+		for i := range bb {
+			bb[i] = float32(i%11) * 0.0625
+		}
+		macs := float64(m) * float64(k) * float64(n)
+		b.Run(fmt.Sprintf("micro/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sgemmMicro(m, k, n, n, a, bb, c, 1)
+			}
+			b.ReportMetric(macs*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "MAC/ns")
+		})
+		b.Run(fmt.Sprintf("panel/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sgemmPanel(0, m, k, n, n, a, bb, c)
+			}
+			b.ReportMetric(macs*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "MAC/ns")
+		})
+	}
+}

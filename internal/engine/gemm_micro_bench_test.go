@@ -1,0 +1,61 @@
+package engine
+
+import "testing"
+
+// White-box benchmarks of the microkernel layers: the register tile on
+// L1-hot panels (codegen ceiling), the pack routines, and the full
+// blocked driver at the Conv2D_3x3_64x56 GEMM shape. They bound where
+// time goes when the end-to-end conv benchmark moves.
+
+func BenchmarkMicroTileHot(b *testing.B) {
+	pa := make([]float32, microKC*microMR)
+	pb := make([]float32, microKC*microNR)
+	c := make([]float32, microMR*microNR)
+	for i := range pa {
+		pa[i] = float32(i%7) * 0.25
+	}
+	for i := range pb {
+		pb[i] = float32(i%5) * 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		microTileFull(microKC, pa, pb, c, 0, microNR)
+	}
+	b.ReportMetric(float64(microMR*microNR*microKC*b.N)/float64(b.Elapsed().Nanoseconds()), "MAC/ns")
+}
+
+func BenchmarkSgemmMicroConvShape(b *testing.B) {
+	const m, k, n = 64, 576, 3136
+	a := make([]float32, m*k)
+	bb := make([]float32, k*n)
+	c := make([]float32, m*n)
+	for i := range a {
+		a[i] = float32(i%13) * 0.125
+	}
+	for i := range bb {
+		bb[i] = float32(i%11) * 0.0625
+	}
+	b.SetBytes(int64(4 * (m*k + k*n + m*n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sgemmMicro(m, k, n, n, a, bb, c, 1)
+	}
+	b.ReportMetric(float64(m)*float64(k)*float64(n)*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "MAC/ns")
+}
+
+func BenchmarkPackBConvShape(b *testing.B) {
+	const k, n = 576, 3136
+	src := make([]float32, k*n)
+	dst := make([]float32, microKC*microNC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for jp := 0; jp < n; jp += microNC {
+			nc := min(microNC, n-jp)
+			for kp := 0; kp < k; kp += microKC {
+				kc := min(microKC, k-kp)
+				packBBlock(kc, nc, src[kp*n+jp:], n, dst)
+			}
+		}
+	}
+	b.ReportMetric(float64(k*n*b.N)/float64(b.Elapsed().Nanoseconds()), "elem/ns")
+}

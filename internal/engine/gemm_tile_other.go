@@ -1,0 +1,81 @@
+//go:build !amd64
+
+package engine
+
+// Portable register tile: 4 rows x 4 columns, no k unroll.
+//
+// Non-amd64 targets (arm64 in particular) have 32 FP registers, so the
+// 16 accumulators + 4 a-values + 4 b-values of a 4x4 tile stay
+// register-resident, and on arm64 the compiler contracts each mul+add
+// pair into an FMADD. Contraction is applied uniformly to every kernel
+// path on that platform (one rounding per MAC everywhere), so the
+// cross-path bit-exactness contract still holds within a build.
+
+const (
+	microMR = 4
+	microNR = 4
+
+	// microPreferred picks the KernelGEMM SGEMM driver for this arch.
+	// Mobile-class cores have small shared LLCs (512 KiB – 4 MB), so
+	// the panel loop's repeated B streaming goes to DRAM; the packed
+	// microkernel keeps its working set cache-resident and its 4x4
+	// FMADD tile maps onto the 32 FP registers. Force the streaming
+	// loop with WithKernel(KernelPanel).
+	microPreferred = true
+)
+
+// microTileFull accumulates a full microMR x microNR tile of C over one
+// packed K panel; see the amd64 variant for the layout contract.
+func microTileFull(kc int, pa, pb []float32, c []float32, off, ldc int) {
+	c0 := c[off : off+4 : off+4]
+	c1 := c[off+ldc : off+ldc+4 : off+ldc+4]
+	c2 := c[off+2*ldc : off+2*ldc+4 : off+2*ldc+4]
+	c3 := c[off+3*ldc : off+3*ldc+4 : off+3*ldc+4]
+	c00, c01, c02, c03 := c0[0], c0[1], c0[2], c0[3]
+	c10, c11, c12, c13 := c1[0], c1[1], c1[2], c1[3]
+	c20, c21, c22, c23 := c2[0], c2[1], c2[2], c2[3]
+	c30, c31, c32, c33 := c3[0], c3[1], c3[2], c3[3]
+	ia, ib := 0, 0
+	for kk := 0; kk < kc; kk++ {
+		a0, a1, a2, a3 := pa[ia], pa[ia+1], pa[ia+2], pa[ia+3]
+		b0, b1, b2, b3 := pb[ib], pb[ib+1], pb[ib+2], pb[ib+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+		ia += 4
+		ib += 4
+	}
+	c0[0], c0[1], c0[2], c0[3] = c00, c01, c02, c03
+	c1[0], c1[1], c1[2], c1[3] = c10, c11, c12, c13
+	c2[0], c2[1], c2[2], c2[3] = c20, c21, c22, c23
+	c3[0], c3[1], c3[2], c3[3] = c30, c31, c32, c33
+}
+
+// packBStrip packs one full microNR-column strip: dst[kk*microNR+c] =
+// b[kk*ldb+c] for kc rows, unrolled for the 4-wide strip.
+func packBStrip(kc int, b []float32, ldb int, dst []float32) {
+	dst = dst[: kc*4 : kc*4]
+	si, di := 0, 0
+	for kk := 0; kk < kc; kk++ {
+		s := b[si : si+4 : si+4]
+		dst[di] = s[0]
+		dst[di+1] = s[1]
+		dst[di+2] = s[2]
+		dst[di+3] = s[3]
+		si += ldb
+		di += 4
+	}
+}

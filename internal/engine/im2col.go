@@ -18,16 +18,26 @@ import "dnnjps/internal/tensor"
 // matrix of input channels [cLo, cLo+icpg). Rows are independent, so
 // they are split across workers.
 func im2colGroup(src, dst []float32, cLo, icpg, inH, inW, kh, kw, stride, padH, padW, outH, outW, workers int) {
-	hw := outH * outW
-	parallelFor(workers, icpg*kh*kw, func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			c := k / (kh * kw)
-			r := k % (kh * kw) / kw
-			s := k % kw
-			im2colRow(src, dst[k*hw:(k+1)*hw], (cLo+c)*inH*inW,
-				r, s, inH, inW, stride, padH, padW, outH, outW)
-		}
+	rows := icpg * kh * kw
+	if serialSpan(workers, rows) {
+		im2colRows(0, rows, src, dst, cLo, inH, inW, kh, kw, stride, padH, padW, outH, outW)
+		return
+	}
+	parallelFor(workers, rows, func(lo, hi int) {
+		im2colRows(lo, hi, src, dst, cLo, inH, inW, kh, kw, stride, padH, padW, outH, outW)
 	})
+}
+
+// im2colRows fills patch-matrix rows [lo, hi).
+func im2colRows(lo, hi int, src, dst []float32, cLo, inH, inW, kh, kw, stride, padH, padW, outH, outW int) {
+	hw := outH * outW
+	for k := lo; k < hi; k++ {
+		c := k / (kh * kw)
+		r := k % (kh * kw) / kw
+		s := k % kw
+		im2colRow(src, dst[k*hw:(k+1)*hw], (cLo+c)*inH*inW,
+			r, s, inH, inW, stride, padH, padW, outH, outW)
+	}
 }
 
 // im2colRow fills one patch-matrix row: kernel offset (r, s) of the
@@ -85,7 +95,7 @@ func im2colRow(src, row []float32, chanBase, r, s, inH, inW, stride, padH, padW,
 // conv2dGEMM is the grouped convolution via im2col + SGEMM. 1×1
 // stride-1 unpadded convolutions skip the lowering entirely: their
 // patch matrix is the input itself.
-func conv2dGEMM(arena *tensor.Arena, in *tensor.Tensor, outShape tensor.Shape, p params, kh, kw, stride, padH, padW, groups, workers int) *tensor.Tensor {
+func conv2dGEMM(arena *tensor.Arena, kern KernelPath, in *tensor.Tensor, outShape tensor.Shape, p params, kh, kw, stride, padH, padW, groups, workers int) *tensor.Tensor {
 	out := arena.Get(outShape)
 	inC, inH, inW := in.Shape.C(), in.Shape.H(), in.Shape.W()
 	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
@@ -122,7 +132,7 @@ func conv2dGEMM(arena *tensor.Arena, in *tensor.Tensor, outShape tensor.Shape, p
 		}
 		a := p.w[g*ocpg*kSize : (g+1)*ocpg*kSize]
 		c := out.Data[g*ocpg*hw : (g+1)*ocpg*hw]
-		sgemmAcc(ocpg, kSize, hw, a, b, c, workers)
+		sgemmAcc(kern, ocpg, kSize, hw, hw, a, b, c, workers)
 	}
 	return out
 }

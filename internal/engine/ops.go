@@ -23,6 +23,11 @@ func conv2dDirect(arena *tensor.Arena, in *tensor.Tensor, outShape tensor.Shape,
 	icpg := inC / groups  // input channels per group
 	ocpg := outC / groups // output channels per group
 	kSize := kh * kw * icpg
+	if serialSpan(workers, outC) {
+		conv2dRange(in, out, p, kh, kw, stride, padH, padW, icpg, ocpg, kSize,
+			inH, inW, outH, outW, 0, outC)
+		return out
+	}
 	parallelFor(workers, outC, func(ocLo, ocHi int) {
 		conv2dRange(in, out, p, kh, kw, stride, padH, padW, icpg, ocpg, kSize,
 			inH, inW, outH, outW, ocLo, ocHi)
@@ -73,6 +78,10 @@ func dwconv2dDirect(arena *tensor.Arena, in *tensor.Tensor, outShape tensor.Shap
 	out := arena.Get(outShape)
 	inH, inW := in.Shape.H(), in.Shape.W()
 	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
+	if serialSpan(workers, outC) {
+		dwconv2dRange(in, out, p, kh, kw, stride, pad, inH, inW, outH, outW, 0, outC)
+		return out
+	}
 	parallelFor(workers, outC, func(cLo, cHi int) {
 		dwconv2dRange(in, out, p, kh, kw, stride, pad, inH, inW, outH, outW, cLo, cHi)
 	})
@@ -136,17 +145,29 @@ func dwconv2dSplit(arena *tensor.Arena, in *tensor.Tensor, outShape tensor.Shape
 	ohLo, ohHi := interiorRange(inH, kh, stride, pad, outH)
 	owLo, owHi := interiorRange(inW, kw, stride, pad, outW)
 
+	if serialSpan(workers, outC) {
+		dwSplitRange(in, out, p, kh, kw, stride, pad, inH, inW, outH, outW,
+			ohLo, ohHi, owLo, owHi, 0, outC)
+		return out
+	}
 	parallelFor(workers, outC, func(cLo, cHi int) {
-		for c := cLo; c < cHi; c++ {
-			var bias float32
-			if p.b != nil {
-				bias = p.b[c]
-			}
-			dwPlane(in.Data, out.Data, p.w, bias, c*inH*inW, c*outH*outW, c*kh*kw,
-				kh, kw, stride, pad, inH, inW, outH, outW, ohLo, ohHi, owLo, owHi)
-		}
+		dwSplitRange(in, out, p, kh, kw, stride, pad, inH, inW, outH, outW,
+			ohLo, ohHi, owLo, owHi, cLo, cHi)
 	})
 	return out
+}
+
+// dwSplitRange runs dwPlane over channels [cLo, cHi).
+func dwSplitRange(in, out *tensor.Tensor, p params, kh, kw, stride, pad, inH, inW, outH, outW,
+	ohLo, ohHi, owLo, owHi, cLo, cHi int) {
+	for c := cLo; c < cHi; c++ {
+		var bias float32
+		if p.b != nil {
+			bias = p.b[c]
+		}
+		dwPlane(in.Data, out.Data, p.w, bias, c*inH*inW, c*outH*outW, c*kh*kw,
+			kh, kw, stride, pad, inH, inW, outH, outW, ohLo, ohHi, owLo, owHi)
+	}
 }
 
 // dwPlane runs the interior/border-split depthwise convolution of one
@@ -218,13 +239,22 @@ func maxpool(arena *tensor.Arena, in *tensor.Tensor, outShape tensor.Shape, k, s
 	out := arena.Get(outShape)
 	inH, inW := in.Shape.H(), in.Shape.W()
 	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
+	if serialSpan(workers, outC) {
+		maxpoolPlanes(in.Data, out.Data, 0, outC, inH, inW, outH, outW, k, stride, pad)
+		return out
+	}
 	parallelFor(workers, outC, func(cLo, cHi int) {
-		for c := cLo; c < cHi; c++ {
-			maxpoolPlane(in.Data[c*inH*inW:], out.Data[c*outH*outW:],
-				inH, inW, outH, outW, k, stride, pad)
-		}
+		maxpoolPlanes(in.Data, out.Data, cLo, cHi, inH, inW, outH, outW, k, stride, pad)
 	})
 	return out
+}
+
+// maxpoolPlanes pools channels [cLo, cHi).
+func maxpoolPlanes(src, dst []float32, cLo, cHi, inH, inW, outH, outW, k, stride, pad int) {
+	for c := cLo; c < cHi; c++ {
+		maxpoolPlane(src[c*inH*inW:], dst[c*outH*outW:],
+			inH, inW, outH, outW, k, stride, pad)
+	}
 }
 
 // maxpoolPlane pools one plane; src/dst are the plane-offset slices.
@@ -256,13 +286,22 @@ func avgpool(arena *tensor.Arena, in *tensor.Tensor, outShape tensor.Shape, k, s
 	out := arena.Get(outShape)
 	inH, inW := in.Shape.H(), in.Shape.W()
 	outC, outH, outW := outShape.C(), outShape.H(), outShape.W()
+	if serialSpan(workers, outC) {
+		avgpoolPlanes(in.Data, out.Data, 0, outC, inH, inW, outH, outW, k, stride, pad)
+		return out
+	}
 	parallelFor(workers, outC, func(cLo, cHi int) {
-		for c := cLo; c < cHi; c++ {
-			avgpoolPlane(in.Data[c*inH*inW:], out.Data[c*outH*outW:],
-				inH, inW, outH, outW, k, stride, pad)
-		}
+		avgpoolPlanes(in.Data, out.Data, cLo, cHi, inH, inW, outH, outW, k, stride, pad)
 	})
 	return out
+}
+
+// avgpoolPlanes pools channels [cLo, cHi).
+func avgpoolPlanes(src, dst []float32, cLo, cHi, inH, inW, outH, outW, k, stride, pad int) {
+	for c := cLo; c < cHi; c++ {
+		avgpoolPlane(src[c*inH*inW:], dst[c*outH*outW:],
+			inH, inW, outH, outW, k, stride, pad)
+	}
 }
 
 // avgpoolPlane pools one plane; src/dst are the plane-offset slices.

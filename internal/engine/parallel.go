@@ -19,10 +19,18 @@ func (m *Model) Parallel(workers int) *Model {
 	return m
 }
 
+// serialSpan reports whether parallelFor(workers, n, ...) would run
+// its body inline. Hot kernels check it BEFORE building their closure:
+// a func literal handed to parallelFor always escapes to the heap (the
+// spawn path references it from new goroutines, and escape analysis is
+// static), so guarding the serial case is what keeps a workers=1
+// Forward at O(1) steady-state allocations.
+func serialSpan(workers, n int) bool { return workers <= 1 || n < 2 }
+
 // parallelFor splits [0, n) into contiguous chunks, one goroutine per
 // chunk, and waits. With one worker (or tiny n) it runs inline.
 func parallelFor(workers, n int, body func(lo, hi int)) {
-	if workers <= 1 || n < 2 {
+	if serialSpan(workers, n) {
 		body(0, n)
 		return
 	}

@@ -25,8 +25,8 @@ func randInput(shape tensor.Shape, seed int64) *tensor.Tensor {
 }
 
 // runBothKernels executes the model's forward pass on the direct path
-// (1 worker) and on the GEMM path at several worker counts, and
-// requires all outputs to be equal.
+// (1 worker) and on every GEMM driver (auto, panel, micro) at several
+// worker counts, and requires all outputs to be equal.
 func runBothKernels(t *testing.T, g *dag.Graph, seed int64) {
 	t.Helper()
 	in := randInput(g.Node(g.Source()).OutShape, seed+100)
@@ -35,21 +35,23 @@ func runBothKernels(t *testing.T, g *dag.Graph, seed int64) {
 	if err != nil {
 		t.Fatalf("direct forward: %v", err)
 	}
-	for _, workers := range []int{1, 3, 8} {
-		got, err := m.WithKernel(KernelGEMM).Parallel(workers).Forward(in.Clone())
-		if err != nil {
-			t.Fatalf("gemm forward (workers=%d): %v", workers, err)
-		}
-		if !got.Shape.Equal(ref.Shape) {
-			t.Fatalf("workers=%d: shape %v, want %v", workers, got.Shape, ref.Shape)
-		}
-		for i := range ref.Data {
-			if got.Data[i] != ref.Data[i] {
-				t.Fatalf("workers=%d: out[%d] = %g, direct = %g", workers, i, got.Data[i], ref.Data[i])
+	for _, kern := range []KernelPath{KernelGEMM, KernelPanel, KernelMicro} {
+		for _, workers := range []int{1, 3, 8} {
+			got, err := m.WithKernel(kern).Parallel(workers).Forward(in.Clone())
+			if err != nil {
+				t.Fatalf("%v forward (workers=%d): %v", kern, workers, err)
+			}
+			if !got.Shape.Equal(ref.Shape) {
+				t.Fatalf("%v workers=%d: shape %v, want %v", kern, workers, got.Shape, ref.Shape)
+			}
+			for i := range ref.Data {
+				if got.Data[i] != ref.Data[i] {
+					t.Fatalf("%v workers=%d: out[%d] = %g, direct = %g", kern, workers, i, got.Data[i], ref.Data[i])
+				}
 			}
 		}
 	}
-	m.Parallel(1)
+	m.WithKernel(KernelGEMM).Parallel(1)
 }
 
 func TestConvDirectGEMMParity(t *testing.T) {
@@ -141,7 +143,7 @@ func TestConvGoldenBothKernels(t *testing.T) {
 		7, 8, 9,
 	})
 	want := []float32{12, 16, 24, 28}
-	for _, k := range []KernelPath{KernelGEMM, KernelDirect} {
+	for _, k := range []KernelPath{KernelGEMM, KernelPanel, KernelMicro, KernelDirect} {
 		out, err := m.WithKernel(k).Forward(input.Clone())
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,207 @@
+package engine
+
+// Integer kernels for the quantized inference path: int8 operands,
+// int32 accumulation, no saturation anywhere in the middle. Unlike the
+// float32 kernels, these need no accumulation-order contract — integer
+// addition is associative, so any blocking or worker split produces the
+// exact same int32 sums. The float32 epilogue (requantize in quant.go)
+// is a single rounding per output element and is likewise
+// order-independent.
+
+// qgemmAcc computes C (int32, m×n row-major) = A (int8, m×k) · B
+// (int8, k×n), overwriting C. Rows are split across workers; within a
+// worker the inner loop walks row pairs with k unrolled by four, the
+// integer sibling of sgemmPanel's hot loop.
+func qgemmAcc(m, k, n int, a, b []int8, c []int32, workers int) {
+	if serialSpan(workers, m) {
+		qgemmRows(0, m, k, n, a, b, c)
+		return
+	}
+	parallelFor(workers, m, func(lo, hi int) {
+		qgemmRows(lo, hi, k, n, a, b, c)
+	})
+}
+
+// qgemmRows computes output rows [lo, hi) of the int8 GEMM.
+func qgemmRows(lo, hi, k, n int, a, b []int8, c []int32) {
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		arow0 := a[i*k : i*k+k : i*k+k]
+		arow1 := a[(i+1)*k:][:k:k]
+		crow0 := c[i*n : i*n+n : i*n+n]
+		crow1 := c[(i+1)*n:][:n:n]
+		for j := range crow0 {
+			crow0[j] = 0
+			crow1[j] = 0
+		}
+		kk := 0
+		for ; kk+4 <= k; kk += 4 {
+			a00, a01 := int32(arow0[kk]), int32(arow0[kk+1])
+			a02, a03 := int32(arow0[kk+2]), int32(arow0[kk+3])
+			a10, a11 := int32(arow1[kk]), int32(arow1[kk+1])
+			a12, a13 := int32(arow1[kk+2]), int32(arow1[kk+3])
+			b0 := b[kk*n:][:n]
+			b1 := b[(kk+1)*n:][:n]
+			b2 := b[(kk+2)*n:][:n]
+			b3 := b[(kk+3)*n:][:n]
+			for j := range crow0 {
+				e0, e1, e2, e3 := int32(b0[j]), int32(b1[j]), int32(b2[j]), int32(b3[j])
+				crow0[j] += a00*e0 + a01*e1 + a02*e2 + a03*e3
+				crow1[j] += a10*e0 + a11*e1 + a12*e2 + a13*e3
+			}
+		}
+		for ; kk < k; kk++ {
+			av0, av1 := int32(arow0[kk]), int32(arow1[kk])
+			brow := b[kk*n:][:n]
+			for j := range crow0 {
+				e := int32(brow[j])
+				crow0[j] += av0 * e
+				crow1[j] += av1 * e
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		arow := a[i*k : i*k+k : i*k+k]
+		crow := c[i*n : i*n+n : i*n+n]
+		for j := range crow {
+			crow[j] = 0
+		}
+		kk := 0
+		for ; kk+4 <= k; kk += 4 {
+			a0, a1 := int32(arow[kk]), int32(arow[kk+1])
+			a2, a3 := int32(arow[kk+2]), int32(arow[kk+3])
+			b0 := b[kk*n:][:n]
+			b1 := b[(kk+1)*n:][:n]
+			b2 := b[(kk+2)*n:][:n]
+			b3 := b[(kk+3)*n:][:n]
+			for j := range crow {
+				crow[j] += a0*int32(b0[j]) + a1*int32(b1[j]) + a2*int32(b2[j]) + a3*int32(b3[j])
+			}
+		}
+		for ; kk < k; kk++ {
+			av := int32(arow[kk])
+			brow := b[kk*n:][:n]
+			for j := range crow {
+				crow[j] += av * int32(brow[j])
+			}
+		}
+	}
+}
+
+// qgemvAcc computes y (int32, m) = A (int8, m×k) · x (int8, k), rows
+// split across workers, four rows interleaved to break the dependency
+// chain on the accumulators.
+func qgemvAcc(m, k int, a, x []int8, y []int32, workers int) {
+	if serialSpan(workers, m) {
+		qgemvRows(0, m, k, a, x, y)
+		return
+	}
+	parallelFor(workers, m, func(lo, hi int) {
+		qgemvRows(lo, hi, k, a, x, y)
+	})
+}
+
+// qgemvRows accumulates rows [lo, hi) of the int8 matrix-vector product.
+func qgemvRows(lo, hi, k int, a, x []int8, y []int32) {
+	xx := x[:k:k]
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		r0 := a[i*k : i*k+k : i*k+k]
+		r1 := a[(i+1)*k:][:k:k]
+		r2 := a[(i+2)*k:][:k:k]
+		r3 := a[(i+3)*k:][:k:k]
+		var v0, v1, v2, v3 int32
+		for j, xv := range xx {
+			e := int32(xv)
+			v0 += int32(r0[j]) * e
+			v1 += int32(r1[j]) * e
+			v2 += int32(r2[j]) * e
+			v3 += int32(r3[j]) * e
+		}
+		y[i], y[i+1], y[i+2], y[i+3] = v0, v1, v2, v3
+	}
+	for ; i < hi; i++ {
+		row := a[i*k : i*k+k : i*k+k]
+		var v int32
+		for j, w := range row {
+			v += int32(w) * int32(xx[j])
+		}
+		y[i] = v
+	}
+}
+
+// qim2colGroup fills dst (kSize × outH·outW, row-major, int8) with the
+// patch matrix of quantized input channels [cLo, cLo+icpg). Padding
+// positions hold zero — the quantized code of 0.0 — so the zero-point
+// correction in the epilogue accounts for them exactly like real
+// activations.
+func qim2colGroup(src, dst []int8, zero int8, cLo, icpg, inH, inW, kh, kw, stride, padH, padW, outH, outW, workers int) {
+	rows := icpg * kh * kw
+	if serialSpan(workers, rows) {
+		qim2colRows(0, rows, src, dst, zero, cLo, inH, inW, kh, kw, stride, padH, padW, outH, outW)
+		return
+	}
+	parallelFor(workers, rows, func(lo, hi int) {
+		qim2colRows(lo, hi, src, dst, zero, cLo, inH, inW, kh, kw, stride, padH, padW, outH, outW)
+	})
+}
+
+// qim2colRows fills quantized patch-matrix rows [lo, hi).
+func qim2colRows(lo, hi int, src, dst []int8, zero int8, cLo, inH, inW, kh, kw, stride, padH, padW, outH, outW int) {
+	hw := outH * outW
+	for k := lo; k < hi; k++ {
+		c := k / (kh * kw)
+		r := k % (kh * kw) / kw
+		s := k % kw
+		qim2colRow(src, dst[k*hw:(k+1)*hw], zero, (cLo+c)*inH*inW,
+			r, s, inH, inW, stride, padH, padW, outH, outW)
+	}
+}
+
+// qim2colRow is im2colRow over int8 data with an explicit padding code.
+func qim2colRow(src, row []int8, zero int8, chanBase, r, s, inH, inW, stride, padH, padW, outH, outW int) {
+	idx := 0
+	for oh := 0; oh < outH; oh++ {
+		ih := oh*stride - padH + r
+		if ih < 0 || ih >= inH {
+			for i := 0; i < outW; i++ {
+				row[idx] = zero
+				idx++
+			}
+			continue
+		}
+		base := chanBase + ih*inW
+		if stride == 1 {
+			wLo, wHi := padW-s, inW+padW-s
+			if wLo < 0 {
+				wLo = 0
+			}
+			if wHi > outW {
+				wHi = outW
+			}
+			for i := 0; i < wLo; i++ {
+				row[idx] = zero
+				idx++
+			}
+			if wHi > wLo {
+				copy(row[idx:idx+wHi-wLo], src[base+wLo-padW+s:])
+				idx += wHi - wLo
+			}
+			for i := wHi; i < outW; i++ {
+				row[idx] = zero
+				idx++
+			}
+			continue
+		}
+		iw := s - padW
+		for ow := 0; ow < outW; ow++ {
+			if iw >= 0 && iw < inW {
+				row[idx] = src[base+iw]
+			} else {
+				row[idx] = zero
+			}
+			idx++
+			iw += stride
+		}
+	}
+}

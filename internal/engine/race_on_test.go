@@ -1,0 +1,10 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. Under -race, sync.Pool.Put intentionally drops items at
+// random to shake out lifetime bugs, so pooled-bookkeeping allocation
+// counts are nondeterministic and the strict allocs/op assertions must
+// be skipped.
+const raceEnabled = true

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuantExperiment(t *testing.T) {
+	rows, err := Quant(env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 2 models x 3 preset channels
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		// Quantization strictly helps the modeled deployment: both f(l)
+		// and g(l) only drop, so every plan gets faster.
+		if r.QuantMs >= r.FP32Ms {
+			t.Errorf("%s/%s: int8 plan %.1f ms not faster than fp32 %.1f ms",
+				r.Model, r.Channel, r.QuantMs, r.FP32Ms)
+		}
+		if r.FP32Cut < 0 || r.QuantCut < 0 {
+			t.Errorf("%s/%s: negative crossing layer %+v", r.Model, r.Channel, r)
+		}
+	}
+	// The two pulls (cheaper uploads earlier, faster mobile later) must
+	// actually move the crossing layer somewhere in the sweep —
+	// otherwise the experiment shows nothing joint.
+	moved := false
+	for _, r := range rows {
+		if r.QuantCut != r.FP32Cut {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("crossing layer identical in every setting; expected a shift somewhere")
+	}
+	if !strings.Contains(QuantTable(rows).String(), "Int8 cut") {
+		t.Error("table missing header")
+	}
+}

@@ -118,6 +118,45 @@ func CloudGPU() Device {
 	}
 }
 
+// Quantized models the device running the int8 inference path: the
+// heavy layers speed up by documented per-kind factors, everything
+// else is unchanged (the runtime keeps activations, pooling, and
+// residual arithmetic in float32 between quantized layers).
+//
+// The factors are the well-known int8 wins on mobile CPUs with
+// narrow-integer dot-product units (NEON sdot/udot class):
+//
+//   - conv ≈ 2x — compute-bound; int8 MACs pack 4 lanes per 32-bit
+//     accumulator where fp32 packs 1, minus requantize overhead.
+//   - dense ≈ 3x — memory-bound on streamed weights; int8 weights are
+//     a quarter of the traffic, and the epilogue is O(outputs).
+//   - depthwise ≈ 1.5x — low arithmetic intensity, so the requantize
+//     epilogue eats a larger share of the smaller win.
+//
+// Note this models deployment hardware, not this repo's reference
+// kernels: scalar int8 multiplies in gc-compiled Go have no throughput
+// edge over float32 (see EXPERIMENTS.md, quantized path).
+func (d Device) Quantized() Device {
+	factor := map[nn.Kind]float64{
+		nn.KindConv:          2.0,
+		nn.KindDense:         3.0,
+		nn.KindDepthwiseConv: 1.5,
+	}
+	out := Device{
+		Name:             d.Name + "_int8",
+		ThroughputFperMs: make(map[nn.Kind]float64, len(d.ThroughputFperMs)),
+		DefaultFperMs:    d.DefaultFperMs,
+		LayerOverheadMs:  d.LayerOverheadMs,
+	}
+	for k, v := range d.ThroughputFperMs {
+		if f, ok := factor[k]; ok {
+			v *= f
+		}
+		out.ThroughputFperMs[k] = v
+	}
+	return out
+}
+
 // Scaled returns a copy of the device with all throughputs multiplied
 // by factor — used by ablations that sweep the mobile/cloud speed gap.
 func (d Device) Scaled(factor float64) Device {

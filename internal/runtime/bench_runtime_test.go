@@ -258,7 +258,7 @@ func BenchmarkReadTensor(b *testing.B) {
 		if _, err := r.Seek(0, io.SeekStart); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := readTensor(r); err != nil {
+		if _, _, err := readTensor(r); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -211,7 +211,7 @@ func (c *Client) writeLoop() {
 			c.obsv.span(TrackUplink, SpanUpload, jobID, start, end)
 			if msg.req != nil {
 				c.obsv.span(TrackUplink, SpanSerialize, jobID, serStart, serEnd)
-				c.noteUpload(RequestWireBytes(msg.req.Tensor.Shape), end.Sub(start))
+				c.noteUpload(reqWireBytes(msg.req), end.Sub(start))
 			}
 		case <-c.failed:
 			return
@@ -309,10 +309,24 @@ func (c *Client) deliverPong() error {
 // enqueueInfer registers the job with the demultiplexer and hands the
 // request to the writer. Registration happens before the request can
 // reach the wire, so a reply can never race its own job.
+//
+// On a quantized model the boundary ships as int8 codes under the
+// exit node's calibrated mapping — a quarter of the float32 payload —
+// and the frame carries the mapping, so the server decodes it without
+// sharing the calibration.
 func (c *Client) enqueueInfer(res *JobResult, cut int, boundary *tensor.Tensor) (*call, error) {
 	c.startIO()
+	req := &inferRequest{JobID: uint32(res.JobID), Cut: uint32(cut), Tensor: boundary}
+	if c.model.IsQuantized() {
+		qp, err := c.model.ActivationQParams(c.units[cut].Exit)
+		if err != nil {
+			return nil, err
+		}
+		req.Quant = tensor.QuantizeTensor(boundary, qp)
+		req.Tensor = nil
+	}
 	cl := &call{res: res, done: make(chan struct{})}
-	id := uint32(res.JobID)
+	id := req.JobID
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -326,7 +340,7 @@ func (c *Client) enqueueInfer(res *JobResult, cut int, boundary *tensor.Tensor) 
 	c.calls[id] = cl
 	c.mu.Unlock()
 	select {
-	case c.sendQ <- wireMsg{c: cl, req: &inferRequest{JobID: id, Cut: uint32(cut), Tensor: boundary}, enq: time.Now()}:
+	case c.sendQ <- wireMsg{c: cl, req: req, enq: time.Now()}:
 		return cl, nil
 	case <-c.failed:
 		c.mu.Lock()

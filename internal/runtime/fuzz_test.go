@@ -16,23 +16,39 @@ func FuzzReadTensor(f *testing.F) {
 	var valid bytes.Buffer
 	_ = writeTensor(&valid, mustVec(3, 1, 2, 3))
 	f.Add(valid.Bytes())
+	// A valid quantized frame (flagged rank byte + affine mapping).
+	var qvalid bytes.Buffer
+	_, _ = writeQTensorSum(&qvalid, mustQVec(3, 1, -2, 3), 0)
+	f.Add(qvalid.Bytes())
 	// Truncations and garbage.
 	f.Add(valid.Bytes()[:3])
+	f.Add(qvalid.Bytes()[:4])
 	f.Add([]byte{0})
 	f.Add([]byte{9, 1, 2, 3})
-	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0x7F}) // giant dim
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0x7F})          // giant dim
+	f.Add([]byte{0x81, 0, 0, 0x80, 0x7F, 0, 1, 0, 0}) // quant frame, +Inf scale
+	f.Add([]byte{0x80})                               // quant flag with rank 0
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		tt, err := readTensor(bytes.NewReader(data))
+		tt, qt, err := readTensor(bytes.NewReader(data))
 		if err != nil {
 			return // rejected input is fine; panics are not
 		}
 		// Successful parses must be internally consistent and re-encode.
+		var buf bytes.Buffer
+		if qt != nil {
+			if qt.Shape.Elems() != len(qt.Data) {
+				t.Fatalf("decoded qtensor inconsistent: %v vs %d", qt.Shape, len(qt.Data))
+			}
+			if _, err := writeQTensorSum(&buf, qt, 0); err != nil {
+				t.Fatalf("re-encode quant: %v", err)
+			}
+			return
+		}
 		if tt.Shape.Elems() != len(tt.Data) {
 			t.Fatalf("decoded tensor inconsistent: %v vs %d", tt.Shape, len(tt.Data))
 		}
-		var buf bytes.Buffer
 		if err := writeTensor(&buf, tt); err != nil {
 			t.Fatalf("re-encode: %v", err)
 		}
@@ -44,6 +60,9 @@ func FuzzHandleConn(f *testing.F) {
 	var infer bytes.Buffer
 	_ = writeInferRequest(&infer, &inferRequest{JobID: 1, Cut: 0, Tensor: mustVec(2, 1, 2)})
 	f.Add(infer.Bytes())
+	var qinfer bytes.Buffer
+	_ = writeInferRequest(&qinfer, &inferRequest{JobID: 3, Cut: 0, Quant: mustQVec(2, 5, -5)})
+	f.Add(qinfer.Bytes())
 	var ping bytes.Buffer
 	_ = writePing(&ping, 8)
 	f.Add(ping.Bytes())
@@ -70,6 +89,9 @@ func FuzzReadInferRequest(f *testing.F) {
 	var valid bytes.Buffer
 	_ = writeInferRequest(&valid, &inferRequest{JobID: 7, Cut: 2, Tensor: mustVec(3, 1, 2, 3)})
 	f.Add(valid.Bytes()[1:]) // body = frame minus the type byte
+	var qvalid bytes.Buffer
+	_ = writeInferRequest(&qvalid, &inferRequest{JobID: 8, Cut: 1, Quant: mustQVec(3, 1, -2, 3)})
+	f.Add(qvalid.Bytes()[1:])
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
 	f.Add(bytes.Repeat([]byte{0xFF}, 32))
@@ -87,8 +109,18 @@ func FuzzReadInferRequest(f *testing.F) {
 		if err != nil {
 			t.Fatalf("decode re-encoded request: %v", err)
 		}
-		if got.JobID != req.JobID || got.Cut != req.Cut || !got.Tensor.Shape.Equal(req.Tensor.Shape) {
+		if got.JobID != req.JobID || got.Cut != req.Cut {
 			t.Fatalf("round trip mismatch: %+v vs %+v", got, req)
+		}
+		switch {
+		case req.Quant != nil:
+			if got.Quant == nil || !got.Quant.Shape.Equal(req.Quant.Shape) || got.Quant.QParams != req.Quant.QParams {
+				t.Fatalf("quant round trip mismatch: %+v vs %+v", got, req)
+			}
+		default:
+			if got.Tensor == nil || !got.Tensor.Shape.Equal(req.Tensor.Shape) {
+				t.Fatalf("round trip mismatch: %+v vs %+v", got, req)
+			}
 		}
 	})
 }
@@ -126,4 +158,11 @@ func mustVec(n int, vals ...float32) *tensor.Tensor {
 	t := tensor.New(tensor.NewVec(n))
 	copy(t.Data, vals)
 	return t
+}
+
+// mustQVec builds a small 1-D quantized tensor for frame seeds.
+func mustQVec(n int, codes ...int8) *tensor.QTensor {
+	q := tensor.NewQ(tensor.NewVec(n), tensor.QParams{Scale: 0.5, Zero: -3})
+	copy(q.Data, codes)
+	return q
 }

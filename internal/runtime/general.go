@@ -81,9 +81,14 @@ func readInferSetRequestBody(r io.Reader) (*inferSetRequest, error) {
 		}
 		sum = crc32.Update(sum, wireCRC, b[:4])
 		node := int32(binary.LittleEndian.Uint32(b))
-		t, newSum, err := readTensorSum(r, sum)
+		t, q, newSum, err := readTensorSum(r, sum)
 		if err != nil {
 			return nil, err
+		}
+		if q != nil {
+			// General-plan boundary sets are float32-only; the quantized
+			// frame form is reserved for line-view infer requests.
+			return nil, fmt.Errorf("runtime: quantized tensor in infer-set request")
 		}
 		sum = newSum
 		req.Nodes = append(req.Nodes, node)

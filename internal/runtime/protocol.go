@@ -45,6 +45,16 @@ const maxTensorBytes = 256 << 20 // defensive cap against corrupt frames
 
 const maxTensorRank = 4
 
+// quantTensorFlag marks a quantized tensor frame: the leading byte is
+// quantTensorFlag|rank instead of the bare rank. Legacy float32 frames
+// (rank 1..4) are untouched — a pre-quantization decoder rejects the
+// flagged byte as a bad rank instead of misparsing the payload, and a
+// pre-quantization encoder's frames decode here bit-identically. After
+// the flagged byte come the affine mapping (float32 scale + int8 zero
+// point), the dims, and one byte per element instead of four — the 4x
+// payload shrink that makes quantized cuts cheap to ship.
+const quantTensorFlag = byte(0x80)
+
 // wireChunkSize is the size of the pooled scratch buffers the codecs
 // stage bytes through. Tensors larger than one chunk stream through it
 // in slices, so a frame of any size needs exactly one pooled buffer
@@ -59,11 +69,13 @@ var wireBufs = sync.Pool{
 }
 
 // inferRequest is the client's upload: which unit the model was cut
-// after, plus the boundary activation tensor.
+// after, plus the boundary activation tensor — float32 (Tensor) or
+// int8 (Quant), exactly one of which is set.
 type inferRequest struct {
 	JobID  uint32
 	Cut    uint32
 	Tensor *tensor.Tensor
+	Quant  *tensor.QTensor
 }
 
 // inferReply is the server's answer: predicted class plus the
@@ -96,6 +108,21 @@ func RequestWireBytes(s tensor.Shape) int {
 	return 9 + 1 + 4*s.Rank() + 4*s.Elems() + 4 // +4: CRC-32C trailer
 }
 
+// QuantRequestWireBytes is RequestWireBytes for a quantized boundary
+// tensor: the header grows by the 5-byte affine mapping, the payload
+// shrinks to one byte per element.
+func QuantRequestWireBytes(s tensor.Shape) int {
+	return 9 + 1 + 5 + 4*s.Rank() + s.Elems() + 4
+}
+
+// reqWireBytes sizes a concrete request for byte accounting.
+func reqWireBytes(req *inferRequest) int {
+	if req.Quant != nil {
+		return QuantRequestWireBytes(req.Quant.Shape)
+	}
+	return RequestWireBytes(req.Tensor.Shape)
+}
+
 func writeInferRequest(w io.Writer, req *inferRequest) error {
 	bp := wireBufs.Get().(*[]byte)
 	b := *bp
@@ -108,7 +135,11 @@ func writeInferRequest(w io.Writer, req *inferRequest) error {
 	if err != nil {
 		return err
 	}
-	sum, err = writeTensorSum(w, req.Tensor, sum)
+	if req.Quant != nil {
+		sum, err = writeQTensorSum(w, req.Quant, sum)
+	} else {
+		sum, err = writeTensorSum(w, req.Tensor, sum)
+	}
 	if err != nil {
 		return err
 	}
@@ -187,53 +218,133 @@ func writeTensorSum(w io.Writer, t *tensor.Tensor, sum uint32) (uint32, error) {
 	return sum, nil
 }
 
+// writeQTensorSum encodes a quantized tensor frame: flagged rank byte,
+// affine mapping, dims, then the int8 codes — one byte each, streamed
+// through the pooled chunk like the float32 payload.
+func writeQTensorSum(w io.Writer, q *tensor.QTensor, sum uint32) (uint32, error) {
+	rank := q.Shape.Rank()
+	if rank == 0 || rank > maxTensorRank {
+		return sum, fmt.Errorf("runtime: cannot encode tensor of rank %d", rank)
+	}
+	bp := wireBufs.Get().(*[]byte)
+	defer wireBufs.Put(bp)
+	chunk := *bp
+	chunk[0] = quantTensorFlag | uint8(rank)
+	binary.LittleEndian.PutUint32(chunk[1:], math.Float32bits(q.Scale))
+	chunk[5] = byte(int8(q.Zero))
+	for i, d := range q.Shape {
+		binary.LittleEndian.PutUint32(chunk[6+4*i:], uint32(d))
+	}
+	hdr := 6 + 4*rank
+	sum = crc32.Update(sum, wireCRC, chunk[:hdr])
+	if _, err := w.Write(chunk[:hdr]); err != nil {
+		return sum, err
+	}
+	data := q.Data
+	for off := 0; off < len(data); {
+		n := len(data) - off
+		if n > len(chunk) {
+			n = len(chunk)
+		}
+		for i := 0; i < n; i++ {
+			chunk[i] = byte(data[off+i])
+		}
+		sum = crc32.Update(sum, wireCRC, chunk[:n])
+		if _, err := w.Write(chunk[:n]); err != nil {
+			return sum, err
+		}
+		off += n
+	}
+	return sum, nil
+}
+
 // readTensor decodes a tensor frame with a single allocation — the
 // result tensor itself. Payload bytes stream through a pooled chunk
-// and convert straight into Tensor.Data.
-func readTensor(r io.Reader) (*tensor.Tensor, error) {
-	t, _, err := readTensorSum(r, 0)
-	return t, err
+// and convert straight into Tensor.Data. Exactly one of the results is
+// non-nil: the float32 tensor for a legacy frame, the quantized tensor
+// for a flagged frame.
+func readTensor(r io.Reader) (*tensor.Tensor, *tensor.QTensor, error) {
+	t, q, _, err := readTensorSum(r, 0)
+	return t, q, err
 }
 
 // readTensorSum is readTensor accumulating a CRC-32C over every byte
-// it consumes, mirroring writeTensorSum.
-func readTensorSum(r io.Reader, sum uint32) (*tensor.Tensor, uint32, error) {
+// it consumes, mirroring writeTensorSum/writeQTensorSum.
+func readTensorSum(r io.Reader, sum uint32) (*tensor.Tensor, *tensor.QTensor, uint32, error) {
 	bp := wireBufs.Get().(*[]byte)
 	defer wireBufs.Put(bp)
 	chunk := *bp
 	if _, err := io.ReadFull(r, chunk[:1]); err != nil {
-		return nil, sum, err
+		return nil, nil, sum, err
 	}
-	rank := int(chunk[0])
+	quant := chunk[0]&quantTensorFlag != 0
+	rank := int(chunk[0] &^ quantTensorFlag)
 	if rank == 0 || rank > maxTensorRank {
-		return nil, sum, fmt.Errorf("runtime: bad tensor rank %d", rank)
+		return nil, nil, sum, fmt.Errorf("runtime: bad tensor rank %d", chunk[0])
 	}
 	sum = crc32.Update(sum, wireCRC, chunk[:1])
+	var qp tensor.QParams
+	if quant {
+		if _, err := io.ReadFull(r, chunk[:5]); err != nil {
+			return nil, nil, sum, err
+		}
+		sum = crc32.Update(sum, wireCRC, chunk[:5])
+		qp.Scale = math.Float32frombits(binary.LittleEndian.Uint32(chunk))
+		qp.Zero = int32(int8(chunk[4]))
+		// A hostile scale would decode into NaN/Inf activations; the
+		// real encoder only ever emits finite positive scales.
+		if !(qp.Scale > 0) || math.IsInf(float64(qp.Scale), 1) {
+			return nil, nil, sum, fmt.Errorf("runtime: bad quant scale %v", qp.Scale)
+		}
+	}
 	if _, err := io.ReadFull(r, chunk[:4*rank]); err != nil {
-		return nil, sum, err
+		return nil, nil, sum, err
 	}
 	sum = crc32.Update(sum, wireCRC, chunk[:4*rank])
 	shape := make(tensor.Shape, rank)
 	elems := int64(1)
+	elemBytes := int64(4)
+	if quant {
+		elemBytes = 1
+	}
 	for i := range shape {
 		d := int32(binary.LittleEndian.Uint32(chunk[4*i:]))
 		if d <= 0 {
-			return nil, sum, fmt.Errorf("runtime: bad tensor dim %d", d)
+			return nil, nil, sum, fmt.Errorf("runtime: bad tensor dim %d", d)
 		}
 		shape[i] = int(d)
 		// Guard the running product in int64 so adversarial dims can
 		// neither overflow int nor drive a huge allocation.
 		elems *= int64(d)
-		if elems*4 > maxTensorBytes {
-			return nil, sum, fmt.Errorf("runtime: tensor too large: %v", shape[:i+1])
+		if elems*elemBytes > maxTensorBytes {
+			return nil, nil, sum, fmt.Errorf("runtime: tensor too large: %v", shape[:i+1])
 		}
+	}
+	if quant {
+		q := tensor.NewQ(shape, qp)
+		data := q.Data
+		for off := 0; off < len(data); {
+			n := len(data) - off
+			if n > len(chunk) {
+				n = len(chunk)
+			}
+			if _, err := io.ReadFull(r, chunk[:n]); err != nil {
+				return nil, nil, sum, err
+			}
+			sum = crc32.Update(sum, wireCRC, chunk[:n])
+			for i := 0; i < n; i++ {
+				data[off+i] = int8(chunk[i])
+			}
+			off += n
+		}
+		return nil, q, sum, nil
 	}
 	t := tensor.New(shape)
 	sum, err := readFloat32Into(r, chunk, t.Data, sum)
 	if err != nil {
-		return nil, sum, err
+		return nil, nil, sum, err
 	}
-	return t, sum, nil
+	return t, nil, sum, nil
 }
 
 // readFloat32Into fills dst with little-endian float32s from r,
@@ -271,14 +382,14 @@ func readInferRequestBody(r io.Reader) (*inferRequest, error) {
 	if err != nil {
 		return nil, err
 	}
-	t, sum, err := readTensorSum(r, sum)
+	t, q, sum, err := readTensorSum(r, sum)
 	if err != nil {
 		return nil, err
 	}
 	if err := readSumTrailer(r, sum); err != nil {
 		return nil, err
 	}
-	req.Tensor = t
+	req.Tensor, req.Quant = t, q
 	return &req, nil
 }
 

@@ -61,7 +61,7 @@ func TestTensorWireRoundTrip(t *testing.T) {
 	if err := writeTensor(&buf, orig); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readTensor(&buf)
+	got, _, err := readTensor(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,25 +77,25 @@ func TestTensorWireRoundTrip(t *testing.T) {
 
 func TestReadTensorRejectsGarbage(t *testing.T) {
 	// Rank 0.
-	if _, err := readTensor(bytes.NewReader([]byte{0})); err == nil {
+	if _, _, err := readTensor(bytes.NewReader([]byte{0})); err == nil {
 		t.Error("rank 0 must error")
 	}
 	// Rank 9.
-	if _, err := readTensor(bytes.NewReader([]byte{9})); err == nil {
+	if _, _, err := readTensor(bytes.NewReader([]byte{9})); err == nil {
 		t.Error("rank 9 must error")
 	}
 	// Negative dim.
 	var buf bytes.Buffer
 	buf.WriteByte(1)
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // -1 little endian
-	if _, err := readTensor(&buf); err == nil {
+	if _, _, err := readTensor(&buf); err == nil {
 		t.Error("negative dim must error")
 	}
 	// Truncated payload.
 	var buf2 bytes.Buffer
 	_ = writeTensor(&buf2, input(0))
 	trunc := buf2.Bytes()[:buf2.Len()-10]
-	if _, err := readTensor(bytes.NewReader(trunc)); err == nil {
+	if _, _, err := readTensor(bytes.NewReader(trunc)); err == nil {
 		t.Error("truncated payload must error")
 	}
 }
@@ -199,15 +199,19 @@ func TestRunPlanInputCountMismatch(t *testing.T) {
 
 func TestCalibrateComm(t *testing.T) {
 	m := testModel(t)
-	// 8 Mb/s channel = 1e6 bytes/s; time scale 1e-3.
-	ch := netsim.Channel{Name: "cal", UplinkMbps: 8, SetupMs: 10}
+	// 8 Mb/s channel = 1e6 bytes/s.
+	ch := netsim.Channel{Name: "cal", UplinkMbps: 8, SetupMs: 100}
 	cConn, sConn := net.Pipe()
 	srv := NewServer(m)
 	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
 	defer cConn.Close()
-	// Scale chosen so shaped sleeps (tens of ms) dominate the
-	// scheduling noise floor (tens of µs per pipe round trip).
-	scale := 1e-2
+	// Scale and SetupMs chosen so shaped sleeps dominate real pipe
+	// costs everywhere the fit looks: the scaled intercept is
+	// SetupMs * scale = 10 ms and the largest transmit sleep 200 ms,
+	// against ms-level copy jitter on a loaded 1-CPU box. (At
+	// scale=1e-2 / SetupMs=10 the true intercept was 0.1 ms and
+	// convex jitter on the 2 MB payloads could rotate it negative.)
+	scale := 1e-1
 	cl := NewClient(cConn, m, ch, scale)
 
 	fit, err := cl.CalibrateComm([]int{200_000, 600_000, 1_200_000, 2_000_000}, 2)

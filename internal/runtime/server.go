@@ -255,7 +255,13 @@ readLoop:
 			recv := time.Now()
 			if o := s.obsv; o != nil {
 				o.span(TrackServer, SpanDecode, int(req.JobID), decodeStart, recv)
-				o.ServerRxBytes.Add(int64(RequestWireBytes(req.Tensor.Shape)))
+				o.ServerRxBytes.Add(int64(reqWireBytes(req)))
+			}
+			if req.Quant != nil {
+				// Expand the int8 codes once at decode time; everything
+				// downstream — the coalescer included — sees the same
+				// float32 boundary it always has.
+				req.Tensor, req.Quant = req.Quant.Dequantize(), nil
 			}
 			if co != nil {
 				if !co.submit(pendingJob{req: req, recv: recv}) {

@@ -25,6 +25,8 @@ type Arena struct {
 	mu      sync.Mutex
 	tensors map[int][]*Tensor   // whole tensors (struct + shape reused)
 	bufs    map[int][][]float32 // raw scratch buffers
+	bufsI8  map[int][][]int8    // int8 scratch (quantized activations, im2col)
+	bufsI32 map[int][][]int32   // int32 scratch (quantized accumulators)
 }
 
 // NewArena returns an empty arena.
@@ -32,6 +34,8 @@ func NewArena() *Arena {
 	return &Arena{
 		tensors: make(map[int][]*Tensor),
 		bufs:    make(map[int][][]float32),
+		bufsI8:  make(map[int][][]int8),
+		bufsI32: make(map[int][][]int32),
 	}
 }
 
@@ -109,6 +113,66 @@ func (a *Arena) PutSlice(buf []float32) {
 	a.mu.Unlock()
 }
 
+// GetSliceI8 returns an int8 buffer of length n with undefined
+// contents — the quantized-inference counterpart of GetSlice.
+func (a *Arena) GetSliceI8(n int) []int8 {
+	if a == nil || n == 0 {
+		return make([]int8, n)
+	}
+	a.mu.Lock()
+	if list := a.bufsI8[n]; len(list) > 0 {
+		buf := list[len(list)-1]
+		list[len(list)-1] = nil
+		a.bufsI8[n] = list[:len(list)-1]
+		a.mu.Unlock()
+		return buf
+	}
+	a.mu.Unlock()
+	return make([]int8, n)
+}
+
+// PutSliceI8 recycles an int8 buffer.
+func (a *Arena) PutSliceI8(buf []int8) {
+	if a == nil || len(buf) == 0 {
+		return
+	}
+	a.mu.Lock()
+	if list := a.bufsI8[len(buf)]; len(list) < maxFreePerSize {
+		a.bufsI8[len(buf)] = append(list, buf)
+	}
+	a.mu.Unlock()
+}
+
+// GetSliceI32 returns an int32 buffer of length n with undefined
+// contents — accumulator scratch for the quantized kernels.
+func (a *Arena) GetSliceI32(n int) []int32 {
+	if a == nil || n == 0 {
+		return make([]int32, n)
+	}
+	a.mu.Lock()
+	if list := a.bufsI32[n]; len(list) > 0 {
+		buf := list[len(list)-1]
+		list[len(list)-1] = nil
+		a.bufsI32[n] = list[:len(list)-1]
+		a.mu.Unlock()
+		return buf
+	}
+	a.mu.Unlock()
+	return make([]int32, n)
+}
+
+// PutSliceI32 recycles an int32 buffer.
+func (a *Arena) PutSliceI32(buf []int32) {
+	if a == nil || len(buf) == 0 {
+		return
+	}
+	a.mu.Lock()
+	if list := a.bufsI32[len(buf)]; len(list) < maxFreePerSize {
+		a.bufsI32[len(buf)] = append(list, buf)
+	}
+	a.mu.Unlock()
+}
+
 // FreeBuffers reports how many tensors and buffers the arena currently
 // retains — a test/diagnostics hook.
 func (a *Arena) FreeBuffers() int {
@@ -122,6 +186,12 @@ func (a *Arena) FreeBuffers() int {
 		n += len(list)
 	}
 	for _, list := range a.bufs {
+		n += len(list)
+	}
+	for _, list := range a.bufsI8 {
+		n += len(list)
+	}
+	for _, list := range a.bufsI32 {
 		n += len(list)
 	}
 	return n

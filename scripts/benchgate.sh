@@ -1,0 +1,71 @@
+#!/usr/bin/env sh
+# Bench regression gate: re-runs the long-running whole-model Forward
+# benchmarks and compares them against the committed BENCH_runtime.json
+# baseline. A benchmark that got >15% slower than its recorded ns/op
+# fails the gate; one that got >15% faster prints a reminder to refresh
+# the baseline (scripts/bench.sh) but does not fail. Only benchmarks
+# with a baseline >= 50ms/op are timed-gated — short benchmarks are too
+# noisy for a single-digit iteration count — but any allocs/op increase
+# on a gated benchmark fails regardless (allocation counts are exact).
+#
+# BENCHGATE=off skips the gate (e.g. on loaded shared machines).
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ "${BENCHGATE:-on}" = "off" ]; then
+    echo "benchgate: skipped (BENCHGATE=off)"
+    exit 0
+fi
+if [ ! -f BENCH_runtime.json ]; then
+    echo "benchgate: no BENCH_runtime.json baseline; run scripts/bench.sh" >&2
+    exit 1
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# Three measured iterations per benchmark: enough to average out
+# scheduler noise on runs that take >= 50ms each, cheap enough to live
+# inside the tier-1 loop.
+go test -run NONE -bench 'Forward' -benchmem -benchtime 3x ./internal/engine/ | tee "$RAW"
+
+awk '
+# Pass 1 (baseline JSON, one object per line as bench.sh writes it).
+FNR == NR {
+    if (match($0, /"name": "[^"]+"/)) {
+        name = substr($0, RSTART + 9, RLENGTH - 10)
+        if (match($0, /"ns_per_op": [0-9.e+]+/))
+            base_ns[name] = substr($0, RSTART + 13, RLENGTH - 13)
+        if (match($0, /"allocs_per_op": [0-9]+/))
+            base_allocs[name] = substr($0, RSTART + 16, RLENGTH - 16)
+    }
+    next
+}
+# Pass 2 (fresh `go test -bench` output).
+/^Benchmark/ {
+    name = $1; ns = $3
+    allocs = ""
+    for (i = 4; i <= NF; i++)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+    if (!(name in base_ns)) {
+        printf "benchgate: %s has no baseline (new benchmark; refresh with scripts/bench.sh)\n", name
+        next
+    }
+    bn = base_ns[name] + 0
+    if (bn < 5e7) next # too short to time-gate at 3 iterations
+    ratio = ns / bn
+    if (ratio > 1.15) {
+        printf "benchgate: FAIL %s: %.0f ns/op vs baseline %.0f (%.2fx, > 1.15x)\n", name, ns, bn, ratio
+        bad = 1
+    } else if (ratio < 0.85) {
+        printf "benchgate: %s improved to %.0f ns/op vs baseline %.0f (%.2fx); refresh BENCH_runtime.json\n", name, ns, bn, ratio
+    } else {
+        printf "benchgate: ok %s (%.2fx of baseline)\n", name, ratio
+    }
+    if (allocs != "" && (name in base_allocs) && allocs + 0 > base_allocs[name] + 0) {
+        printf "benchgate: FAIL %s: %s allocs/op vs baseline %s\n", name, allocs, base_allocs[name]
+        bad = 1
+    }
+}
+END { exit bad }
+' BENCH_runtime.json "$RAW"

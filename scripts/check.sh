@@ -26,6 +26,11 @@ fi
 echo "== go build"
 go build ./...
 
+echo "== go build (GOARCH=arm64 cross-compile)"
+# The register-tile microkernel is goarch-gated (gemm_tile_*.go); a
+# cross-build catches arm64-only breakage without arm64 hardware.
+GOOS=linux GOARCH=arm64 go build ./...
+
 echo "== go test"
 go test ./...
 
@@ -54,5 +59,8 @@ fuzz_smoke FuzzInjector ./internal/netsim/
 
 echo "== benchmarks compile and run once"
 go test -run NONE -bench . -benchtime 1x ./... > /dev/null
+
+echo "== bench regression gate (BENCHGATE=off to skip)"
+sh scripts/benchgate.sh
 
 echo "OK"
