@@ -25,8 +25,9 @@ import (
 // Channel-shaping and coalescer knobs, shared by the live-runtime
 // experiment cases below.
 var (
-	batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "with -fig batch: coalescing window of the windowed rows (0-window baseline rows always run)")
-	batchMax     = flag.Int("batch-max", 16, "with -fig batch: maximum jobs per coalesced group")
+	batchWindow  = flag.Duration("batch-window", 2*time.Millisecond, "with -fig batch/fleet: coalescing window of the windowed rows (0-window baseline rows always run)")
+	batchMax     = flag.Int("batch-max", 16, "with -fig batch/fleet: maximum jobs per coalesced group")
+	shedMark     = flag.Int("shed-watermark", 48, "with -fig fleet: queue depth of the overload row's admission control (0 skips the row)")
 	downlinkMbps = flag.Float64("downlink-mbps", 0, "model reply bandwidth on the experiments' fixed channels (0 keeps the historical free-downlink assumption)")
 )
 
@@ -45,7 +46,7 @@ func withDownlink(ch netsim.Channel) netsim.Channel {
 func main() {
 	var (
 		all       = flag.Bool("all", false, "run every experiment")
-		fig       = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, quant, 3tier, robust, runtime, faults, trace, batch")
+		fig       = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, quant, 3tier, robust, runtime, faults, trace, batch, fleet")
 		model     = flag.String("model", "alexnet", "model for figure 4/13 (alexnet, mobilenetv2, ...)")
 		n         = flag.Int("n", 100, "number of inference jobs")
 		csvDir    = flag.String("csv", "", "directory to also write tables as CSV")
@@ -278,6 +279,22 @@ func run(env experiments.Env, id, model, traceOut, traceJSON string) ([]*report.
 			return nil, err
 		}
 		return []*report.Table{experiments.RuntimeBatchTable(rows)}, nil
+	case "fleet":
+		// Fleet-scale serving: N concurrent clients on independent TCP
+		// connections against one shared server, sweeping the client
+		// count with the cross-connection coalescer off and on, plus an
+		// overload row with admission control armed. Real engine
+		// compute in real time, not part of -all.
+		counts := []int{1, 4, 8, 16, 32}
+		if nExplicit {
+			counts = []int{env.NJobs}
+		}
+		rows, err := experiments.RuntimeFleet(env, model, withDownlink(netsim.WiFi),
+			counts, 8, *batchWindow, *batchMax, *shedMark, 1e-3)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.RuntimeFleetTable(rows)}, nil
 	case "robust":
 		rows, err := experiments.Robustness(env, model, netsim.FourG,
 			[]float64{-50, -25, -10, 0, 10, 25, 50, 100})
@@ -286,7 +303,7 @@ func run(env experiments.Env, id, model, traceOut, traceJSON string) ([]*report.
 		}
 		return []*report.Table{experiments.RobustnessTable(model, netsim.FourG, rows)}, nil
 	default:
-		return nil, fmt.Errorf("unknown experiment %q (have 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, quant, 3tier, robust, runtime, faults, trace, batch)", id)
+		return nil, fmt.Errorf("unknown experiment %q (have 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, quant, 3tier, robust, runtime, faults, trace, batch, fleet)", id)
 	}
 }
 

@@ -15,6 +15,12 @@
 //
 //	jpsserve -model mobilenetv2 -batch-window 2ms -batch-max 16 -downlink-mbps 8
 //
+// Multi-tenant fleets arbitrate the shared worker pool with weighted
+// fair queueing and bound overload with admission control (see
+// DESIGN.md "Fleet-scale serving"):
+//
+//	jpsserve -model alexnet -tenants gold:2,bronze:1 -shed-watermark 48
+//
 // For fault-tolerance testing the server can degrade its own side of
 // every accepted connection with the netsim fault injector:
 //
@@ -27,6 +33,11 @@
 // standard pprof handlers under /debug/pprof/:
 //
 //	jpsserve -model alexnet -metrics-addr 127.0.0.1:9090
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: the listener
+// closes, every already-admitted job drains and gets its reply, and —
+// when observability is attached — the final metrics snapshot is
+// printed and the span buffer exported to -trace-out.
 package main
 
 import (
@@ -36,6 +47,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"dnnjps/internal/engine"
@@ -57,6 +72,9 @@ func main() {
 		batchMax    = flag.Int("batch-max", 16, "maximum jobs per coalesced group (with -batch-window)")
 		downMbps    = flag.Float64("downlink-mbps", 0, "pace replies at this modeled downlink bandwidth (0 = unshaped)")
 
+		tenants  = flag.String("tenants", "", "comma-separated tenant:weight WFQ weights, e.g. gold:2,bronze:1 (unlisted tenants get weight 1)")
+		shedMark = flag.Int("shed-watermark", 0, "queue depth at which new infer jobs are shed with a Class -1 reply; backpressure hints start at half this (0 = disabled)")
+
 		faultDrop  = flag.Float64("fault-drop", 0, "probability of dropping each frame in either direction")
 		faultStall = flag.Float64("fault-stall-p", 0, "probability of stalling each frame")
 		stallMs    = flag.Float64("fault-stall-ms", 50, "stall duration in channel-model ms (with -fault-stall-p)")
@@ -64,18 +82,51 @@ func main() {
 		faultSeed  = flag.Int64("fault-seed", 1, "fault injector RNG seed (per-connection offsets applied)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /trace, /trace.json and /debug/pprof/ on this address (empty = disabled)")
+		traceOut    = flag.String("trace-out", "", "write the span buffer as Chrome trace JSON to this file on graceful shutdown (requires -metrics-addr; empty = skip)")
 	)
 	flag.Parse()
+	weights, err := parseTenants(*tenants)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jpsserve:", err)
+		os.Exit(2)
+	}
 	spec := netsim.FaultSpec{
 		DropProb:             *faultDrop,
 		StallProb:            *faultStall,
 		StallMs:              *stallMs,
 		DisconnectAfterBytes: *discBytes,
 	}
-	if err := run(*model, *addr, *seed, *workers, *conc, *batchWindow, *batchMax, *downMbps, spec, *faultSeed, *metricsAddr); err != nil {
+	cfg := serveConfig{
+		model: *model, addr: *addr, seed: *seed, workers: *workers, conc: *conc,
+		batchWindow: *batchWindow, batchMax: *batchMax, downMbps: *downMbps,
+		tenants: weights, shedWatermark: *shedMark,
+		spec: spec, faultSeed: *faultSeed,
+		metricsAddr: *metricsAddr, traceOut: *traceOut,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "jpsserve:", err)
 		os.Exit(1)
 	}
+}
+
+// parseTenants parses "name:weight,name:weight" into WFQ weights.
+func parseTenants(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		name, ws, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenants: %q is not name:weight", part)
+		}
+		w, err := strconv.ParseFloat(ws, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-tenants: %q needs a positive weight", part)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }
 
 // obsMux builds the observability HTTP handler: Prometheus exposition,
@@ -103,40 +154,69 @@ func obsMux(tr *obs.Tracer, m *obs.Metrics) *http.ServeMux {
 	return mux
 }
 
-func run(model, addr string, seed int64, workers, conc int, batchWindow time.Duration, batchMax int, downMbps float64, spec netsim.FaultSpec, faultSeed int64, metricsAddr string) error {
-	g, err := models.Build(model)
+type serveConfig struct {
+	model         string
+	addr          string
+	seed          int64
+	workers, conc int
+	batchWindow   time.Duration
+	batchMax      int
+	downMbps      float64
+	tenants       map[string]float64
+	shedWatermark int
+	spec          netsim.FaultSpec
+	faultSeed     int64
+	metricsAddr   string
+	traceOut      string
+}
+
+func run(cfg serveConfig) error {
+	g, err := models.Build(cfg.model)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loading %s (seed %d)...\n", model, seed)
+	fmt.Printf("loading %s (seed %d)...\n", cfg.model, cfg.seed)
 	// The cloud side uses all cores: the paper's server is the fast
 	// machine, and the GEMM kernels scale over row panels.
-	m := engine.Load(g, seed).Parallel(workers)
-	lis, err := net.Listen("tcp", addr)
+	m := engine.Load(g, cfg.seed).Parallel(cfg.workers)
+	lis, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
 	srv := runtime.NewServer(m)
-	if conc > 0 {
-		srv.WithWorkers(conc)
+	if cfg.conc > 0 {
+		srv.WithWorkers(cfg.conc)
 	}
-	if batchWindow > 0 {
-		fmt.Printf("batching: window %v, max %d jobs/group\n", batchWindow, batchMax)
-		srv.WithBatching(batchWindow, batchMax)
+	if cfg.batchWindow > 0 {
+		fmt.Printf("batching: window %v, max %d jobs/group\n", cfg.batchWindow, cfg.batchMax)
+		srv.WithBatching(cfg.batchWindow, cfg.batchMax)
+	}
+	if len(cfg.tenants) > 0 {
+		fmt.Printf("tenant weights: %v\n", cfg.tenants)
+		srv.WithTenants(cfg.tenants)
+	}
+	if cfg.shedWatermark > 0 {
+		fmt.Printf("admission control: shed at queue depth %d, hints from %d\n",
+			cfg.shedWatermark, max(1, cfg.shedWatermark/2))
+		srv.WithShedWatermark(cfg.shedWatermark)
 	}
 	// The server's writes are the client's downlink: pacing them models
 	// reply bandwidth without the client's cooperation.
 	shapeDown := func(conn net.Conn) net.Conn { return conn }
-	if downMbps > 0 {
-		fmt.Printf("downlink shaped to %.2f Mb/s\n", downMbps)
-		dlCh := netsim.Channel{Name: "downlink", UplinkMbps: downMbps}
+	if cfg.downMbps > 0 {
+		fmt.Printf("downlink shaped to %.2f Mb/s\n", cfg.downMbps)
+		dlCh := netsim.Channel{Name: "downlink", UplinkMbps: cfg.downMbps}
 		shapeDown = func(conn net.Conn) net.Conn { return netsim.Shape(conn, dlCh, 1) }
 	}
-	if metricsAddr != "" {
-		tr := obs.NewTracer(0)
-		reg := obs.NewMetrics()
+	var (
+		tr  *obs.Tracer
+		reg *obs.Metrics
+	)
+	if cfg.metricsAddr != "" {
+		tr = obs.NewTracer(0)
+		reg = obs.NewMetrics()
 		srv.WithObs(runtime.NewObs(tr, reg))
-		mlis, err := net.Listen("tcp", metricsAddr)
+		mlis, err := net.Listen("tcp", cfg.metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
@@ -147,10 +227,38 @@ func run(model, addr string, seed int64, workers, conc int, batchWindow time.Dur
 			}
 		}()
 	}
-	faulty := spec.DropProb > 0 || spec.StallProb > 0 || spec.DisconnectAfterBytes > 0
-	fmt.Printf("serving %s on %s\n", model, lis.Addr())
+	fmt.Printf("serving %s on %s\n", cfg.model, lis.Addr())
+
+	// The accept loop runs aside so the main goroutine can watch for
+	// shutdown signals; on SIGINT/SIGTERM the listener closes (no new
+	// connections), the scheduler drains every admitted job to its
+	// reply, and the observability state is flushed before exit.
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- acceptLoop(srv, lis, shapeDown, cfg) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case s := <-sig:
+		fmt.Printf("received %v: draining admitted jobs...\n", s)
+		lis.Close()
+		srv.Close()
+		flushObs(tr, reg, cfg.traceOut)
+		fmt.Println("drained; bye")
+		return nil
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	}
+}
+
+// acceptLoop runs the accept strategy the flags selected: the plain
+// built-in Serve loop, per-connection downlink shaping, or fault
+// injection. It returns when the listener closes.
+func acceptLoop(srv *runtime.Server, lis net.Listener, shapeDown func(net.Conn) net.Conn, cfg serveConfig) error {
+	faulty := cfg.spec.DropProb > 0 || cfg.spec.StallProb > 0 || cfg.spec.DisconnectAfterBytes > 0
 	if !faulty {
-		if downMbps <= 0 {
+		if cfg.downMbps <= 0 {
 			return srv.Serve(lis)
 		}
 		// Shaped replies need a per-connection wrapper, so accept by hand.
@@ -170,13 +278,13 @@ func run(model, addr string, seed int64, workers, conc int, batchWindow time.Dur
 	// reads and writes on the server side suffer the configured drops,
 	// stalls, and disconnects. Stats are logged when the client goes
 	// away — expected noise under injected faults, not a server bug.
-	fmt.Printf("fault injection on: %+v (seed %d)\n", spec, faultSeed)
+	fmt.Printf("fault injection on: %+v (seed %d)\n", cfg.spec, cfg.faultSeed)
 	for i := int64(0); ; i++ {
 		conn, err := lis.Accept()
 		if err != nil {
 			return err
 		}
-		fc := netsim.Inject(shapeDown(conn), spec, spec, faultSeed+i, 1)
+		fc := netsim.Inject(shapeDown(conn), cfg.spec, cfg.spec, cfg.faultSeed+i, 1)
 		go func(id int64) {
 			defer conn.Close()
 			if err := srv.HandleConn(fc); err != nil {
@@ -185,5 +293,29 @@ func run(model, addr string, seed int64, workers, conc int, batchWindow time.Dur
 					id, err, st.DroppedUp, st.DroppedDown)
 			}
 		}(i)
+	}
+}
+
+// flushObs prints the final metrics snapshot and exports the span
+// buffer; both are no-ops when observability was never attached.
+func flushObs(tr *obs.Tracer, reg *obs.Metrics, traceOut string) {
+	if reg != nil {
+		fmt.Println("-- final metrics --")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "jpsserve: metrics flush:", err)
+		}
+	}
+	if tr != nil && traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jpsserve: trace export:", err)
+			return
+		}
+		defer f.Close()
+		if err := tr.WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "jpsserve: trace export:", err)
+			return
+		}
+		fmt.Printf("trace written to %s\n", traceOut)
 	}
 }

@@ -18,14 +18,30 @@ import (
 )
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run("lenet", "127.0.0.1:0", 1, 0, 0, 0, 16, 0, netsim.FaultSpec{}, 1, ""); err == nil {
+	if err := run(serveConfig{model: "lenet", addr: "127.0.0.1:0", seed: 1, batchMax: 16, faultSeed: 1}); err == nil {
 		t.Error("unknown model must error")
 	}
-	if err := run("alexnet", "256.256.256.256:99999", 1, 0, 4, 0, 16, 0, netsim.FaultSpec{}, 1, ""); err == nil {
+	if err := run(serveConfig{model: "alexnet", addr: "256.256.256.256:99999", seed: 1, conc: 4, batchMax: 16, faultSeed: 1}); err == nil {
 		t.Error("unlistenable address must error")
 	}
-	if err := run("squeezenet", "127.0.0.1:0", 1, 0, 0, 0, 16, 0, netsim.FaultSpec{}, 1, "256.256.256.256:99999"); err == nil {
+	if err := run(serveConfig{model: "squeezenet", addr: "127.0.0.1:0", seed: 1, batchMax: 16, faultSeed: 1,
+		metricsAddr: "256.256.256.256:99999"}); err == nil {
 		t.Error("unlistenable metrics address must error")
+	}
+}
+
+func TestParseTenants(t *testing.T) {
+	w, err := parseTenants("gold:2, bronze:1")
+	if err != nil || w["gold"] != 2 || w["bronze"] != 1 {
+		t.Errorf("parseTenants = %v, %v", w, err)
+	}
+	if w, err := parseTenants(""); err != nil || w != nil {
+		t.Errorf("empty spec: %v, %v", w, err)
+	}
+	for _, bad := range []string{"gold", "gold:", ":2", "gold:0", "gold:-1", "gold:two"} {
+		if _, err := parseTenants(bad); err == nil {
+			t.Errorf("parseTenants(%q) accepted", bad)
+		}
 	}
 }
 

@@ -24,3 +24,39 @@ func Replan(c *profile.Curve, measured netsim.Channel, n int) (*Plan, error) {
 	p.Method = "JPS-replan"
 	return p, nil
 }
+
+// ServerHint is the cloud-saturation signal a client distills from the
+// backpressure flags the server piggybacks on reply frames (see the
+// runtime's fleet scheduler): the mean server-side queue wait each
+// offloaded job is currently paying.
+type ServerHint struct {
+	// QueueMs is the mean server-reported queue wait per reply, in ms.
+	QueueMs float64
+}
+
+// ReplanWithHint is Replan with the server's backpressure hint folded
+// in: after repricing at the measured channel, every offloaded cut's G
+// is surcharged by the observed queue wait. The planner's objective is
+// the two-stage (f, g) flow-shop makespan, so loading the queue delay
+// onto the non-mobile stage is what actually moves the Theorem 5.3
+// balance point — uniformly penalizing offloaded positions against the
+// free local-only cut shifts cuts toward local compute, which is
+// exactly the load response a saturating cloud asks its clients for.
+func ReplanWithHint(c *profile.Curve, measured netsim.Channel, n int, hint ServerHint) (*Plan, error) {
+	if measured.UplinkMbps <= 0 {
+		return nil, fmt.Errorf("core: ReplanWithHint needs a positive bandwidth, got %g", measured.UplinkMbps)
+	}
+	if hint.QueueMs < 0 {
+		return nil, fmt.Errorf("core: ReplanWithHint needs a non-negative queue hint, got %g", hint.QueueMs)
+	}
+	cc := c.Reprice(measured)
+	for i := 0; i < cc.Len()-1; i++ {
+		cc.G[i] += hint.QueueMs
+	}
+	p, err := JPS(cc, n)
+	if err != nil {
+		return nil, err
+	}
+	p.Method = "JPS-replan-hint"
+	return p, nil
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"dnnjps/internal/netsim"
+)
+
+// ReplanWithHint must act on the planner's real objective: the hint
+// surcharges the upload stage G at every offloaded position, which is
+// what moves the Theorem 5.3 balance point — CloudMs never enters the
+// two-stage flow-shop, so loading the delay there would be a no-op.
+
+func TestReplanWithHintZeroMatchesReplan(t *testing.T) {
+	c := fig2Curve()
+	ch := c.Channel
+	base, err := Replan(c, ch, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hinted, err := ReplanWithHint(c, ch, 6, ServerHint{QueueMs: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hinted.Method != "JPS-replan-hint" {
+		t.Errorf("Method = %q", hinted.Method)
+	}
+	for i := range base.Cuts {
+		if base.Cuts[i] != hinted.Cuts[i] {
+			t.Fatalf("zero hint changed cut %d: %d vs %d", i, hinted.Cuts[i], base.Cuts[i])
+		}
+	}
+}
+
+func TestReplanWithHintShiftsLocal(t *testing.T) {
+	c := fig2Curve()
+	// A queue wait far above any layer cost makes every offloaded
+	// position unprofitable; the only unsurcharged cut is fully local.
+	p, err := ReplanWithHint(c, c.Channel, 4, ServerHint{QueueMs: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := c.Len() - 1
+	for i, cut := range p.Cuts {
+		if cut != local {
+			t.Errorf("job %d: cut %d under a saturating hint, want fully local %d", i, cut, local)
+		}
+	}
+	// The original curve must be untouched: the surcharge works on the
+	// repriced copy.
+	if c.G[c.Len()-1] != 0 || c.G[0] != 20 {
+		t.Errorf("hint mutated the caller's curve: G = %v", c.G)
+	}
+}
+
+func TestReplanWithHintValidation(t *testing.T) {
+	c := fig2Curve()
+	if _, err := ReplanWithHint(c, netsim.Channel{UplinkMbps: 0}, 2, ServerHint{}); err == nil {
+		t.Error("zero bandwidth must error")
+	}
+	if _, err := ReplanWithHint(c, c.Channel, 2, ServerHint{QueueMs: -1}); err == nil {
+		t.Error("negative queue hint must error")
+	}
+}

@@ -1,0 +1,49 @@
+package engine
+
+// Shape-aware SGEMM driver selection for KernelGEMM.
+//
+// The two GEMM drivers trade differently with problem shape: the
+// streaming panel loop (sgemmPanel) reads B straight from memory and
+// pays nothing up front, while the packed microkernel (sgemmMicro)
+// pays a packing pass over A and B to earn register-tiled inner loops
+// and cache-resident panels. Which one wins is a property of the
+// machine, so the policy below is set per architecture from a measured
+// crossover table (BenchmarkSgemmCrossover, m=256 k=1152, MAC/ns):
+//
+//	amd64 (2-port scalar SSE, server LLC):
+//	    n        16    32    64   128   256   512  1024
+//	    panel  2.53  2.81  3.32  3.06  3.11  2.98  2.73
+//	    micro  2.10  1.96  2.05  2.47  2.28  2.21  2.26
+//	  The panel loop wins at every swept shape — its 2-row/4-k inner
+//	  loop already saturates both FP ports and the LLC keeps the
+//	  re-streamed B panels resident, so packing is pure overhead.
+//	  There is no crossover: microCrossoverBytes < 0 disables the
+//	  microkernel for KernelGEMM outright.
+//
+//	non-amd64 (32 FP registers, FMADD contraction, mobile-class LLC):
+//	  the 4x4 FMADD tile beats the scalar panel loop as soon as the
+//	  shape can be tiled at all; microCrossoverBytes = 0 selects it
+//	  whenever the register-tile guard admits the shape.
+//
+// Forcing a driver bypasses the policy: WithKernel(KernelPanel) and
+// WithKernel(KernelMicro) pin the respective path regardless of shape
+// (the microkernel still falls back to the panel loop on shapes it
+// cannot tile). Every driver accumulates each C element in the same
+// ascending-k order, so the selection never changes the output bits.
+
+// preferMicro reports whether KernelGEMM should route an m×k by k×n
+// multiply to the packed microkernel on this architecture. The first
+// guard is structural — the register tile needs at least one full
+// microMR x microNR tile and a few k steps to amortize its packed
+// layout; the second is the measured per-arch crossover on the
+// streamed B working set (k*n floats), the quantity that decides
+// whether the panel loop's re-reads of B hit cache or DRAM.
+func preferMicro(m, k, n int) bool {
+	if m < microMR || n < microNR || k < 4 {
+		return false
+	}
+	if microCrossoverBytes < 0 {
+		return false
+	}
+	return k*n*4 >= microCrossoverBytes
+}

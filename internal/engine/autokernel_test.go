@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The shape-aware KernelGEMM driver choice must never change output
+// bits, and its structural guard must keep untileable shapes off the
+// microkernel on every architecture.
+
+// TestPreferMicroTileGuard: shapes the register tile cannot cover are
+// never routed to the microkernel, regardless of the per-arch
+// crossover threshold.
+func TestPreferMicroTileGuard(t *testing.T) {
+	cases := []struct{ m, k, n int }{
+		{microMR - 1, 64, 64}, // too few rows
+		{64, 64, microNR - 1}, // too few columns
+		{64, 3, 64},           // too shallow to amortize packing
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		if preferMicro(c.m, c.k, c.n) {
+			t.Errorf("preferMicro(%d,%d,%d) = true for an untileable shape", c.m, c.k, c.n)
+		}
+	}
+	// A comfortably tileable deep shape resolves purely from the
+	// measured per-arch threshold.
+	want := microCrossoverBytes >= 0 && 1152*256*4 >= microCrossoverBytes
+	if got := preferMicro(256, 1152, 256); got != want {
+		t.Errorf("preferMicro(256,1152,256) = %v, want %v from microCrossoverBytes=%d",
+			got, want, microCrossoverBytes)
+	}
+}
+
+// TestSgemmAccDriverParity runs sgemmAcc under every kernel selection
+// at shapes straddling the tile guard and the crossover working set,
+// and requires bit-identical C against the forced panel driver. This
+// pins the contract that lets the auto policy be retuned freely: the
+// drivers share one accumulation order, so selection is invisible in
+// the output.
+func TestSgemmAccDriverParity(t *testing.T) {
+	shapes := []struct{ m, k, n int }{
+		{microMR - 1, 8, 8},   // below the row guard: micro must fall back
+		{8, 8, microNR - 1},   // below the column guard
+		{microMR, 4, microNR}, // exactly one register tile
+		{7, 5, 9},             // ragged edges in every dimension
+		{48, 96, 64},          // small B working set
+		{64, 1152, 256},       // deep-K conv-lowered shape past any crossover
+	}
+	for _, sh := range shapes {
+		t.Run(fmt.Sprintf("m%d_k%d_n%d", sh.m, sh.k, sh.n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(sh.m*1000 + sh.n)))
+			a := make([]float32, sh.m*sh.k)
+			b := make([]float32, sh.k*sh.n)
+			for i := range a {
+				a[i] = float32(rng.NormFloat64())
+			}
+			for i := range b {
+				b[i] = float32(rng.NormFloat64())
+			}
+			ref := make([]float32, sh.m*sh.n)
+			sgemmAcc(KernelPanel, sh.m, sh.k, sh.n, sh.n, a, b, ref, 1)
+			for _, kern := range []KernelPath{KernelGEMM, KernelMicro} {
+				for _, workers := range []int{1, 4} {
+					c := make([]float32, sh.m*sh.n)
+					sgemmAcc(kern, sh.m, sh.k, sh.n, sh.n, a, b, c, workers)
+					for i := range ref {
+						if c[i] != ref[i] {
+							t.Fatalf("%v workers=%d: c[%d] = %g, panel = %g", kern, workers, i, c[i], ref[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}

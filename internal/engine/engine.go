@@ -33,9 +33,11 @@ const (
 	// KernelGEMM lowers conv2d via im2col onto the blocked parallel
 	// SGEMM, runs depthwise conv with an interior/border split, and
 	// dense layers as a register-blocked matrix-vector product. The
-	// SGEMM driver is chosen per GOARCH (see microPreferred in
-	// gemm_tile_*.go): the streaming panel loop on amd64, the packed
-	// register-tile microkernel elsewhere. This is the default path.
+	// SGEMM driver is chosen per shape from the measured per-GOARCH
+	// crossover policy (see preferMicro in autokernel.go): the
+	// streaming panel loop on amd64, the packed register-tile
+	// microkernel elsewhere once the shape tiles. This is the default
+	// path.
 	KernelGEMM KernelPath = iota
 	// KernelDirect is the naive nested-loop reference implementation,
 	// kept for parity tests and kernel-path comparisons.

@@ -25,9 +25,10 @@ const (
 // with row stride ldc ≥ n). C must be pre-initialized (zero or bias) by
 // the caller. kern selects the driver: KernelPanel forces the streaming
 // panel loop, KernelMicro the packed register-tile microkernel, and
-// KernelGEMM takes the arch-preferred driver (microPreferred in
-// gemm_tile_*.go). All drivers accumulate every output element in the
-// same ascending-k order, so the choice never changes the output.
+// KernelGEMM picks per shape from the measured per-arch crossover
+// policy (preferMicro in autokernel.go). All drivers accumulate every
+// output element in the same ascending-k order, so the choice never
+// changes the output.
 func sgemmAcc(kern KernelPath, m, k, n, ldc int, a, b, c []float32, workers int) {
 	if m == 0 || k == 0 || n == 0 {
 		return
@@ -36,7 +37,7 @@ func sgemmAcc(kern KernelPath, m, k, n, ldc int, a, b, c []float32, workers int)
 		sgemvAcc(m, k, a, b, c, workers)
 		return
 	}
-	micro := kern == KernelMicro || (kern == KernelGEMM && microPreferred)
+	micro := kern == KernelMicro || (kern == KernelGEMM && preferMicro(m, k, n))
 	if micro && m >= microMR && n >= microNR && k >= 4 {
 		sgemmMicro(m, k, n, ldc, a, b, c, workers)
 		return

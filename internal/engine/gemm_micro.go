@@ -3,8 +3,8 @@ package engine
 import "sync"
 
 // Packed register-blocked SGEMM — the KernelMicro driver, and the
-// KernelGEMM default on cache-constrained targets (see microPreferred
-// in gemm_tile_*.go).
+// KernelGEMM choice on cache-constrained targets at shapes past the
+// measured crossover (see preferMicro in autokernel.go).
 //
 // The driver follows the classic three-level blocking scheme: columns
 // of B are processed in NC-wide blocks, K in KC-deep panels, and rows

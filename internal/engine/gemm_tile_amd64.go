@@ -17,15 +17,17 @@ const (
 	microMR = 4
 	microNR = 2
 
-	// microPreferred picks the KernelGEMM SGEMM driver for this arch.
-	// On amd64 the streaming panel loop wins at every measured shape:
-	// the scalar 2-row/4-k panel inner loop already saturates the FP
-	// ports (~3.2 MAC/ns on a 2.1 GHz Xeon, against a ~3.15 GMAC/s
-	// two-port scalar ceiling), while server-class LLCs keep the
-	// re-streamed B panels cache-resident, so the microkernel's packing
-	// passes are pure overhead here. Force the packed path with
-	// WithKernel(KernelMicro).
-	microPreferred = false
+	// microCrossoverBytes is the B working set (k*n*4 bytes) above
+	// which KernelGEMM prefers the packed microkernel; see
+	// autokernel.go for the measured table. On amd64 the streaming
+	// panel loop wins at every measured shape: the scalar 2-row/4-k
+	// panel inner loop already saturates the FP ports (~3.2 MAC/ns on
+	// a 2.1 GHz Xeon, against a ~3.15 GMAC/s two-port scalar ceiling),
+	// while server-class LLCs keep the re-streamed B panels
+	// cache-resident, so the microkernel's packing passes are pure
+	// overhead here — there is no crossover, and -1 disables the
+	// packed path for KernelGEMM. Force it with WithKernel(KernelMicro).
+	microCrossoverBytes = -1
 )
 
 // microTileFull accumulates a full microMR x microNR tile of C over one

@@ -15,13 +15,16 @@ const (
 	microMR = 4
 	microNR = 4
 
-	// microPreferred picks the KernelGEMM SGEMM driver for this arch.
-	// Mobile-class cores have small shared LLCs (512 KiB – 4 MB), so
-	// the panel loop's repeated B streaming goes to DRAM; the packed
-	// microkernel keeps its working set cache-resident and its 4x4
-	// FMADD tile maps onto the 32 FP registers. Force the streaming
-	// loop with WithKernel(KernelPanel).
-	microPreferred = true
+	// microCrossoverBytes is the B working set (k*n*4 bytes) above
+	// which KernelGEMM prefers the packed microkernel; see
+	// autokernel.go for the measured table. Mobile-class cores have
+	// small shared LLCs (512 KiB – 4 MB), so the panel loop's repeated
+	// B streaming goes to DRAM while the packed microkernel keeps its
+	// working set cache-resident and its 4x4 FMADD tile maps onto the
+	// 32 FP registers: the packed path wins as soon as the shape is
+	// tileable, so the threshold is zero. Force the streaming loop
+	// with WithKernel(KernelPanel).
+	microCrossoverBytes = 0
 )
 
 // microTileFull accumulates a full microMR x microNR tile of C over one

@@ -64,21 +64,10 @@ func RuntimeBatch(env Env, model string, ch netsim.Channel, jobCounts []int, win
 	units := profile.LineView(g)
 
 	// Deepest offloaded cut whose suffix still holds parameterized
-	// compute: past it the server would only run an unparameterized
-	// epilogue (softmax/pool), which batching cannot help. At this cut
-	// the suffix is the model's head — for the paper's models a small
-	// upload and a weight-streaming-bound remainder.
-	cut := len(units) - 2
-	tailParams := int64(0)
-	for i := len(units) - 2; i >= 0; i-- {
-		for _, id := range units[i+1].Nodes {
-			tailParams += g.NodeParams(id)
-		}
-		if tailParams > 0 {
-			cut = i
-			break
-		}
-	}
+	// compute (see deepParamCut): the suffix is the model's head — for
+	// the paper's models a small upload and a weight-streaming-bound
+	// remainder.
+	cut := deepParamCut(g, units)
 	var prefix []int
 	for _, u := range units[:cut+1] {
 		prefix = append(prefix, u.Nodes...)
@@ -127,6 +116,7 @@ func RuntimeBatch(env Env, model string, ch netsim.Channel, jobCounts []int, win
 				}
 				defer conn.Close()
 				_ = srv.HandleConn(conn)
+				srv.Close()
 			}()
 			conn, err := net.Dial("tcp", lis.Addr().String())
 			if err != nil {

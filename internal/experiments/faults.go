@@ -85,6 +85,7 @@ func RuntimeFaults(env Env, model string, ch netsim.Channel, n int, timeScale fl
 	jobTimeout := time.Duration((4*(fullMs+gWallMax) + 250) * float64(time.Millisecond))
 
 	srv := runtime.NewServer(m)
+	defer srv.Close()
 	var rows []*FaultRow
 	for ri, pct := range dropPcts {
 		prob := pct / 100

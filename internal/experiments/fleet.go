@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"dnnjps/internal/dag"
+	"dnnjps/internal/engine"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/obs"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/report"
+	"dnnjps/internal/runtime"
+	"dnnjps/internal/tensor"
+)
+
+// RuntimeFleetResult is one fleet-load probe: N concurrent clients on
+// independent TCP connections flood one shared server, each with its
+// own tenant ID, and the server-wide scheduler arbitrates — admission
+// control, cross-connection coalescing, weighted fair queueing.
+type RuntimeFleetResult struct {
+	Model         string
+	Clients       int
+	JobsPerClient int
+	WindowMs      float64
+	Watermark     int
+	// MakespanMs is the wall time from first dial to last reply
+	// across every client.
+	MakespanMs float64
+	// BusyPerJobMs is the server's deduplicated cloud-compute wall
+	// time divided by the job count — the per-job cost
+	// cross-connection batching shrinks.
+	BusyPerJobMs float64
+	// MeanBatch is the average executed group size. Per-connection
+	// coalescing pins this near jobs-per-burst; server-wide
+	// coalescing lets it grow with the client count.
+	MeanBatch float64
+	// P50Ms / P99Ms summarize per-job round-trip latency (upload to
+	// reply, client-measured).
+	P50Ms, P99Ms float64
+	BatchedJobs  int64
+	SoloJobs     int64
+	// Shed counts jobs admission control refused (overload rows).
+	Shed int64
+}
+
+// deepParamCut returns the deepest offloaded cut whose suffix still
+// holds parameterized compute: past it the server would only run an
+// unparameterized epilogue, which batching cannot help.
+func deepParamCut(g *dag.Graph, units []profile.Unit) int {
+	cut := len(units) - 2
+	tailParams := int64(0)
+	for i := len(units) - 2; i >= 0; i-- {
+		for _, id := range units[i+1].Nodes {
+			tailParams += g.NodeParams(id)
+		}
+		if tailParams > 0 {
+			cut = i
+			break
+		}
+	}
+	return cut
+}
+
+// RuntimeFleet runs the fleet probe at each client count, once with
+// the coalescer off (window 0, the per-job baseline) and once at the
+// given window; if shedWatermark > 0 a final overload row repeats the
+// largest count with admission control armed, showing shedding bound
+// p99 instead of letting the queue collapse it. Every client runs over
+// its own loopback TCP connection with its own tenant ID, so the rows
+// exercise the hello handshake, per-tenant accounting, and the
+// cross-connection coalescer with genuinely independent sockets.
+func RuntimeFleet(env Env, model string, ch netsim.Channel, clientCounts []int, jobsPerClient int,
+	window time.Duration, batchMax, shedWatermark int, timeScale float64) ([]*RuntimeFleetResult, error) {
+	g := mustModel(model)
+	const seed = 42
+	m := engine.Load(g, seed)
+	units := profile.LineView(g)
+	cut := deepParamCut(g, units)
+	var prefix []int
+	for _, u := range units[:cut+1] {
+		prefix = append(prefix, u.Nodes...)
+	}
+	inShape := g.Node(units[0].Exit).OutShape
+
+	// Distinct boundary activations recycled across jobs, as in
+	// RuntimeBatch: the probe measures the serving fabric, not the
+	// mobile prefix.
+	const distinct = 4
+	protos := make([]*tensor.Tensor, 0, distinct)
+	for i := 0; i < distinct; i++ {
+		in := tensor.New(inShape)
+		for j := range in.Data {
+			in.Data[j] = float32((j+i*13)%29)/29 - 0.5
+		}
+		acts := map[int]*tensor.Tensor{}
+		if err := m.Execute(acts, in, prefix); err != nil {
+			return nil, err
+		}
+		protos = append(protos, acts[units[cut].Exit].Clone())
+	}
+
+	run := func(clients int, w time.Duration, wm int) (*RuntimeFleetResult, error) {
+		tracer := obs.NewTracer(0)
+		o := runtime.NewObs(tracer, obs.NewMetrics())
+		// One worker: concurrent workers timeslice on small hosts and
+		// inflate each other's compute spans, which would corrupt the
+		// busy-time column this figure exists to compare.
+		srv := runtime.NewServer(m).WithWorkers(1).WithObs(o)
+		if w > 0 && batchMax > 1 {
+			srv = srv.WithBatching(w, batchMax)
+		}
+		if wm > 0 {
+			srv = srv.WithShedWatermark(wm)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go func() { _ = srv.Serve(lis) }()
+		defer srv.Close()
+		defer lis.Close()
+
+		boundaries := make([]*tensor.Tensor, jobsPerClient)
+		for i := range boundaries {
+			boundaries[i] = protos[i%distinct]
+		}
+
+		var (
+			wg        sync.WaitGroup
+			mu        sync.Mutex
+			latencies []float64
+			firstErr  error
+		)
+		t0 := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", lis.Addr().String())
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				defer conn.Close()
+				cl := runtime.NewClient(conn, m, ch, timeScale).
+					WithTenant(fmt.Sprintf("client-%02d", c))
+				rep, err := cl.RunBoundaryJobs(cut, boundaries)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				for _, r := range rep.Results {
+					latencies = append(latencies, r.CommMs+r.CloudMs+r.QueueMs)
+				}
+			}(c)
+		}
+		wg.Wait()
+		makespan := float64(time.Since(t0)) / float64(time.Millisecond)
+		if firstErr != nil {
+			return nil, firstErr
+		}
+
+		// Server busy time: each distinct (start, duration) interval
+		// once — batch members share their group's execution span.
+		type interval struct{ start, dur int64 }
+		seen := map[interval]bool{}
+		var busyNs int64
+		for _, sp := range tracer.Spans() {
+			if sp.Track != runtime.TrackServer || sp.Name != runtime.SpanCloudCompute {
+				continue
+			}
+			iv := interval{sp.StartNs, sp.DurNs}
+			if !seen[iv] {
+				seen[iv] = true
+				busyNs += sp.DurNs
+			}
+		}
+		meanBatch := 1.0
+		if c := o.BatchSize.Count(); c > 0 {
+			meanBatch = o.BatchSize.Sum() / float64(c)
+		}
+		sort.Float64s(latencies)
+		pct := func(p float64) float64 {
+			if len(latencies) == 0 {
+				return 0
+			}
+			i := int(p * float64(len(latencies)-1))
+			return latencies[i]
+		}
+		jobs := clients * jobsPerClient
+		return &RuntimeFleetResult{
+			Model:         model,
+			Clients:       clients,
+			JobsPerClient: jobsPerClient,
+			WindowMs:      float64(w) / float64(time.Millisecond),
+			Watermark:     wm,
+			MakespanMs:    makespan,
+			BusyPerJobMs:  float64(busyNs) / 1e6 / float64(jobs),
+			MeanBatch:     meanBatch,
+			P50Ms:         pct(0.50),
+			P99Ms:         pct(0.99),
+			BatchedJobs:   o.BatchedJobs.Value(),
+			SoloJobs:      o.SoloJobs.Value(),
+			Shed:          o.ShedJobs.Value(),
+		}, nil
+	}
+
+	var results []*RuntimeFleetResult
+	for _, n := range clientCounts {
+		for _, w := range []time.Duration{0, window} {
+			r, err := run(n, w, 0)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, r)
+		}
+	}
+	if shedWatermark > 0 && len(clientCounts) > 0 {
+		r, err := run(clientCounts[len(clientCounts)-1], window, shedWatermark)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// RuntimeFleetTable renders the fleet rows; window-0 rows are the
+// unbatched baselines, and a nonzero watermark marks the overload row
+// where admission control bounds the tail.
+func RuntimeFleetTable(results []*RuntimeFleetResult) *report.Table {
+	t := report.NewTable(
+		"Fleet serving — cross-connection batching and admission control vs client count",
+		"Model", "Clients", "Jobs", "Window(ms)", "Watermark", "Makespan(ms)", "Busy/job(ms)",
+		"MeanBatch", "p50(ms)", "p99(ms)", "Batched", "Solo", "Shed")
+	for _, r := range results {
+		wm := "-"
+		if r.Watermark > 0 {
+			wm = fmt.Sprintf("%d", r.Watermark)
+		}
+		t.AddRow(displayName(r.Model), r.Clients, r.Clients*r.JobsPerClient, fmtMs(r.WindowMs), wm,
+			fmtMs(r.MakespanMs), fmt.Sprintf("%.3f", r.BusyPerJobMs),
+			fmt.Sprintf("%.2f", r.MeanBatch), fmtMs(r.P50Ms), fmtMs(r.P99Ms),
+			r.BatchedJobs, r.SoloJobs, r.Shed)
+	}
+	return t
+}

@@ -85,6 +85,7 @@ func RuntimePipeline(env Env, model string, ch netsim.Channel, n int, timeScale 
 			}
 			defer conn.Close()
 			_ = srv.HandleConn(conn)
+			srv.Close()
 		}()
 		return net.Dial("tcp", lis.Addr().String())
 	}

@@ -75,6 +75,7 @@ func RuntimeTrace(env Env, model string, ch netsim.Channel, n int, timeScale flo
 		}
 		defer conn.Close()
 		_ = srv.HandleConn(conn)
+		srv.Close()
 	}()
 	conn, err := net.Dial("tcp", lis.Addr().String())
 	if err != nil {

@@ -76,6 +76,14 @@ func (g *Gauge) Value() float64 {
 // multi-second degraded-link round trips (milliseconds).
 var DefaultLatencyBuckets = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
 
+// BatchSizeBuckets resolves integer group sizes across the coalescer's
+// full 1–128 operating range. The latency buckets saturate at small
+// sizes (everything past 13 jobs lands in one bucket and sizes 1–2
+// share a bucket with fractional bounds); these bounds keep one bucket
+// per interesting size at the small end and roughly geometric steps up
+// to the largest configurable group.
+var BatchSizeBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128}
+
 // Histogram is a fixed-bucket histogram (cumulative on exposition,
 // like Prometheus expects). Observations are lock-free.
 type Histogram struct {
@@ -129,6 +137,48 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// CounterVec is a counter family with one label dimension (e.g. a
+// per-tenant job count). Children are created on first use and exposed
+// as labeled samples of one Prometheus family. Nil-safe like Counter:
+// a nil vec hands out nil *Counter children, which are no-ops.
+type CounterVec struct {
+	label string
+	mu    sync.Mutex
+	byVal map[string]*Counter
+	order []string // exposition order = first-use order, deterministic per run
+}
+
+// With returns the child counter for one label value, creating it on
+// first use.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.byVal[value]
+	if !ok {
+		c = &Counter{}
+		v.byVal[value] = c
+		v.order = append(v.order, value)
+	}
+	return c
+}
+
+// Values snapshots the vec as value -> count, for tests and reports.
+func (v *CounterVec) Values() map[string]int64 {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]int64, len(v.byVal))
+	for val, c := range v.byVal {
+		out[val] = c.Value()
+	}
+	return out
+}
+
 // metric kinds for exposition.
 const (
 	kindCounter   = "counter"
@@ -142,6 +192,7 @@ type family struct {
 	c                *Counter
 	g                *Gauge
 	h                *Histogram
+	cv               *CounterVec
 }
 
 // Metrics is an ordered registry. Registration methods return the
@@ -180,10 +231,30 @@ func (m *Metrics) Counter(name, help string) *Counter {
 		return nil
 	}
 	f := m.lookup(name, help, kindCounter)
+	if f.cv != nil {
+		panic(fmt.Sprintf("obs: metric %q registered as labeled counter, requested plain", name))
+	}
 	if f.c == nil {
 		f.c = &Counter{}
 	}
 	return f.c
+}
+
+// CounterVec registers (or fetches) a one-label counter family.
+func (m *Metrics) CounterVec(name, help, label string) *CounterVec {
+	if m == nil {
+		return nil
+	}
+	f := m.lookup(name, help, kindCounter)
+	if f.c != nil {
+		panic(fmt.Sprintf("obs: metric %q registered as plain counter, requested labeled", name))
+	}
+	if f.cv == nil {
+		f.cv = &CounterVec{label: label, byVal: map[string]*Counter{}}
+	} else if f.cv.label != label {
+		panic(fmt.Sprintf("obs: metric %q registered with label %q, requested %q", name, f.cv.label, label))
+	}
+	return f.cv
 }
 
 // Gauge registers (or fetches) a gauge.
@@ -232,6 +303,17 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		var err error
 		switch f.kind {
 		case kindCounter:
+			if f.cv != nil {
+				f.cv.mu.Lock()
+				vals := append([]string(nil), f.cv.order...)
+				f.cv.mu.Unlock()
+				for _, val := range vals {
+					if _, err = fmt.Fprintf(w, "%s{%s=%q} %d\n", f.name, f.cv.label, val, f.cv.With(val).Value()); err != nil {
+						return err
+					}
+				}
+				break
+			}
 			_, err = fmt.Fprintf(w, "%s %d\n", f.name, f.c.Value())
 		case kindGauge:
 			_, err = fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.g.Value()))

@@ -276,3 +276,79 @@ func TestMetricsHandler(t *testing.T) {
 		t.Errorf("body missing metric:\n%s", rec.Body.String())
 	}
 }
+
+func TestCounterVecLabeledExposition(t *testing.T) {
+	m := NewMetrics()
+	v := m.CounterVec("jps_tenant_jobs_total", "per-tenant jobs", "tenant")
+	v.With("gold").Add(3)
+	v.With("bronze").Inc()
+	v.With("gold").Inc() // same child, not a new sample
+
+	if got := v.Values(); got["gold"] != 4 || got["bronze"] != 1 {
+		t.Errorf("Values() = %v, want gold:4 bronze:1", got)
+	}
+	// Re-registration returns the same family.
+	if m.CounterVec("jps_tenant_jobs_total", "per-tenant jobs", "tenant").With("gold").Value() != 4 {
+		t.Error("re-registered vec lost its children")
+	}
+
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE jps_tenant_jobs_total counter",
+		`jps_tenant_jobs_total{tenant="gold"} 4`,
+		`jps_tenant_jobs_total{tenant="bronze"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// First-use order is the exposition order.
+	if strings.Index(out, `tenant="gold"`) > strings.Index(out, `tenant="bronze"`) {
+		t.Errorf("labeled samples not in first-use order:\n%s", out)
+	}
+}
+
+func TestCounterVecNilSafe(t *testing.T) {
+	var m *Metrics
+	v := m.CounterVec("x", "", "l")
+	v.With("a").Inc() // all no-ops
+	if v.Values() != nil {
+		t.Error("nil vec must snapshot nil")
+	}
+	var v2 *CounterVec
+	v2.With("b").Add(5)
+}
+
+func TestCounterVecKindConflictPanics(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("jps_plain_total", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("labeled registration over a plain counter must panic")
+			}
+		}()
+		m.CounterVec("jps_plain_total", "", "tenant")
+	}()
+	m.CounterVec("jps_labeled_total", "", "tenant")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("plain registration over a labeled counter must panic")
+			}
+		}()
+		m.Counter("jps_labeled_total", "")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-registration with a different label must panic")
+			}
+		}()
+		m.CounterVec("jps_labeled_total", "", "model")
+	}()
+}

@@ -11,12 +11,13 @@ import (
 )
 
 // ReplyBytes is the on-the-wire size of the runtime's inference reply
-// frame (type byte + 24-byte body + CRC). The profile layer cannot
-// import internal/runtime (runtime builds on profile), so the value is
-// duplicated here and pinned to runtime.ReplyWireBytes by a test in
-// that package. It prices the downlink leg of every offloaded cut on
-// channels that model reply bandwidth (Channel.DownlinkMbps > 0).
-const ReplyBytes = 29
+// frame (type byte + 25-byte body incl. the admission-control flags
+// byte + CRC). The profile layer cannot import internal/runtime
+// (runtime builds on profile), so the value is duplicated here and
+// pinned to runtime.ReplyWireBytes by a test in that package. It
+// prices the downlink leg of every offloaded cut on channels that
+// model reply bandwidth (Channel.DownlinkMbps > 0).
+const ReplyBytes = 30
 
 // Unit is one step of the line view of a graph: the articulation node
 // every path crosses (Exit) together with the parallel-region interior

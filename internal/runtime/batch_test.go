@@ -23,6 +23,7 @@ func batchPair(t *testing.T, m *engine.Model, window time.Duration, max int) (*C
 	cConn, sConn := net.Pipe()
 	o := NewObs(obs.NewTracer(1<<12), obs.NewMetrics())
 	srv := NewServer(m).WithWorkers(4).WithBatching(window, max).WithObs(o)
+	t.Cleanup(srv.Close)
 	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
 	t.Cleanup(func() { cConn.Close() })
 	return NewClient(cConn, m, netsim.WiFi, 1e-6), o

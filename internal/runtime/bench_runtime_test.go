@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -97,6 +98,7 @@ func benchDial(b *testing.B, m *engine.Model) net.Conn {
 // benchDialServer is benchDial for a caller-configured server.
 func benchDialServer(b *testing.B, srv *Server) net.Conn {
 	b.Helper()
+	b.Cleanup(srv.Close)
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -160,15 +162,12 @@ func BenchmarkRunPlanSync(b *testing.B) {
 	}
 }
 
-// BenchmarkServerCoalescer measures the server stage with and without
-// cross-job batching on its best-case workload: 32 concurrent jobs all
-// cut at mobilenetv2's deepest unit (boundary after the head's global
-// average pool), leaving the weight-streaming-bound dense head as the
-// cloud suffix. "solo" dispatches each job to a pool worker as the seed
-// runtime did; "batched" coalesces the whole wave into one widened
-// GEMM. ns/job is wall time per inference seen by the client — the
-// server-stage throughput number quoted in EXPERIMENTS.md.
-func BenchmarkServerCoalescer(b *testing.B) {
+// benchHeadCut loads mobilenetv2 and returns the cut at its deepest
+// unit (boundary after the head's global average pool) with a synthetic
+// boundary activation — the batching benchmarks' shared workload, where
+// the cloud suffix is the weight-streaming-bound dense head.
+func benchHeadCut(b *testing.B) (*engine.Model, int, *tensor.Tensor) {
+	b.Helper()
 	g, err := models.Build("mobilenetv2")
 	if err != nil {
 		b.Fatal(err)
@@ -192,6 +191,18 @@ func BenchmarkServerCoalescer(b *testing.B) {
 	for i := range boundary.Data {
 		boundary.Data[i] = float32(i%31)/31 - 0.5
 	}
+	return m, cut, boundary
+}
+
+// BenchmarkServerCoalescer measures the server stage with and without
+// cross-job batching on its best-case workload: 32 concurrent jobs all
+// cut at mobilenetv2's deepest unit, leaving the weight-streaming-bound
+// dense head as the cloud suffix. "solo" dispatches each job to a pool
+// worker as the seed runtime did; "batched" coalesces the whole wave
+// into one widened GEMM. ns/job is wall time per inference seen by the
+// client — the server-stage throughput number quoted in EXPERIMENTS.md.
+func BenchmarkServerCoalescer(b *testing.B) {
+	m, cut, boundary := benchHeadCut(b)
 	const jobs = 32
 
 	run := func(b *testing.B, srv *Server) {
@@ -220,6 +231,76 @@ func BenchmarkServerCoalescer(b *testing.B) {
 	b.Run("solo", func(b *testing.B) { run(b, NewServer(m).WithWorkers(4)) })
 	b.Run("batched", func(b *testing.B) {
 		run(b, NewServer(m).WithWorkers(4).WithBatching(10*time.Millisecond, jobs))
+	})
+}
+
+// BenchmarkFleetServer measures the serving fabric under fleet load: 8
+// clients on independent loopback TCP connections, each with its own
+// tenant ID, concurrently flood the same mobilenetv2 head cut with 8
+// jobs apiece. "solo" is the per-job dispatch baseline; "batched" lets
+// the server-wide coalescer merge jobs across sockets into widened
+// GEMMs — the cross-connection amortization the fleet figure measures.
+// ns/job is wall time per inference seen by the clients.
+func BenchmarkFleetServer(b *testing.B) {
+	m, cut, boundary := benchHeadCut(b)
+	const clients = 8
+	const jobsPerClient = 8
+
+	run := func(b *testing.B, srv *Server) {
+		b.Cleanup(srv.Close)
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { lis.Close() })
+		go func() { _ = srv.Serve(lis) }()
+		cls := make([]*Client, clients)
+		for c := range cls {
+			conn, err := net.Dial("tcp", lis.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { conn.Close() })
+			cls[c] = NewClient(conn, m, netsim.WiFi, 1e-6).
+				WithTenant(fmt.Sprintf("bench-%d", c))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			errs := make(chan error, clients)
+			var wg sync.WaitGroup
+			for _, cl := range cls {
+				wg.Add(1)
+				go func(cl *Client) {
+					defer wg.Done()
+					calls := make([]*call, jobsPerClient)
+					for j := range calls {
+						c, err := cl.enqueueInfer(&JobResult{JobID: j}, cut, boundary)
+						if err != nil {
+							errs <- err
+							return
+						}
+						calls[j] = c
+					}
+					for _, c := range calls {
+						if err := cl.await(c); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(cl)
+			}
+			wg.Wait()
+			close(errs)
+			if err := <-errs; err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*clients*jobsPerClient), "ns/job")
+	}
+	b.Run("solo", func(b *testing.B) { run(b, NewServer(m).WithWorkers(4)) })
+	b.Run("batched", func(b *testing.B) {
+		run(b, NewServer(m).WithWorkers(4).WithBatching(10*time.Millisecond, clients*jobsPerClient))
 	})
 }
 

@@ -31,14 +31,15 @@ const sendQueueCap = 512
 // therefore overlaps the upload of job i+1 — the two-resource pipeline
 // the scheduler models (§3.1, Prop. 4.1).
 type Client struct {
-	model *engine.Model
-	units []profile.Unit
-	conn  *netsim.ShapedConn
-	r     *bufio.Reader
-	w     *bufio.Writer
-	ch    netsim.Channel
-	scale float64
-	obsv  *Obs // optional tracing + metrics; nil disables recording
+	model  *engine.Model
+	units  []profile.Unit
+	conn   *netsim.ShapedConn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	ch     netsim.Channel
+	scale  float64
+	obsv   *Obs   // optional tracing + metrics; nil disables recording
+	tenant string // non-empty: sent as a hello frame before any request
 
 	once  sync.Once // starts the writer + demux goroutines lazily
 	sendQ chan wireMsg
@@ -57,6 +58,13 @@ type Client struct {
 	upExpectMs  float64
 	upMeasureMs float64
 	upSamples   int
+
+	// Server-pressure accounting off the admission-control flags every
+	// reply carries (see fleet.go). The runner reads ServerPressure to
+	// decide on a hint-driven replan toward local compute.
+	replySamples int     // inference replies seen
+	bpReplies    int     // of those, replies with the backpressure flag
+	queueMsSum   float64 // server-reported queue wait across all replies
 }
 
 // call tracks one in-flight request from enqueue to reply.
@@ -110,6 +118,16 @@ func (c *Client) WithObs(o *Obs) *Client {
 	return c
 }
 
+// WithTenant sets the tenant ID this client announces to the server's
+// fleet scheduler (a hello frame sent before the first request). Must
+// be called before the client's first remote use; returns c for
+// chaining. Clients without a tenant share the server's DefaultTenant
+// queue.
+func (c *Client) WithTenant(name string) *Client {
+	c.tenant = name
+	return c
+}
+
 // Units returns the number of cut positions of the client's model.
 func (c *Client) Units() int { return len(c.units) }
 
@@ -130,6 +148,18 @@ func (c *Client) startIO() {
 		c.mu.Lock()
 		c.ioStarted = true
 		c.mu.Unlock()
+		// The tenant handshake goes out before the writer goroutine
+		// exists, so it is guaranteed to precede every request frame and
+		// needs no write coordination.
+		if c.tenant != "" {
+			err := writeHello(c.w, c.tenant)
+			if err == nil {
+				err = c.w.Flush()
+			}
+			if err != nil {
+				c.fail(err)
+			}
+		}
 		go c.writeLoop()
 		go c.readLoop()
 	})
@@ -274,7 +304,9 @@ func (c *Client) deliver(rep inferReply) error {
 	// (compute, and since the pool can queue under load, queue wait).
 	res.CommMs = float64(total.Nanoseconds())/1e6 - res.CloudMs - res.QueueMs
 	res.Class = int(rep.Class)
+	res.Shed = rep.Flags&replyFlagShed != 0
 	res.Done = now
+	c.notePressure(rep.Flags, res.QueueMs)
 	if !sentEnd.IsZero() {
 		c.obsv.span(TrackCloud, SpanReplyWait, int(rep.JobID), sentEnd, now)
 	}
@@ -407,6 +439,34 @@ func (c *Client) noteUpload(bytes int, wall time.Duration) {
 	}
 }
 
+// notePressure folds one reply's admission-control flags into the
+// server-pressure estimate.
+func (c *Client) notePressure(flags uint8, queueMs float64) {
+	c.mu.Lock()
+	c.replySamples++
+	if flags&replyFlagBackpressure != 0 {
+		c.bpReplies++
+	}
+	c.queueMsSum += queueMs
+	c.mu.Unlock()
+}
+
+// ServerPressure reports what the server's piggybacked admission-
+// control hints say about cloud saturation: the fraction of replies
+// carrying the backpressure flag, the mean server-reported queue wait,
+// and how many replies are behind the estimate (rate is 0 when no
+// reply has arrived yet). The fault-tolerant runner feeds these into
+// the hint-driven replan (core.ReplanWithHint).
+func (c *Client) ServerPressure() (rate float64, meanQueueMs float64, samples int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.replySamples == 0 {
+		return 0, 0, 0
+	}
+	return float64(c.bpReplies) / float64(c.replySamples),
+		c.queueMsSum / float64(c.replySamples), c.replySamples
+}
+
 // LinkHealth reports the uplink's measured speed relative to the
 // channel model: 1.0 means uploads complete exactly as fast as
 // g(x) predicts, 0.5 means the link runs at half the planned rate.
@@ -430,6 +490,7 @@ type JobResult struct {
 	CommMs   float64 // measured upload + reply time minus server compute and queueing
 	CloudMs  float64 // server-reported compute time
 	QueueMs  float64 // server-reported worker-pool queue wait
+	Shed     bool    // true: admission control refused the job (Class is -1, no inference ran)
 	Done     time.Time
 }
 

@@ -1,90 +1,80 @@
 package runtime
 
 import (
-	"fmt"
 	"time"
-
-	"dnnjps/internal/engine"
-	"dnnjps/internal/tensor"
 )
 
-// Cross-job micro-batching. The coalescer sits between the
-// connection's frame decoder and the worker pool: decoded infer
-// requests are grouped by cut layer, a group is held open for at most
-// the batching window (or until it reaches the max size), and the
-// whole group executes as ONE batched suffix pass — each conv/dense
-// layer of the suffix runs a single widened SGEMM instead of one
-// narrow GEMM per job. Replies fan back out per JobID.
+// Cross-connection micro-batching. The coalescer sits between the
+// fleet scheduler's dispatcher and the global worker pool: admitted
+// infer requests from EVERY connection are grouped by cut layer, a
+// group is held open for at most the batching window (or until it
+// reaches the max size), and the whole group executes as ONE batched
+// suffix pass — each conv/dense layer of the suffix runs a single
+// widened SGEMM instead of one narrow GEMM per job. Replies fan back
+// out per job to the owning connection's write mutex.
 //
-// Grouping by cut is grouping by shape: every job of a plan shares the
-// model, and a cut determines the boundary tensor shape. Theorem 5.3
-// concentrates a plan's cuts on at most two adjacent layers, so a
-// connection's traffic clusters into at most two batchable groups —
-// the best case for this coalescer. Per-job shape validation still
-// happens inside inferBatch so one malformed request cannot poison its
-// group's valid members.
+// Grouping by cut is grouping by shape: the server holds one model, so
+// the (cut, model) group key of the design collapses to the cut index,
+// and a cut determines the boundary tensor shape. Theorem 5.3
+// concentrates a plan's cuts on at most two adjacent layers, so fleet
+// traffic against one model clusters into at most two batchable shapes
+// per plan — the best case for this coalescer: the more clients
+// offload concurrently, the fuller the groups get. Per-job shape
+// validation still happens inside inferBatch so one malformed request
+// cannot poison its group's valid members, and a bad member fails only
+// its own connection (see fleetScheduler.runBatch).
 
-// pendingJob is one decoded request waiting in a batch group.
-type pendingJob struct {
-	req  *inferRequest
-	recv time.Time // decode completion; queue attribution starts here
-}
-
-// batchGroup accumulates same-cut jobs until flush.
+// batchGroup accumulates same-cut jobs until flush. Members may come
+// from different connections and tenants.
 type batchGroup struct {
 	cut      uint32
 	jobs     []pendingJob
 	deadline time.Time // recv of the first member + window
 }
 
-// coalescer owns one connection's batch state. All grouping runs on a
-// single goroutine (run), which is also the only dispatcher into the
-// worker pool — no shared mutable state, no timer races with the read
-// loop, and a deterministic flush order on connection EOF.
+// coalescer owns the server-wide batch state. All grouping runs on a
+// single goroutine (run), which hands flushed groups to the global
+// worker pool — no shared mutable state and no timer races with the
+// per-connection read loops.
 type coalescer struct {
 	window   time.Duration
 	max      int
-	dispatch func(func() error) bool // hands a job to the pool; false = connection failed
-	stop     <-chan struct{}         // connection failure signal
-	reqs     chan pendingJob         // read loop -> coalescer; closed on EOF
-	done     chan struct{}           // closed when run exits (all groups flushed)
+	dispatch func(func())    // hands a flushed group to the pool; may block
+	reqs     chan pendingJob // scheduler dispatcher -> coalescer; closed on shutdown
+	done     chan struct{}   // closed when run exits (all groups flushed)
 }
 
-func newCoalescer(window time.Duration, max int, dispatch func(func() error) bool, stop <-chan struct{}, run func(*batchGroup, time.Time) error) *coalescer {
+func newCoalescer(window time.Duration, max int, dispatch func(func()), exec func(*batchGroup, time.Time)) *coalescer {
 	c := &coalescer{
 		window:   window,
 		max:      max,
 		dispatch: dispatch,
-		stop:     stop,
 		reqs:     make(chan pendingJob, max),
 		done:     make(chan struct{}),
 	}
-	go c.run(run)
+	go c.run(exec)
 	return c
 }
 
-// submit hands one decoded request to the coalescer, backing off to
-// the stop signal so a failed connection never blocks the reader.
-func (c *coalescer) submit(pj pendingJob) bool {
-	select {
-	case c.reqs <- pj:
-		return true
-	case <-c.stop:
-		return false
-	}
+// submit hands one admitted request to the coalescer. It may block
+// when the pool is saturated — that is the backpressure chain the
+// admission controller's queue depth measures.
+func (c *coalescer) submit(pj pendingJob) {
+	c.reqs <- pj
 }
 
-// finish signals EOF and waits until every pending group has been
+// finish signals shutdown and waits until every pending group has been
 // flushed into the pool. The caller must close the pool only after
-// finish returns, and must call finish exactly once.
+// finish returns (the coalescer is a pool sender), and must be the
+// only submitter when it calls finish, exactly once.
 func (c *coalescer) finish() {
 	close(c.reqs)
 	<-c.done
 }
 
 // run is the coalescer goroutine: it accumulates groups, flushes each
-// on max size or window expiry, and drains everything on EOF.
-func (c *coalescer) run(exec func(*batchGroup, time.Time) error) {
+// on max size or window expiry, and drains everything on shutdown.
+func (c *coalescer) run(exec func(*batchGroup, time.Time)) {
 	defer close(c.done)
 	groups := make(map[uint32]*batchGroup)
 	timer := time.NewTimer(time.Hour)
@@ -92,16 +82,10 @@ func (c *coalescer) run(exec func(*batchGroup, time.Time) error) {
 		<-timer.C
 	}
 	armed := false
-	dead := false // pool dispatch failed: consume but discard
 	flush := func(g *batchGroup) {
 		delete(groups, g.cut)
-		if dead {
-			return
-		}
 		flushed := time.Now()
-		if !c.dispatch(func() error { return exec(g, flushed) }) {
-			dead = true
-		}
+		c.dispatch(func() { exec(g, flushed) })
 	}
 	for {
 		if armed && !timer.Stop() {
@@ -112,7 +96,7 @@ func (c *coalescer) run(exec func(*batchGroup, time.Time) error) {
 		}
 		armed = false
 		var tc <-chan time.Time
-		if !dead && len(groups) > 0 {
+		if len(groups) > 0 {
 			var earliest time.Time
 			for _, g := range groups {
 				if earliest.IsZero() || g.deadline.Before(earliest) {
@@ -126,7 +110,8 @@ func (c *coalescer) run(exec func(*batchGroup, time.Time) error) {
 		select {
 		case pj, ok := <-c.reqs:
 			if !ok {
-				// EOF: flush every open group, oldest deadline first.
+				// Shutdown: flush every open group, oldest deadline first,
+				// so in-flight jobs still get replies (graceful drain).
 				for len(groups) > 0 {
 					var oldest *batchGroup
 					for _, g := range groups {
@@ -137,9 +122,6 @@ func (c *coalescer) run(exec func(*batchGroup, time.Time) error) {
 					flush(oldest)
 				}
 				return
-			}
-			if dead {
-				continue
 			}
 			g := groups[pj.req.Cut]
 			if g == nil {
@@ -159,98 +141,4 @@ func (c *coalescer) run(exec func(*batchGroup, time.Time) error) {
 			}
 		}
 	}
-}
-
-// runBatch executes one flushed group on a pool worker: coalesce-wait
-// and queue-wait spans per member, one batched suffix execution, then
-// per-JobID replies. QueueNs covers recv -> worker start, so the
-// coalescing window shows up as queue time on the server — not as
-// phantom communication delay in the client's CommMs attribution.
-// CloudNs reports the group's shared compute wall time to every
-// member. An invalid member does not abort the group: valid replies go
-// out first and the connection fails afterwards with that job's error.
-func (s *Server) runBatch(g *batchGroup, flushed time.Time, reply func(*inferReply) error) error {
-	start := time.Now()
-	o := s.obsv
-	if o != nil {
-		for _, pj := range g.jobs {
-			o.span(TrackServer, SpanCoalesceWait, int(pj.req.JobID), pj.recv, flushed)
-			o.span(TrackServer, SpanQueueWait, int(pj.req.JobID), flushed, start)
-		}
-		o.WorkersBusy.Add(1)
-		o.BatchSize.Observe(float64(len(g.jobs)))
-		if len(g.jobs) > 1 {
-			o.BatchedJobs.Add(int64(len(g.jobs)))
-		} else {
-			o.SoloJobs.Inc()
-		}
-	}
-	reps, batchErr := s.inferBatch(g.jobs, start)
-	end := time.Now()
-	if o != nil {
-		o.WorkersBusy.Add(-1)
-	}
-	for _, rep := range reps {
-		o.span(TrackServer, SpanCloudCompute, int(rep.JobID), start, end)
-		if err := reply(rep); err != nil {
-			return err
-		}
-	}
-	return batchErr
-}
-
-// inferBatch packs the group's valid boundary tensors and resumes the
-// model once at batch size len(valid). Replies carry the per-image
-// argmax; outputs are bit-identical to running each job solo (the
-// engine's batched kernels share the batch-1 accumulation order).
-// The error, if any, belongs to the first invalid member; replies for
-// valid members are returned alongside it.
-func (s *Server) inferBatch(jobs []pendingJob, start time.Time) ([]*inferReply, error) {
-	cut := int(jobs[0].req.Cut)
-	if cut < 0 || cut >= len(s.units) {
-		return nil, fmt.Errorf("runtime: cut %d out of range [0,%d)", cut, len(s.units))
-	}
-	boundary := s.units[cut].Exit
-	wantShape := s.model.Graph().Node(boundary).OutShape
-	var firstErr error
-	valid := make([]pendingJob, 0, len(jobs))
-	for _, pj := range jobs {
-		if !pj.req.Tensor.Shape.Equal(wantShape) {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("runtime: job %d boundary tensor %v, cut %d wants %v",
-					pj.req.JobID, pj.req.Tensor.Shape, cut, wantShape)
-			}
-			continue
-		}
-		valid = append(valid, pj)
-	}
-	if len(valid) == 0 {
-		return nil, firstErr
-	}
-	n := len(valid)
-	tensors := make([]*tensor.Tensor, n)
-	for i, pj := range valid {
-		tensors[i] = pj.req.Tensor
-	}
-	packed, err := engine.PackBatch(tensors)
-	if err != nil {
-		return nil, err
-	}
-	computeStart := time.Now()
-	acts := map[int]*tensor.Tensor{boundary: packed}
-	if err := s.model.ExecuteBatch(acts, n, nil, s.suffix[cut]); err != nil {
-		return nil, err
-	}
-	classes := engine.ArgmaxBatch(acts[s.model.Graph().Sink()], n)
-	cloudNs := time.Since(computeStart).Nanoseconds()
-	reps := make([]*inferReply, n)
-	for i, pj := range valid {
-		reps[i] = &inferReply{
-			JobID:   pj.req.JobID,
-			Class:   int32(classes[i]),
-			CloudNs: cloudNs,
-			QueueNs: start.Sub(pj.recv).Nanoseconds(),
-		}
-	}
-	return reps, firstErr
 }

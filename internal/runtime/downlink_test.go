@@ -60,6 +60,7 @@ func TestRunPlanOverSymmetricChannel(t *testing.T) {
 	cConn, sConn := net.Pipe()
 	defer cConn.Close()
 	srv := NewServer(m).WithWorkers(2)
+	t.Cleanup(srv.Close)
 	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
 	cl := NewClient(cConn, m, ch, 1e-6)
 

@@ -77,6 +77,7 @@ func FuzzHandleConn(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		srv := NewServer(testModel(t))
+		t.Cleanup(srv.Close)
 		conn := &rwBuffer{in: bytes.NewReader(data)}
 		_ = srv.HandleConn(conn) // must not panic
 	})

@@ -38,6 +38,7 @@ func startGeneralPair(t *testing.T, m *engine.Model) *GeneralClient {
 	t.Helper()
 	cConn, sConn := net.Pipe()
 	srv := NewServer(m)
+	t.Cleanup(srv.Close)
 	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
 	t.Cleanup(func() { cConn.Close() })
 	return NewGeneralClient(cConn, m, netsim.WiFi, 1e-6)
@@ -115,6 +116,7 @@ func TestGeneralClientRunsPlanGeneralCuts(t *testing.T) {
 func TestInferSetRejectsGarbage(t *testing.T) {
 	m := branchedModel(t)
 	srv := NewServer(m)
+	t.Cleanup(srv.Close)
 	// Zero boundary count.
 	var buf bytes.Buffer
 	buf.WriteByte(msgInferSet)

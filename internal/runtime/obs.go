@@ -69,6 +69,13 @@ type Obs struct {
 	BatchSize   *obs.Histogram // jps_server_batch_size (jobs per executed group)
 	BatchedJobs *obs.Counter   // jps_server_batched_jobs_total (jobs executed in groups of >= 2)
 	SoloJobs    *obs.Counter   // jps_server_solo_jobs_total (jobs executed alone despite batching)
+
+	// Fleet scheduler: admission control, WFQ, shedding (see fleet.go).
+	QueueDepth          *obs.Gauge      // jps_server_queue_depth (jobs admitted but not yet dispatched)
+	ShedJobs            *obs.Counter    // jps_server_shed_jobs_total (jobs refused at the overload watermark)
+	BackpressureReplies *obs.Counter    // jps_server_backpressure_replies_total (replies carrying the hint flag)
+	TenantJobs          *obs.CounterVec // jps_server_tenant_jobs_total{tenant} (replies per tenant, shed included)
+	TenantRxBytes       *obs.CounterVec // jps_server_tenant_rx_bytes_total{tenant} (request bytes per tenant)
 }
 
 // NewObs wires a tracer and a metric registry into the runtime's
@@ -95,9 +102,15 @@ func NewObs(tr *obs.Tracer, m *obs.Metrics) *Obs {
 		ServerTxBytes: m.Counter("jps_server_tx_bytes_total", "wire bytes of written reply frames"),
 		WorkersBusy:   m.Gauge("jps_server_workers_busy", "inference worker pool occupancy"),
 
-		BatchSize:   m.Histogram("jps_server_batch_size", "jobs per executed batch group", nil),
+		BatchSize:   m.Histogram("jps_server_batch_size", "jobs per executed batch group", obs.BatchSizeBuckets),
 		BatchedJobs: m.Counter("jps_server_batched_jobs_total", "jobs executed in coalesced groups of two or more"),
 		SoloJobs:    m.Counter("jps_server_solo_jobs_total", "jobs executed alone while batching was enabled"),
+
+		QueueDepth:          m.Gauge("jps_server_queue_depth", "jobs admitted to the fleet scheduler but not yet dispatched"),
+		ShedJobs:            m.Counter("jps_server_shed_jobs_total", "jobs refused by admission control at the overload watermark"),
+		BackpressureReplies: m.Counter("jps_server_backpressure_replies_total", "replies carrying the backpressure hint flag"),
+		TenantJobs:          m.CounterVec("jps_server_tenant_jobs_total", "replies written per tenant (shed replies included)", "tenant"),
+		TenantRxBytes:       m.CounterVec("jps_server_tenant_rx_bytes_total", "decoded request bytes per tenant", "tenant"),
 	}
 }
 

@@ -83,6 +83,7 @@ func TestTraceGanttMatchesSimulator(t *testing.T) {
 	defer cConn.Close()
 	o := NewObs(obs.NewTracer(0), obs.NewMetrics())
 	srv := NewServer(m).WithWorkers(4).WithObs(o)
+	t.Cleanup(srv.Close)
 	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
 	cl := NewClient(cConn, m, ch, scale).WithObs(o)
 
@@ -160,6 +161,7 @@ func TestObsMetricsAndExports(t *testing.T) {
 	cConn, sConn := net.Pipe()
 	defer cConn.Close()
 	srv := NewServer(m).WithWorkers(2).WithObs(o)
+	t.Cleanup(srv.Close)
 	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
 	cl := NewClient(cConn, m, netsim.WiFi, 1e-6).WithObs(o)
 

@@ -103,6 +103,7 @@ func prop41Closure(t *testing.T, configure func(*Server)) {
 	cConn, sConn := net.Pipe()
 	defer cConn.Close()
 	srv := NewServer(m).WithWorkers(4)
+	t.Cleanup(srv.Close)
 	configure(srv)
 	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
 	cl := NewClient(cConn, m, ch, scale)
@@ -156,6 +157,7 @@ func TestRunPlanResultsSortedByJobID(t *testing.T) {
 	cConn, sConn := net.Pipe()
 	defer cConn.Close()
 	srv := NewServer(m).WithWorkers(4)
+	t.Cleanup(srv.Close)
 	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
 	cl := NewClient(cConn, m, netsim.WiFi, 1e-6)
 
@@ -396,6 +398,7 @@ func TestRunPlanConcurrentServerCorrectness(t *testing.T) {
 	cConn, sConn := net.Pipe()
 	defer cConn.Close()
 	srv := NewServer(m).WithWorkers(4)
+	t.Cleanup(srv.Close)
 	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
 	cl := NewClient(cConn, m, netsim.WiFi, 1e-6)
 

@@ -39,7 +39,26 @@ var wireCRC = crc32.MakeTable(crc32.Castagnoli)
 const (
 	msgInfer = byte(1) // client -> server: boundary tensor at a cut
 	msgPing  = byte(2) // client -> server: calibration payload, echoed as a reply header
+	// msgInferSet (3) is defined in general.go.
+	msgHello = byte(4) // client -> server: tenant handshake (no reply)
 )
+
+// Reply flag bits (inferReply.Flags). The server piggybacks its
+// admission-control state on every reply so clients learn about cloud
+// saturation without a separate control channel.
+const (
+	// replyFlagBackpressure: the server's global queue is past its hint
+	// watermark — the client should shift cuts toward local compute
+	// (see Runner's hint-driven re-planning).
+	replyFlagBackpressure = uint8(1 << 0)
+	// replyFlagShed: the job was NOT executed; admission control dropped
+	// it at the overload watermark. Class is -1 and the caller owns
+	// recovery (the Runner finishes shed jobs on the mobile engine).
+	replyFlagShed = uint8(1 << 1)
+)
+
+// maxTenantLen bounds the tenant ID carried by a hello frame.
+const maxTenantLen = 64
 
 const maxTensorBytes = 256 << 20 // defensive cap against corrupt frames
 
@@ -90,13 +109,15 @@ type inferReply struct {
 	Class   int32
 	CloudNs int64
 	QueueNs int64
+	Flags   uint8 // replyFlag* bits: server admission-control state
 }
 
 // ReplyWireBytes is the full on-the-wire size of a reply frame: type
-// byte + 24-byte body + CRC-32C trailer. Exported so the profile
-// layer's duplicated copy (profile.ReplyBytes, which prices the
-// downlink leg of a cut) can be pinned to it by test.
-const ReplyWireBytes = 1 + 24 + 4
+// byte + 25-byte body (JobID, Class, CloudNs, QueueNs, Flags) +
+// CRC-32C trailer. Exported so the profile layer's duplicated copy
+// (profile.ReplyBytes, which prices the downlink leg of a cut) can be
+// pinned to it by test.
+const ReplyWireBytes = 1 + 25 + 4
 
 const replyWireBytes = ReplyWireBytes
 
@@ -401,13 +422,14 @@ func writeInferReply(w io.Writer, rep *inferReply) error {
 	binary.LittleEndian.PutUint32(b[5:], uint32(rep.Class))
 	binary.LittleEndian.PutUint64(b[9:], uint64(rep.CloudNs))
 	binary.LittleEndian.PutUint64(b[17:], uint64(rep.QueueNs))
-	binary.LittleEndian.PutUint32(b[25:], crc32.Checksum(b[1:25], wireCRC))
+	b[25] = rep.Flags
+	binary.LittleEndian.PutUint32(b[26:], crc32.Checksum(b[1:26], wireCRC))
 	_, err := w.Write(b[:replyWireBytes])
 	wireBufs.Put(bp)
 	return err
 }
 
-// readInferReplyBody decodes the fixed 28-byte reply payload (24 body
+// readInferReplyBody decodes the fixed 29-byte reply payload (25 body
 // bytes + CRC-32C) after the type byte has been consumed (the client
 // demultiplexer dispatches on the type itself).
 func readInferReplyBody(r io.Reader) (inferReply, error) {
@@ -417,7 +439,7 @@ func readInferReplyBody(r io.Reader) (inferReply, error) {
 	if _, err := io.ReadFull(r, b[:replyWireBytes-1]); err != nil {
 		return inferReply{}, err
 	}
-	if got, want := binary.LittleEndian.Uint32(b[24:]), crc32.Checksum(b[:24], wireCRC); got != want {
+	if got, want := binary.LittleEndian.Uint32(b[25:]), crc32.Checksum(b[:25], wireCRC); got != want {
 		return inferReply{}, fmt.Errorf("runtime: reply checksum mismatch (got %08x, computed %08x)", got, want)
 	}
 	return inferReply{
@@ -425,6 +447,7 @@ func readInferReplyBody(r io.Reader) (inferReply, error) {
 		Class:   int32(binary.LittleEndian.Uint32(b[4:])),
 		CloudNs: int64(binary.LittleEndian.Uint64(b[8:])),
 		QueueNs: int64(binary.LittleEndian.Uint64(b[16:])),
+		Flags:   b[24],
 	}, nil
 }
 
@@ -508,4 +531,47 @@ func readPong(r io.Reader) error {
 		return fmt.Errorf("runtime: unexpected pong type %d", typ[0])
 	}
 	return nil
+}
+
+// writeHello sends the tenant handshake: type byte, one length byte,
+// the tenant ID bytes, and a CRC-32C over length+ID. The frame gets no
+// reply — a client that cares whether the server honored it observes
+// the per-tenant metrics. Legacy clients simply never send one and
+// land in the shared default tenant.
+func writeHello(w io.Writer, tenant string) error {
+	if tenant == "" || len(tenant) > maxTenantLen {
+		return fmt.Errorf("runtime: bad tenant ID length %d (want 1..%d)", len(tenant), maxTenantLen)
+	}
+	bp := wireBufs.Get().(*[]byte)
+	b := *bp
+	b[0] = msgHello
+	b[1] = byte(len(tenant))
+	copy(b[2:], tenant)
+	n := 2 + len(tenant)
+	binary.LittleEndian.PutUint32(b[n:], crc32.Checksum(b[1:n], wireCRC))
+	_, err := w.Write(b[:n+4])
+	wireBufs.Put(bp)
+	return err
+}
+
+// readHelloBody decodes the tenant ID after the type byte has been
+// consumed.
+func readHelloBody(r io.Reader) (string, error) {
+	bp := wireBufs.Get().(*[]byte)
+	defer wireBufs.Put(bp)
+	b := *bp
+	if _, err := io.ReadFull(r, b[:1]); err != nil {
+		return "", err
+	}
+	n := int(b[0])
+	if n == 0 || n > maxTenantLen {
+		return "", fmt.Errorf("runtime: bad tenant ID length %d", n)
+	}
+	if _, err := io.ReadFull(r, b[1:1+n+4]); err != nil {
+		return "", err
+	}
+	if got, want := binary.LittleEndian.Uint32(b[1+n:]), crc32.Checksum(b[:1+n], wireCRC); got != want {
+		return "", fmt.Errorf("runtime: hello checksum mismatch (got %08x, computed %08x)", got, want)
+	}
+	return string(b[1 : 1+n]), nil
 }

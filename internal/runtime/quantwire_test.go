@@ -179,6 +179,7 @@ func TestQuantUploadBytesCounted(t *testing.T) {
 		o := NewObs(obs.NewTracer(0), obs.NewMetrics())
 		cConn, sConn := net.Pipe()
 		srv := NewServer(m)
+		t.Cleanup(srv.Close)
 		go func() {
 			defer sConn.Close()
 			_ = srv.HandleConn(sConn)

@@ -21,6 +21,7 @@ import (
 func TestServerSurvivesGarbageFrames(t *testing.T) {
 	m := testModel(t)
 	srv := NewServer(m)
+	t.Cleanup(srv.Close)
 	rng := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 200; trial++ {
 		n := rng.Intn(64)
@@ -41,6 +42,7 @@ func TestServerSurvivesGarbageFrames(t *testing.T) {
 func TestServerRejectsHugePing(t *testing.T) {
 	m := testModel(t)
 	srv := NewServer(m)
+	t.Cleanup(srv.Close)
 	var req bytes.Buffer
 	req.WriteByte(2)                                    // msgPing
 	req.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F})           // ~2GB payload claim
@@ -53,6 +55,7 @@ func TestServerRejectsHugePing(t *testing.T) {
 func TestServerRejectsUnknownMessageType(t *testing.T) {
 	m := testModel(t)
 	srv := NewServer(m)
+	t.Cleanup(srv.Close)
 	conn := &rwBuffer{in: bytes.NewReader([]byte{0xAB})}
 	if err := srv.HandleConn(conn); err == nil {
 		t.Error("unknown message type must error")
@@ -77,6 +80,7 @@ func TestConcurrentClients(t *testing.T) {
 	}
 	defer lis.Close()
 	srv := NewServer(m)
+	t.Cleanup(srv.Close)
 	go func() { _ = srv.Serve(lis) }()
 
 	const clients = 8

@@ -40,6 +40,14 @@ type RunOptions struct {
 	// "re-plan once uploads run at less than half the planned rate".
 	// Zero disables re-planning. Requires Runner.WithCurve.
 	ReplanFactor float64
+	// BackpressureThreshold re-plans the remaining jobs toward local
+	// compute when the fraction of replies carrying the server's
+	// backpressure flag (see Client.ServerPressure) reaches it — e.g.
+	// 0.5 means "re-plan once half the replies say the cloud queue is
+	// past its hint watermark". The replan surcharges every offloaded
+	// cut with the observed server queue wait (core.ReplanWithHint).
+	// Zero disables it. Requires Runner.WithCurve.
+	BackpressureThreshold float64
 	// NoLocalFallback makes a persistent uplink failure a hard error
 	// instead of finishing the remaining jobs on the mobile engine.
 	NoLocalFallback bool
@@ -72,6 +80,13 @@ type FTReport struct {
 	// LocalFallbackJobs counts jobs that finished on the mobile engine
 	// after the uplink was given up on.
 	LocalFallbackJobs int
+	// ShedJobs counts jobs the server's admission control refused and
+	// the runner finished on the mobile engine instead.
+	ShedJobs int
+	// HintReplans counts re-planning events triggered by the server's
+	// backpressure hints (a subset of replan activity distinct from
+	// Replans, which counts link-degradation replans).
+	HintReplans int
 }
 
 // Runner executes plans fault-tolerantly on top of the pipelined
@@ -286,14 +301,17 @@ func (r *Runner) attempt(cl *Client, order []*ftJob, nominal *netsim.Channel, ft
 		c *call
 	}
 	var q []inflight
+	var fatalErr error // engine failure inside a drain; fatal to the run
 	// harvest sweeps the in-flight window after a failure: replies that
 	// were already delivered out of order count as done, so the next
-	// attempt resubmits only the jobs that genuinely got lost.
+	// attempt resubmits only the jobs that genuinely got lost. A shed
+	// reply is NOT done — the job never ran and gets finished locally by
+	// the next drain or resubmitted by the next attempt.
 	harvest := func() {
 		for _, in := range q {
 			select {
 			case <-in.c.done:
-				if in.c.ok {
+				if in.c.ok && !in.j.res.Shed {
 					in.j.done = true
 				}
 			default:
@@ -301,6 +319,9 @@ func (r *Runner) attempt(cl *Client, order []*ftJob, nominal *netsim.Channel, ft
 		}
 	}
 	// drainTo awaits the oldest in-flight jobs until at most k remain.
+	// Jobs the server shed finish on the mobile engine right here: the
+	// shed reply is the server telling this client to back off, so
+	// resubmitting the same job would defeat the admission control.
 	drainTo := func(k int) bool {
 		for len(q) > k {
 			in := q[0]
@@ -310,12 +331,20 @@ func (r *Runner) attempt(cl *Client, order []*ftJob, nominal *netsim.Channel, ft
 				return false
 			}
 			q = q[1:]
+			if in.j.res.Shed {
+				if ferr := r.finishShedLocal(in.j, ft); ferr != nil {
+					fatalErr = ferr
+					return false
+				}
+				continue
+			}
 			in.j.done = true
 		}
 		return true
 	}
 
 	replanned := false
+	hintReplanned := false
 	for i := 0; i < len(pending); i++ {
 		j := pending[i]
 		if j.done {
@@ -347,7 +376,7 @@ func (r *Runner) attempt(cl *Client, order []*ftJob, nominal *netsim.Channel, ft
 		q = append(q, inflight{j, call})
 		if len(q) >= r.opts.Window {
 			if !drainTo(r.opts.Window - 1) {
-				return false, nil
+				return fatalErr != nil, fatalErr
 			}
 			// Between windows the link has fresh samples: re-plan the
 			// not-yet-submitted suffix once if the uplink degraded.
@@ -359,12 +388,46 @@ func (r *Runner) attempt(cl *Client, order []*ftJob, nominal *netsim.Channel, ft
 					r.obsv.span(TrackRunner, SpanReplan, -1, replanStart, time.Now())
 				}
 			}
+			// Likewise for the server's admission-control hints: once
+			// enough replies carry the backpressure flag, surcharge the
+			// offloaded cuts with the observed queue wait and re-plan —
+			// shifting the unsubmitted suffix toward local compute
+			// before the cloud starts shedding.
+			if !hintReplanned && r.opts.BackpressureThreshold > 0 && r.curve != nil {
+				if rate, queueMs, samples := cl.ServerPressure(); samples >= 2 && rate >= r.opts.BackpressureThreshold {
+					hintReplanned = true
+					replanStart := time.Now()
+					r.replanRemainingHint(pending[i+1:], queueMs, nominal, ft)
+					r.obsv.span(TrackRunner, SpanReplan, -1, replanStart, time.Now())
+				}
+			}
 		}
 	}
 	if !drainTo(0) {
-		return false, nil
+		return fatalErr != nil, fatalErr
 	}
 	return false, nil
+}
+
+// finishShedLocal completes one server-refused job on the mobile
+// engine (the full-local partition), keeping the shed mark so reports
+// can attribute it.
+func (r *Runner) finishShedLocal(j *ftJob, ft *FTReport) error {
+	fbStart := time.Now()
+	_, res, err := runPrefix(r.model, r.units, j.id, len(r.units)-1, j.input)
+	if err != nil {
+		return err
+	}
+	r.obsv.span(TrackRunner, SpanLocalFallback, j.id, fbStart, time.Now())
+	if o := r.obsv; o != nil {
+		o.LocalFallbacks.Inc()
+	}
+	res.Shed = true
+	j.res = res
+	j.done = true
+	ft.ShedJobs++
+	ft.LocalFallbackJobs++
+	return nil
 }
 
 // replanRemaining reprices the curve at the measured bandwidth, runs
@@ -383,6 +446,39 @@ func (r *Runner) replanRemaining(rest []*ftJob, health float64, nominal *netsim.
 	if err != nil {
 		return
 	}
+	applyPlan(rest, p2)
+	*nominal = measured // later attempts plan and measure against the degraded link
+	ft.Replans++
+	ft.ReplannedMbps = measured.UplinkMbps
+	if o := r.obsv; o != nil {
+		o.Replans.Inc()
+	}
+}
+
+// replanRemainingHint re-plans the still-unsubmitted jobs against the
+// server's backpressure hint: same bandwidth, but every offloaded cut
+// surcharged with the observed mean queue wait, so the planner shifts
+// work toward local compute. Planner errors leave the old plan
+// standing; the channel model is untouched (the link itself is fine).
+func (r *Runner) replanRemainingHint(rest []*ftJob, queueMs float64, nominal *netsim.Channel, ft *FTReport) {
+	if len(rest) == 0 {
+		return
+	}
+	p2, err := core.ReplanWithHint(r.curve, *nominal, len(rest), core.ServerHint{QueueMs: queueMs})
+	if err != nil {
+		return
+	}
+	applyPlan(rest, p2)
+	ft.HintReplans++
+	if o := r.obsv; o != nil {
+		o.Replans.Inc()
+	}
+}
+
+// applyPlan rewrites the cuts and order of the still-unsubmitted jobs
+// in place from a fresh plan, resetting the cached prefix of any job
+// whose cut moved.
+func applyPlan(rest []*ftJob, p2 *core.Plan) {
 	for k, j := range rest {
 		if newCut := p2.Cuts[k]; newCut != j.cut {
 			j.cut = newCut
@@ -394,10 +490,4 @@ func (r *Runner) replanRemaining(rest []*ftJob, health float64, nominal *netsim.
 		reordered = append(reordered, rest[fj.ID])
 	}
 	copy(rest, reordered)
-	*nominal = measured // later attempts plan and measure against the degraded link
-	ft.Replans++
-	ft.ReplannedMbps = measured.UplinkMbps
-	if o := r.obsv; o != nil {
-		o.Replans.Inc()
-	}
 }

@@ -21,6 +21,7 @@ func faultyDialer(t *testing.T, m *engine.Model, seed int64, scale float64,
 	specFor func(i int) (up, down netsim.FaultSpec)) func() (net.Conn, error) {
 	t.Helper()
 	srv := NewServer(m).WithWorkers(4)
+	t.Cleanup(srv.Close)
 	var mu sync.Mutex
 	dials := 0
 	return func() (net.Conn, error) {

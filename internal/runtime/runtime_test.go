@@ -39,6 +39,7 @@ func startPair(t *testing.T, m *engine.Model, ch netsim.Channel) *Client {
 	t.Helper()
 	cConn, sConn := net.Pipe()
 	srv := NewServer(m)
+	t.Cleanup(srv.Close)
 	go func() {
 		defer sConn.Close()
 		_ = srv.HandleConn(sConn)
@@ -203,6 +204,7 @@ func TestCalibrateComm(t *testing.T) {
 	ch := netsim.Channel{Name: "cal", UplinkMbps: 8, SetupMs: 100}
 	cConn, sConn := net.Pipe()
 	srv := NewServer(m)
+	t.Cleanup(srv.Close)
 	go func() { defer sConn.Close(); _ = srv.HandleConn(sConn) }()
 	defer cConn.Close()
 	// Scale and SetupMs chosen so shaped sleeps dominate real pipe
@@ -243,6 +245,7 @@ func TestServeOverTCP(t *testing.T) {
 	}
 	defer lis.Close()
 	srv := NewServer(m)
+	t.Cleanup(srv.Close)
 	go func() { _ = srv.Serve(lis) }()
 
 	conn, err := net.Dial("tcp", lis.Addr().String())
@@ -265,6 +268,7 @@ func TestServeOverTCP(t *testing.T) {
 func TestServerRejectsBadBoundary(t *testing.T) {
 	m := testModel(t)
 	srv := NewServer(m)
+	t.Cleanup(srv.Close)
 	// Wrong shape for cut 1.
 	if _, err := srv.infer(&inferRequest{JobID: 1, Cut: 1, Tensor: tensor.New(tensor.NewCHW(1, 2, 2))}); err == nil {
 		t.Error("wrong boundary shape must error")

@@ -18,24 +18,38 @@ import (
 // Server is the cloud side: it holds the same deterministic model as
 // the client and finishes inferences from any cut point of the line
 // view. Each connection runs a read loop that decodes requests and
-// dispatches execution to a bounded worker pool, so one slow inference
-// never stalls the socket: job i+1's tensor is read while job i
-// computes, and replies go out (possibly out of order) as jobs finish.
+// admits them into the server-wide fleet scheduler (see fleet.go):
+// one global worker pool, one cross-connection coalescer, per-tenant
+// weighted fair queueing, and watermark-based load shedding. Replies
+// go out (possibly out of order) under each connection's write mutex
+// as jobs finish, so one slow inference never stalls any socket.
 type Server struct {
 	model *engine.Model
 	units []profile.Unit
 	// suffix[cut] lists the nodes the server executes for a job cut
 	// after unit 'cut', in topological order.
 	suffix [][]int
-	// workers bounds concurrent inferences per connection.
+	// workers bounds concurrent inferences server-wide.
 	workers int
-	// batchWindow/batchMax configure the cross-job coalescer (see
-	// coalesce.go); window 0 or max 1 disables it.
+	// batchWindow/batchMax configure the cross-connection coalescer
+	// (see coalesce.go); window 0 or max 1 disables it.
 	batchWindow time.Duration
 	batchMax    int
+	// tenantWeights maps tenant IDs to WFQ weights (see WithTenants);
+	// unlisted tenants get weight 1.
+	tenantWeights map[string]float64
+	// shedWatermark is the queue depth at which admission control
+	// starts refusing infer jobs; 0 disables shedding (and the
+	// backpressure hint, which fires at half the watermark).
+	shedWatermark int
 	// obsv is the optional tracing + metrics bundle; nil disables
 	// recording.
 	obsv *Obs
+
+	// schedMu guards lazy scheduler creation and Close.
+	schedMu     sync.Mutex
+	sched       *fleetScheduler
+	schedClosed bool
 }
 
 // NewServer builds a server for the model. Per-connection concurrency
@@ -54,7 +68,7 @@ func NewServer(m *engine.Model) *Server {
 	return &Server{model: m, units: units, suffix: suffix, workers: goruntime.GOMAXPROCS(0)}
 }
 
-// WithWorkers bounds the per-connection worker pool to n concurrent
+// WithWorkers bounds the server-wide worker pool to n concurrent
 // inferences (n < 1 means 1, i.e. decode-ahead but serial execution).
 // It returns s for chaining and must be called before serving.
 func (s *Server) WithWorkers(n int) *Server {
@@ -65,13 +79,37 @@ func (s *Server) WithWorkers(n int) *Server {
 	return s
 }
 
-// WithBatching enables the cross-job coalescer: decoded infer requests
-// of the same cut wait up to window for companions (at most max per
-// group) and execute as one batched suffix pass. Window 0 or max < 2
-// keeps the original job-at-a-time dispatch. Must be called before
-// serving; returns s for chaining. Only line-view infer requests
-// coalesce — general-plan (msgInferSet) requests always run solo, as
-// their node sets need not match.
+// WithTenants sets the weighted-fair-queueing weights the fleet
+// scheduler uses to arbitrate admitted jobs between tenants. Tenants
+// not in the map (including DefaultTenant, unless listed) get weight
+// 1; non-positive weights are ignored. Must be called before serving;
+// returns s for chaining.
+func (s *Server) WithTenants(weights map[string]float64) *Server {
+	s.tenantWeights = weights
+	return s
+}
+
+// WithShedWatermark enables load shedding: when the scheduler's queue
+// depth reaches n, further infer jobs are answered immediately with a
+// shed reply (Class -1, shed flag) instead of queueing, and from n/2
+// onward every reply carries the backpressure hint flag. n <= 0
+// disables both. Must be called before serving; returns s for
+// chaining.
+func (s *Server) WithShedWatermark(n int) *Server {
+	if n < 0 {
+		n = 0
+	}
+	s.shedWatermark = n
+	return s
+}
+
+// WithBatching enables the cross-connection coalescer: decoded infer
+// requests of the same cut — from any connection — wait up to window
+// for companions (at most max per group) and execute as one batched
+// suffix pass. Window 0 or max < 2 keeps the original job-at-a-time
+// dispatch. Must be called before serving; returns s for chaining.
+// Only line-view infer requests coalesce — general-plan (msgInferSet)
+// requests always run solo, as their node sets need not match.
 func (s *Server) WithBatching(window time.Duration, max int) *Server {
 	if max < 1 {
 		max = 1
@@ -130,17 +168,53 @@ func (s *Server) Serve(lis net.Listener) error {
 	}
 }
 
+// scheduler lazily creates the server-wide fleet scheduler on the
+// first connection; it returns nil once the server is closed.
+func (s *Server) scheduler() *fleetScheduler {
+	s.schedMu.Lock()
+	defer s.schedMu.Unlock()
+	if s.sched == nil && !s.schedClosed {
+		s.sched = newFleetScheduler(s)
+	}
+	return s.sched
+}
+
+// Close drains and stops the fleet scheduler: no new jobs are
+// admitted, every already-admitted job (queued, coalescing, or
+// executing) still runs and gets its reply, then the worker pool
+// exits. It does not close client connections or any listener — stop
+// accepting first, then Close. Safe to call multiple times, from
+// multiple goroutines, and on a server that never handled a
+// connection.
+func (s *Server) Close() {
+	s.schedMu.Lock()
+	s.schedClosed = true
+	fs := s.sched
+	s.schedMu.Unlock()
+	if fs != nil {
+		fs.shutdown()
+	}
+}
+
 // HandleConn processes requests on one connection until EOF. The read
-// loop owns the socket's read side; executions run on the worker pool
-// and emit replies under a write mutex (whole frames, flushed per
-// reply, so frames never interleave). Each inference reply carries the
-// server's measured compute time and queue wait so the client can
-// isolate the communication delay (the paper's td − tc). The first
-// error — decode, execution, or write — stops the connection; queued
-// work is abandoned. When the transport is closable it is closed on
-// failure so a read loop blocked in ReadByte on an idle client
-// unblocks instead of pinning the goroutine forever.
+// loop owns the socket's read side and admits decoded jobs into the
+// fleet scheduler; executions run on the server-wide worker pool and
+// emit replies under this connection's write mutex (whole frames,
+// flushed per reply, so frames never interleave). Each inference reply
+// carries the server's measured compute time and queue wait so the
+// client can isolate the communication delay (the paper's td − tc).
+// The first error owned by this connection — decode, execution of its
+// jobs, or write — stops the connection; its jobs already admitted
+// still drain (their replies fail harmlessly against the closed
+// transport), and other connections are unaffected. When the transport
+// is closable it is closed on failure so a read loop blocked in
+// ReadByte on an idle client unblocks instead of pinning the goroutine
+// forever.
 func (s *Server) HandleConn(conn io.ReadWriter) error {
+	fs := s.scheduler()
+	if fs == nil {
+		return errServerClosed
+	}
 	r := bufio.NewReaderSize(conn, 1<<16)
 	w := bufio.NewWriterSize(conn, 1<<16)
 	closer, _ := conn.(io.Closer)
@@ -151,7 +225,8 @@ func (s *Server) HandleConn(conn io.ReadWriter) error {
 		firstErr error
 		stop     = make(chan struct{})
 	)
-	fail := func(err error) {
+	cc := &connCtx{tenant: DefaultTenant}
+	cc.fail = func(err error) {
 		errOnce.Do(func() {
 			firstErr = err
 			close(stop)
@@ -163,8 +238,7 @@ func (s *Server) HandleConn(conn io.ReadWriter) error {
 			}
 		})
 	}
-	// reply encodes one frame under the write mutex.
-	reply := func(rep *inferReply) error {
+	cc.reply = func(rep *inferReply) error {
 		writeMu.Lock()
 		start := time.Now()
 		err := writeInferReply(w, rep)
@@ -183,51 +257,16 @@ func (s *Server) HandleConn(conn io.ReadWriter) error {
 		return nil
 	}
 
-	jobs := make(chan func() error, s.workers)
-	var wg sync.WaitGroup
-	for i := 0; i < s.workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for run := range jobs {
-				if err := run(); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-
-	// dispatch hands one unit of work to the pool, backing off to the
-	// stop signal so a failed pool never deadlocks the reader.
-	dispatch := func(run func() error) bool {
-		select {
-		case jobs <- run:
-			return true
-		case <-stop:
+	// admit registers the job with the connection before handing it to
+	// the scheduler; a refusal (server closing) is a connection error.
+	admit := func(pj pendingJob) bool {
+		cc.pending.Add(1)
+		if !fs.admit(pj) {
+			cc.pending.Done()
+			cc.fail(errServerClosed)
 			return false
 		}
-	}
-
-	// solo wraps a single-job inference into a pool unit: run, then
-	// reply.
-	solo := func(jobID int, recv time.Time, infer func() (*inferReply, error)) func() error {
-		return func() error {
-			rep, err := s.runJob(jobID, recv, infer)
-			if err != nil {
-				return err
-			}
-			return reply(rep)
-		}
-	}
-
-	// With batching enabled, infer requests detour through the
-	// coalescer, whose goroutine is then the sole dispatcher of batch
-	// groups into the pool.
-	var co *coalescer
-	if s.batchWindow > 0 && s.batchMax > 1 {
-		co = newCoalescer(s.batchWindow, s.batchMax, dispatch, stop,
-			func(g *batchGroup, flushed time.Time) error { return s.runBatch(g, flushed, reply) })
+		return true
 	}
 
 readLoop:
@@ -240,22 +279,32 @@ readLoop:
 		typ, err := r.ReadByte()
 		if err != nil {
 			if err != io.EOF {
-				fail(err)
+				cc.fail(err)
 			}
 			break readLoop
 		}
 		switch typ {
+		case msgHello:
+			tenant, err := readHelloBody(r)
+			if err != nil {
+				cc.fail(err)
+				break readLoop
+			}
+			// Jobs admitted before the hello keep the default tenant;
+			// clients that care send it first (Client does).
+			cc.tenant = tenant
 		case msgInfer:
 			decodeStart := time.Now()
 			req, err := readInferRequestBody(r)
 			if err != nil {
-				fail(err)
+				cc.fail(err)
 				break readLoop
 			}
 			recv := time.Now()
 			if o := s.obsv; o != nil {
 				o.span(TrackServer, SpanDecode, int(req.JobID), decodeStart, recv)
 				o.ServerRxBytes.Add(int64(reqWireBytes(req)))
+				o.TenantRxBytes.With(cc.tenant).Add(int64(reqWireBytes(req)))
 			}
 			if req.Quant != nil {
 				// Expand the int8 codes once at decode time; everything
@@ -263,32 +312,28 @@ readLoop:
 				// float32 boundary it always has.
 				req.Tensor, req.Quant = req.Quant.Dequantize(), nil
 			}
-			if co != nil {
-				if !co.submit(pendingJob{req: req, recv: recv}) {
-					break readLoop
-				}
-			} else if !dispatch(solo(int(req.JobID), recv, func() (*inferReply, error) { return s.infer(req) })) {
+			if !admit(pendingJob{conn: cc, tenant: cc.tenant, req: req, recv: recv}) {
 				break readLoop
 			}
 		case msgInferSet:
 			decodeStart := time.Now()
 			req, err := readInferSetRequestBody(r)
 			if err != nil {
-				fail(err)
+				cc.fail(err)
 				break readLoop
 			}
 			recv := time.Now()
 			if o := s.obsv; o != nil {
 				o.span(TrackServer, SpanDecode, int(req.JobID), decodeStart, recv)
 			}
-			if !dispatch(solo(int(req.JobID), recv, func() (*inferReply, error) { return s.inferSet(req) })) {
+			if !admit(pendingJob{conn: cc, tenant: cc.tenant, set: req, recv: recv}) {
 				break readLoop
 			}
 		case msgPing:
 			// Calibration pings are answered inline: they measure the
 			// link, not the pool.
 			if _, err := readPingBody(r); err != nil {
-				fail(err)
+				cc.fail(err)
 				break readLoop
 			}
 			writeMu.Lock()
@@ -298,23 +343,19 @@ readLoop:
 			}
 			writeMu.Unlock()
 			if err != nil {
-				fail(err)
+				cc.fail(err)
 				break readLoop
 			}
 		default:
-			fail(fmt.Errorf("runtime: unknown message type %d", typ))
+			cc.fail(fmt.Errorf("runtime: unknown message type %d", typ))
 			break readLoop
 		}
 	}
-	// Flush any batch groups still inside their window before closing
-	// the pool: the client may be idle, having sent everything, and its
-	// last jobs must not be dropped. On the failure path the coalescer
-	// drains without dispatching.
-	if co != nil {
-		co.finish()
-	}
-	close(jobs)
-	wg.Wait()
+	// Every admitted job must reply or fail before the connection
+	// returns: the scheduler keeps running (it is server-wide), so this
+	// wait is bounded by the queue drain, and on the failure path the
+	// remaining replies fail fast against the closed transport.
+	cc.pending.Wait()
 	return firstErr
 }
 
@@ -370,4 +411,64 @@ func (s *Server) infer(req *inferRequest) (*inferReply, error) {
 		Class:   int32(engine.Argmax(out)),
 		CloudNs: time.Since(start).Nanoseconds(),
 	}, nil
+}
+
+// inferBatch packs the group's valid boundary tensors and resumes the
+// model once at batch size len(valid). Replies carry the per-image
+// argmax; outputs are bit-identical to running each job solo (the
+// engine's batched kernels share the batch-1 accumulation order).
+// Members that fail validation come back in invalid, each with its own
+// error, so the caller can fail exactly the owning connections; a
+// non-nil execErr means the shared suffix pass itself failed and no
+// replies exist.
+func (s *Server) inferBatch(jobs []pendingJob, start time.Time) (valid []pendingJob, invalid []invalidJob, reps []*inferReply, execErr error) {
+	cut := int(jobs[0].req.Cut)
+	if cut < 0 || cut >= len(s.units) {
+		err := fmt.Errorf("runtime: cut %d out of range [0,%d)", cut, len(s.units))
+		for _, pj := range jobs {
+			invalid = append(invalid, invalidJob{pj: pj, err: err})
+		}
+		return nil, invalid, nil, nil
+	}
+	boundary := s.units[cut].Exit
+	wantShape := s.model.Graph().Node(boundary).OutShape
+	valid = make([]pendingJob, 0, len(jobs))
+	for _, pj := range jobs {
+		if !pj.req.Tensor.Shape.Equal(wantShape) {
+			invalid = append(invalid, invalidJob{pj: pj, err: fmt.Errorf(
+				"runtime: job %d boundary tensor %v, cut %d wants %v",
+				pj.req.JobID, pj.req.Tensor.Shape, cut, wantShape)})
+			continue
+		}
+		valid = append(valid, pj)
+	}
+	if len(valid) == 0 {
+		return nil, invalid, nil, nil
+	}
+	n := len(valid)
+	tensors := make([]*tensor.Tensor, n)
+	for i, pj := range valid {
+		tensors[i] = pj.req.Tensor
+	}
+	packed, err := engine.PackBatch(tensors)
+	if err != nil {
+		return valid, invalid, nil, err
+	}
+	computeStart := time.Now()
+	acts := map[int]*tensor.Tensor{boundary: packed}
+	if err := s.model.ExecuteBatch(acts, n, nil, s.suffix[cut]); err != nil {
+		return valid, invalid, nil, err
+	}
+	classes := engine.ArgmaxBatch(acts[s.model.Graph().Sink()], n)
+	cloudNs := time.Since(computeStart).Nanoseconds()
+	reps = make([]*inferReply, n)
+	for i, pj := range valid {
+		reps[i] = &inferReply{
+			JobID:   pj.req.JobID,
+			Class:   int32(classes[i]),
+			CloudNs: cloudNs,
+			QueueNs: start.Sub(pj.recv).Nanoseconds(),
+		}
+	}
+	return valid, invalid, reps, nil
 }

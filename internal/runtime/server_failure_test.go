@@ -17,6 +17,7 @@ import (
 func TestHandleConnClosesOnWorkerFailure(t *testing.T) {
 	m := testModel(t)
 	srv := NewServer(m)
+	t.Cleanup(srv.Close)
 	cConn, sConn := net.Pipe()
 	defer cConn.Close()
 
@@ -91,6 +92,7 @@ func (l *flakyListener) Addr() net.Addr { return &net.TCPAddr{} }
 func TestServeRetriesTemporaryAcceptErrors(t *testing.T) {
 	m := testModel(t)
 	srv := NewServer(m)
+	t.Cleanup(srv.Close)
 	lis := &flakyListener{tmpLeft: 3, conns: make(chan net.Conn, 1), closed: make(chan struct{})}
 
 	served := make(chan error, 1)
@@ -125,6 +127,7 @@ func (l *brokenListener) Addr() net.Addr            { return &net.TCPAddr{} }
 func TestServeReturnsPermanentAcceptError(t *testing.T) {
 	m := testModel(t)
 	srv := NewServer(m)
+	t.Cleanup(srv.Close)
 	want := errors.New("listener torn down")
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(&brokenListener{err: want}) }()

@@ -28,6 +28,7 @@ trap 'rm -f "$RAW"' EXIT
 # scheduler noise on runs that take >= 50ms each, cheap enough to live
 # inside the tier-1 loop.
 go test -run NONE -bench 'Forward' -benchmem -benchtime 3x ./internal/engine/ | tee "$RAW"
+go test -run NONE -bench 'FleetServer' -benchmem -benchtime 3x ./internal/runtime/ | tee -a "$RAW"
 
 awk '
 # Pass 1 (baseline JSON, one object per line as bench.sh writes it).
@@ -69,3 +70,25 @@ FNR == NR {
 }
 END { exit bad }
 ' BENCH_runtime.json "$RAW"
+
+# Fleet gate: cross-connection batching must beat (or at worst match)
+# per-job solo dispatch on its home workload. The ratio is measured
+# within one run on one host, so it holds on any machine speed —
+# unlike the absolute ns/op gate above. Measured ~0.75x on the
+# reference box; > 1.10x means the coalescer is losing outright.
+awk '
+/^BenchmarkFleetServer\/solo/    { for (i = 1; i <= NF; i++) if ($(i) == "ns/job") solo = $(i-1) }
+/^BenchmarkFleetServer\/batched/ { for (i = 1; i <= NF; i++) if ($(i) == "ns/job") batched = $(i-1) }
+END {
+    if (solo == "" || batched == "") {
+        print "benchgate: FAIL FleetServer ns/job missing from bench output"
+        exit 1
+    }
+    r = batched / solo
+    if (r > 1.10) {
+        printf "benchgate: FAIL FleetServer batched %.0f ns/job vs solo %.0f (%.2fx > 1.10x)\n", batched, solo, r
+        exit 1
+    }
+    printf "benchgate: ok FleetServer batched/solo = %.2fx\n", r
+}
+' "$RAW"

@@ -57,6 +57,44 @@ for target in FuzzReadTensor FuzzHandleConn FuzzReadInferRequest FuzzReadInferRe
 done
 fuzz_smoke FuzzInjector ./internal/netsim/
 
+echo "== multi-client e2e smoke (jpsserve, 4 tenants, SIGTERM drain)"
+SMOKE_LOG="$(mktemp)"
+SMOKE_BIN="$(mktemp)"
+SMOKE_PID=""
+cleanup_smoke() {
+    [ -n "$SMOKE_PID" ] && kill "$SMOKE_PID" 2> /dev/null || true
+    rm -f "$SMOKE_LOG" "$SMOKE_BIN"
+}
+trap cleanup_smoke EXIT
+go build -o "$SMOKE_BIN" ./cmd/jpsserve
+"$SMOKE_BIN" -model squeezenet -addr 127.0.0.1:0 -batch-window 2ms \
+    -tenants gold:2,bronze:1 -shed-watermark 64 > "$SMOKE_LOG" 2>&1 &
+SMOKE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(awk '/^serving .* on /{print $NF}' "$SMOKE_LOG")"
+    [ -n "$ADDR" ] && break
+    sleep 0.2
+done
+if [ -z "$ADDR" ]; then
+    echo "e2e smoke: server never came up:" >&2
+    cat "$SMOKE_LOG" >&2
+    exit 1
+fi
+go run scripts/e2e_client.go -addr "$ADDR" -model squeezenet -clients 4 -jobs 4
+kill -TERM "$SMOKE_PID"
+if ! wait "$SMOKE_PID"; then
+    echo "e2e smoke: server did not exit cleanly on SIGTERM:" >&2
+    cat "$SMOKE_LOG" >&2
+    exit 1
+fi
+SMOKE_PID=""
+grep -q "drained" "$SMOKE_LOG" || {
+    echo "e2e smoke: no drain message in server log:" >&2
+    cat "$SMOKE_LOG" >&2
+    exit 1
+}
+
 echo "== benchmarks compile and run once"
 go test -run NONE -bench . -benchtime 1x ./... > /dev/null
 

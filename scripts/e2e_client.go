@@ -1,0 +1,92 @@
+//go:build ignore
+
+// Multi-client end-to-end smoke driver for scripts/check.sh: dials N
+// independent TCP connections to a running jpsserve, each with its own
+// tenant ID, runs a burst of cloud-only jobs per connection, and
+// requires every reply to carry a plausible class and a positive
+// server compute time. Run with:
+//
+//	go run scripts/e2e_client.go -addr 127.0.0.1:7443 -model squeezenet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"dnnjps/internal/engine"
+	"dnnjps/internal/models"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/runtime"
+	"dnnjps/internal/tensor"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7443", "jpsserve address")
+		model   = flag.String("model", "squeezenet", "model name (must match the server)")
+		seed    = flag.Int64("seed", 42, "weight seed (must match the server)")
+		clients = flag.Int("clients", 4, "concurrent client connections")
+		jobs    = flag.Int("jobs", 4, "jobs per connection")
+	)
+	flag.Parse()
+	if err := run(*addr, *model, *seed, *clients, *jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "e2e_client:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("e2e smoke ok: %d clients x %d jobs against %s\n", *clients, *jobs, *addr)
+}
+
+func run(addr, model string, seed int64, clients, jobs int) error {
+	g, err := models.Build(model)
+	if err != nil {
+		return err
+	}
+	m := engine.Load(g, seed)
+	units := profile.LineView(g)
+	in := tensor.New(g.Node(units[0].Exit).OutShape)
+	for i := range in.Data {
+		in.Data[i] = float32(i%31)/31 - 0.5
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: dial: %w", c, err)
+				return
+			}
+			defer conn.Close()
+			cl := runtime.NewClient(conn, m, netsim.WiFi, 1e-6).
+				WithTenant(fmt.Sprintf("smoke-%d", c))
+			// Cut 0 offloads at the input unit: the client does no heavy
+			// compute, and every connection exercises the server's full
+			// suffix path concurrently.
+			for j := 0; j < jobs; j++ {
+				res, err := cl.RunJob(j, 0, in)
+				if err != nil {
+					errs <- fmt.Errorf("client %d job %d: %w", c, j, err)
+					return
+				}
+				if res.Class < 0 || res.Class >= 1000 {
+					errs <- fmt.Errorf("client %d job %d: class %d out of range", c, j, res.Class)
+					return
+				}
+				if res.CloudMs <= 0 {
+					errs <- fmt.Errorf("client %d job %d: server compute %.3fms", c, j, res.CloudMs)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
