@@ -45,13 +45,14 @@ func withDownlink(ch netsim.Channel) netsim.Channel {
 
 func main() {
 	var (
-		all       = flag.Bool("all", false, "run every experiment")
-		fig       = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, quant, 3tier, robust, runtime, faults, trace, batch, fleet")
-		model     = flag.String("model", "alexnet", "model for figure 4/13 (alexnet, mobilenetv2, ...)")
-		n         = flag.Int("n", 100, "number of inference jobs")
-		csvDir    = flag.String("csv", "", "directory to also write tables as CSV")
-		traceOut  = flag.String("trace-out", "", "with -fig trace: also write the recorded spans as Chrome trace_event JSON to this file")
-		traceJSON = flag.String("trace-json", "", "with -fig trace: also write the recorded spans as plain JSON (obs.ReadJSON format, used by the committed regression corpus)")
+		all        = flag.Bool("all", false, "run every experiment")
+		fig        = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, quant, 3tier, robust, runtime, faults, trace, batch, fleet, adapt")
+		model      = flag.String("model", "alexnet", "model for figure 4/13 (alexnet, mobilenetv2, ...)")
+		n          = flag.Int("n", 100, "number of inference jobs")
+		csvDir     = flag.String("csv", "", "directory to also write tables as CSV")
+		traceOut   = flag.String("trace-out", "", "with -fig trace: also write the recorded spans as Chrome trace_event JSON to this file")
+		traceJSON  = flag.String("trace-json", "", "with -fig trace: also write the recorded spans as plain JSON (obs.ReadJSON format, used by the committed regression corpus)")
+		adaptTrace = flag.String("adapt-trace", "", "with -fig adapt: also write the continuous run's recorded estimator samples and golden change points as JSON (estimator.ReplayTrace format, used by the committed regression corpus)")
 	)
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
@@ -72,7 +73,7 @@ func main() {
 		os.Exit(2)
 	}
 	for _, id := range ids {
-		tables, err := run(env, id, *model, *traceOut, *traceJSON)
+		tables, err := run(env, id, *model, *traceOut, *traceJSON, *adaptTrace)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "jpsbench: %s: %v\n", id, err)
 			os.Exit(1)
@@ -93,7 +94,7 @@ func main() {
 	}
 }
 
-func run(env experiments.Env, id, model, traceOut, traceJSON string) ([]*report.Table, error) {
+func run(env experiments.Env, id, model, traceOut, traceJSON, adaptTrace string) ([]*report.Table, error) {
 	switch id {
 	case "4":
 		rows := experiments.Fig4(env, model, netsim.WiFi)
@@ -295,6 +296,31 @@ func run(env experiments.Env, id, model, traceOut, traceJSON string) ([]*report.
 			return nil, err
 		}
 		return []*report.Table{experiments.RuntimeFleetTable(rows)}, nil
+	case "adapt":
+		// Continuous adaptive replanning under a scripted mid-batch
+		// step-down: four policies (static plan, legacy one-shot
+		// threshold, continuous estimator, perfect-foresight oracle)
+		// against the same degrading loopback link. Real engine compute
+		// in real time, not part of -all.
+		rows, trace, err := experiments.RuntimeAdapt(env, env.NJobs, 1.0, 1)
+		if err != nil {
+			return nil, err
+		}
+		if adaptTrace != "" && trace != nil {
+			f, err := os.Create(adaptTrace)
+			if err != nil {
+				return nil, err
+			}
+			werr := trace.WriteJSON(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return nil, werr
+			}
+			fmt.Printf("wrote estimator replay trace to %s\n\n", adaptTrace)
+		}
+		return []*report.Table{experiments.RuntimeAdaptTable(rows)}, nil
 	case "robust":
 		rows, err := experiments.Robustness(env, model, netsim.FourG,
 			[]float64{-50, -25, -10, 0, 10, 25, 50, 100})
@@ -303,7 +329,7 @@ func run(env experiments.Env, id, model, traceOut, traceJSON string) ([]*report.
 		}
 		return []*report.Table{experiments.RobustnessTable(model, netsim.FourG, rows)}, nil
 	default:
-		return nil, fmt.Errorf("unknown experiment %q (have 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, quant, 3tier, robust, runtime, faults, trace, batch, fleet)", id)
+		return nil, fmt.Errorf("unknown experiment %q (have 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, quant, 3tier, robust, runtime, faults, trace, batch, fleet, adapt)", id)
 	}
 }
 

@@ -18,7 +18,7 @@ func testEnv() experiments.Env {
 func TestRunEveryExperimentID(t *testing.T) {
 	env := testEnv()
 	for _, id := range []string{"4", "12", "12d", "table1", "14", "ablations", "hetero", "stream", "dtypes", "3tier", "robust"} {
-		tables, err := run(env, id, "alexnet", "", "")
+		tables, err := run(env, id, "alexnet", "", "", "")
 		if err != nil {
 			t.Fatalf("run(%s): %v", id, err)
 		}
@@ -37,7 +37,7 @@ func TestRunFig13Small(t *testing.T) {
 	env := testEnv()
 	// Fig. 13 uses a fixed full sweep; just confirm it runs and tags
 	// the benefit range.
-	tables, err := run(env, "13", "alexnet", "", "")
+	tables, err := run(env, "13", "alexnet", "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,14 +50,14 @@ func TestRunFig13Small(t *testing.T) {
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if _, err := run(testEnv(), "99", "alexnet", "", ""); err == nil {
+	if _, err := run(testEnv(), "99", "alexnet", "", "", ""); err == nil {
 		t.Error("unknown id must error")
 	}
 }
 
 func TestWriteCSV(t *testing.T) {
 	env := testEnv()
-	tables, err := run(env, "4", "alexnet", "", "")
+	tables, err := run(env, "4", "alexnet", "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}

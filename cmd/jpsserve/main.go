@@ -22,9 +22,14 @@
 //	jpsserve -model alexnet -tenants gold:2,bronze:1 -shed-watermark 48
 //
 // For fault-tolerance testing the server can degrade its own side of
-// every accepted connection with the netsim fault injector:
+// every accepted connection with the netsim fault injector, including
+// a scripted bandwidth profile (comma-separated afterMs:mbps steps,
+// the same schedules the adapt experiment runs — see netsim.StepDown
+// and friends):
 //
 //	jpsserve -model alexnet -fault-drop 0.05 -fault-disc-bytes 1000000
+//	jpsserve -model alexnet -fault-degrade 200:2          # step-down
+//	jpsserve -model alexnet -fault-degrade 0:8,500:2,1000:0  # step chain
 //
 // With -metrics-addr the server exposes its observability surface on a
 // second listener: Prometheus text metrics at /metrics, the recorded
@@ -75,11 +80,12 @@ func main() {
 		tenants  = flag.String("tenants", "", "comma-separated tenant:weight WFQ weights, e.g. gold:2,bronze:1 (unlisted tenants get weight 1)")
 		shedMark = flag.Int("shed-watermark", 0, "queue depth at which new infer jobs are shed with a Class -1 reply; backpressure hints start at half this (0 = disabled)")
 
-		faultDrop  = flag.Float64("fault-drop", 0, "probability of dropping each frame in either direction")
-		faultStall = flag.Float64("fault-stall-p", 0, "probability of stalling each frame")
-		stallMs    = flag.Float64("fault-stall-ms", 50, "stall duration in channel-model ms (with -fault-stall-p)")
-		discBytes  = flag.Int64("fault-disc-bytes", 0, "kill each connection after this many bytes (0 = never)")
-		faultSeed  = flag.Int64("fault-seed", 1, "fault injector RNG seed (per-connection offsets applied)")
+		faultDrop    = flag.Float64("fault-drop", 0, "probability of dropping each frame in either direction")
+		faultStall   = flag.Float64("fault-stall-p", 0, "probability of stalling each frame")
+		stallMs      = flag.Float64("fault-stall-ms", 50, "stall duration in channel-model ms (with -fault-stall-p)")
+		discBytes    = flag.Int64("fault-disc-bytes", 0, "kill each connection after this many bytes (0 = never)")
+		faultDegrade = flag.String("fault-degrade", "", "scripted bandwidth profile as afterMs:mbps steps, e.g. 200:2 or 0:8,500:2,1000:0 (mbps 0 lifts the cap); applied to both directions of each accepted connection, clocked from its accept")
+		faultSeed    = flag.Int64("fault-seed", 1, "fault injector RNG seed (per-connection offsets applied)")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /trace, /trace.json and /debug/pprof/ on this address (empty = disabled)")
 		traceOut    = flag.String("trace-out", "", "write the span buffer as Chrome trace JSON to this file on graceful shutdown (requires -metrics-addr; empty = skip)")
@@ -90,11 +96,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jpsserve:", err)
 		os.Exit(2)
 	}
+	degrade, err := parseDegrade(*faultDegrade)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jpsserve:", err)
+		os.Exit(2)
+	}
 	spec := netsim.FaultSpec{
 		DropProb:             *faultDrop,
 		StallProb:            *faultStall,
 		StallMs:              *stallMs,
 		DisconnectAfterBytes: *discBytes,
+		Degrade:              degrade,
 	}
 	cfg := serveConfig{
 		model: *model, addr: *addr, seed: *seed, workers: *workers, conc: *conc,
@@ -107,6 +119,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jpsserve:", err)
 		os.Exit(1)
 	}
+}
+
+// parseDegrade parses "afterMs:mbps,afterMs:mbps" into a scripted
+// bandwidth profile. Steps must be in increasing afterMs order, as
+// netsim.FaultSpec requires; mbps 0 lifts the cap from that point on.
+func parseDegrade(s string) ([]netsim.DegradeStep, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var steps []netsim.DegradeStep
+	for _, part := range strings.Split(s, ",") {
+		at, ms, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("-fault-degrade: %q is not afterMs:mbps", part)
+		}
+		after, err := strconv.ParseFloat(at, 64)
+		if err != nil || after < 0 {
+			return nil, fmt.Errorf("-fault-degrade: %q needs a non-negative afterMs", part)
+		}
+		mbps, err := strconv.ParseFloat(ms, 64)
+		if err != nil || mbps < 0 {
+			return nil, fmt.Errorf("-fault-degrade: %q needs a non-negative mbps (0 lifts the cap)", part)
+		}
+		if n := len(steps); n > 0 && after <= steps[n-1].AfterMs {
+			return nil, fmt.Errorf("-fault-degrade: steps must be in increasing afterMs order, got %g after %g", after, steps[n-1].AfterMs)
+		}
+		steps = append(steps, netsim.DegradeStep{AfterMs: after, Mbps: mbps})
+	}
+	return steps, nil
 }
 
 // parseTenants parses "name:weight,name:weight" into WFQ weights.
@@ -256,7 +297,8 @@ func run(cfg serveConfig) error {
 // built-in Serve loop, per-connection downlink shaping, or fault
 // injection. It returns when the listener closes.
 func acceptLoop(srv *runtime.Server, lis net.Listener, shapeDown func(net.Conn) net.Conn, cfg serveConfig) error {
-	faulty := cfg.spec.DropProb > 0 || cfg.spec.StallProb > 0 || cfg.spec.DisconnectAfterBytes > 0
+	faulty := cfg.spec.DropProb > 0 || cfg.spec.StallProb > 0 ||
+		cfg.spec.DisconnectAfterBytes > 0 || len(cfg.spec.Degrade) > 0
 	if !faulty {
 		if cfg.downMbps <= 0 {
 			return srv.Serve(lis)

@@ -14,6 +14,9 @@ import (
 // this when the measured uplink bandwidth falls past its re-plan
 // threshold, then continues the surviving jobs under the new cuts.
 func Replan(c *profile.Curve, measured netsim.Channel, n int) (*Plan, error) {
+	if c == nil {
+		return nil, fmt.Errorf("core: Replan needs a profiled curve, got nil")
+	}
 	if measured.UplinkMbps <= 0 {
 		return nil, fmt.Errorf("core: Replan needs a positive bandwidth, got %g", measured.UplinkMbps)
 	}
@@ -43,6 +46,9 @@ type ServerHint struct {
 // free local-only cut shifts cuts toward local compute, which is
 // exactly the load response a saturating cloud asks its clients for.
 func ReplanWithHint(c *profile.Curve, measured netsim.Channel, n int, hint ServerHint) (*Plan, error) {
+	if c == nil {
+		return nil, fmt.Errorf("core: ReplanWithHint needs a profiled curve, got nil")
+	}
 	if measured.UplinkMbps <= 0 {
 		return nil, fmt.Errorf("core: ReplanWithHint needs a positive bandwidth, got %g", measured.UplinkMbps)
 	}

@@ -62,3 +62,59 @@ func TestReplanWithHintValidation(t *testing.T) {
 		t.Error("negative queue hint must error")
 	}
 }
+
+// TestReplanNilCurve: both entry points must reject a nil curve with
+// an error instead of dereferencing it — the runner calls them with
+// whatever WithCurve supplied, which may legitimately be unset.
+func TestReplanNilCurve(t *testing.T) {
+	ch := netsim.Channel{UplinkMbps: 8}
+	if _, err := Replan(nil, ch, 2); err == nil {
+		t.Error("Replan(nil curve) must error")
+	}
+	if _, err := ReplanWithHint(nil, ch, 2, ServerHint{}); err == nil {
+		t.Error("ReplanWithHint(nil curve) must error")
+	}
+}
+
+// TestReplanZeroHintIdentity: across job counts and channel speeds, a
+// zero queue hint must reproduce Replan's cuts and schedule exactly —
+// the surcharge is the ONLY thing the hint path adds.
+func TestReplanZeroHintIdentity(t *testing.T) {
+	c := fig2Curve()
+	cases := []struct {
+		name string
+		ch   netsim.Channel
+		n    int
+	}{
+		{"nominal-n1", c.Channel, 1},
+		{"nominal-n6", c.Channel, 6},
+		{"degraded-n4", netsim.Channel{UplinkMbps: c.Channel.UplinkMbps / 4, SetupMs: c.Channel.SetupMs}, 4},
+		{"fast-n8", netsim.Channel{UplinkMbps: c.Channel.UplinkMbps * 8, SetupMs: c.Channel.SetupMs}, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base, err := Replan(c, tc.ch, tc.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hinted, err := ReplanWithHint(c, tc.ch, tc.n, ServerHint{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(base.Cuts) != len(hinted.Cuts) {
+				t.Fatalf("cut counts differ: %d vs %d", len(base.Cuts), len(hinted.Cuts))
+			}
+			for i := range base.Cuts {
+				if base.Cuts[i] != hinted.Cuts[i] {
+					t.Errorf("job %d: zero-hint cut %d != replan cut %d", i, hinted.Cuts[i], base.Cuts[i])
+				}
+			}
+			for i := range base.Sequence {
+				if base.Sequence[i].ID != hinted.Sequence[i].ID {
+					t.Errorf("position %d: zero-hint schedules job %d, replan job %d",
+						i, hinted.Sequence[i].ID, base.Sequence[i].ID)
+				}
+			}
+		})
+	}
+}

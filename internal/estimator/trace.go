@@ -1,0 +1,76 @@
+package estimator
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReplaySample is one recorded upload: wire size and channel-time
+// duration, exactly what AddUpload consumes.
+type ReplaySample struct {
+	Bytes int     `json:"bytes"`
+	DurMs float64 `json:"dur_ms"`
+}
+
+// ReplayPoint is one golden change point of a recorded trace, together
+// with the cut the planner chose when replanning at the snapped
+// estimate. Cut is planner output, not estimator state — the replay
+// test recomputes it through core.Replan and compares.
+type ReplayPoint struct {
+	Sample    int     `json:"sample"`
+	Direction string  `json:"direction"`
+	Mbps      float64 `json:"mbps"`
+	Cut       int     `json:"cut"`
+}
+
+// ReplayTrace is the committed adaptive-replanning regression format:
+// the scripted degradation scenario, the upload sample stream it
+// produced, and the golden change-point/cut sequence the estimator and
+// planner must reproduce bit-for-bit (modulo JSON float round-trip).
+type ReplayTrace struct {
+	// Model and channel parameters pin the curve the replay replans on.
+	Model      string  `json:"model"`
+	UplinkMbps float64 `json:"uplink_mbps"`
+	SetupMs    float64 `json:"setup_ms"`
+	// Scenario documents the scripted degradation profile, for humans.
+	Scenario string `json:"scenario"`
+	// Config is the estimator configuration the trace was recorded
+	// under (zero fields take defaults, as everywhere).
+	Config Config `json:"config"`
+	// Samples is the upload stream in arrival order.
+	Samples []ReplaySample `json:"samples"`
+	// Points is the golden change-point sequence.
+	Points []ReplayPoint `json:"points"`
+}
+
+// WriteJSON writes the trace, indented for reviewable diffs.
+func (t *ReplayTrace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadReplayTrace parses a trace written by WriteJSON.
+func ReadReplayTrace(r io.Reader) (*ReplayTrace, error) {
+	var t ReplayTrace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("estimator: parse replay trace: %w", err)
+	}
+	if len(t.Samples) == 0 {
+		return nil, fmt.Errorf("estimator: replay trace has no samples")
+	}
+	return &t, nil
+}
+
+// Replay feeds the trace's sample stream through a fresh estimator
+// under the trace's config and returns the change points it detects —
+// the deterministic half of the regression corpus (the planner half is
+// recomputed by the caller, which owns the curve).
+func (t *ReplayTrace) Replay() []ChangePoint {
+	e := New(t.Config)
+	for _, s := range t.Samples {
+		e.AddUpload(s.Bytes, s.DurMs)
+	}
+	return e.ChangePoints()
+}

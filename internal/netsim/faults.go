@@ -33,7 +33,11 @@ type FaultSpec struct {
 	// Degrade scripts bandwidth decay over channel time: from step
 	// AfterMs on, throughput in this direction is capped at Mbps by
 	// extra pacing. Steps must be sorted by AfterMs; Mbps <= 0 means
-	// uncapped.
+	// uncapped. When the surrounding shaper's nominal rate is declared
+	// with WithNominal, the injector charges only the difference
+	// between the cap and the nominal pacing, so the capped rate — not
+	// the series composition of the two sleeps — is what the wire
+	// delivers.
 	Degrade []DegradeStep
 }
 
@@ -92,6 +96,9 @@ type FaultyConn struct {
 	start    time.Time
 	sleep    func(time.Duration)
 	now      func() time.Time
+	// Nominal shaper rates per direction (Mb/s, 0 = undeclared); see
+	// WithNominal.
+	upNom, downNom float64
 
 	mu    sync.Mutex
 	rng   *rand.Rand
@@ -119,6 +126,20 @@ func Inject(conn net.Conn, up, down FaultSpec, seed int64, timeScale float64) *F
 	}
 }
 
+// WithNominal declares the bandwidth the surrounding shaper already
+// paces each direction at. An injected FaultyConn usually sits under a
+// ShapedConn, so every byte pays the nominal pacing before it reaches
+// the injector; without the declaration a Degrade cap's pacing stacks
+// on top and the wire delivers the series composition of the two rates
+// (1/(1/nominal + 1/cap)) instead of the cap. With it, the injector
+// charges only the difference, so the scripted Mbps is the effective
+// rate an estimator on the client measures.
+func (f *FaultyConn) WithNominal(ch Channel) *FaultyConn {
+	f.upNom = ch.UplinkMbps
+	f.downNom = ch.DownlinkMbps
+	return f
+}
+
 // Stats snapshots the injection counters.
 func (f *FaultyConn) Stats() FaultStats {
 	f.mu.Lock()
@@ -135,7 +156,7 @@ func (f *FaultyConn) elapsedMs() float64 {
 // under the given spec. It returns drop=true when the bytes must be
 // discarded, or a non-nil error when the connection was torn down.
 // Called with f.mu held.
-func (f *FaultyConn) inject(spec FaultSpec, n int, bytes *int64, dropped *int, dir string) (drop bool, err error) {
+func (f *FaultyConn) inject(spec FaultSpec, n int, bytes *int64, dropped *int, nomMbps float64, dir string) (drop bool, err error) {
 	if f.stats.Disconnected {
 		return false, fmt.Errorf("%w (%s)", ErrInjectedDisconnect, dir)
 	}
@@ -144,9 +165,17 @@ func (f *FaultyConn) inject(spec FaultSpec, n int, bytes *int64, dropped *int, d
 		f.sleep(time.Duration(spec.StallMs * f.scale * float64(time.Millisecond)))
 	}
 	if rate := spec.capAt(f.elapsedMs()); rate > 0 {
-		// Extra pacing to the degraded rate; the nominal shaper's own
-		// pacing is faster and overlaps, so the cap dominates.
-		f.sleep(time.Duration(float64(n) * 8 / (rate * 1e6) * f.scale * float64(time.Second)))
+		// Extra pacing to the degraded rate. With a declared nominal
+		// (WithNominal) only the difference against the shaper's own
+		// pacing is charged, so the cap is the effective rate; a cap at
+		// or above the nominal then costs nothing.
+		per := float64(n) * 8 / (rate * 1e6)
+		if nomMbps > 0 {
+			per -= float64(n) * 8 / (nomMbps * 1e6)
+		}
+		if per > 0 {
+			f.sleep(time.Duration(per * f.scale * float64(time.Second)))
+		}
 	}
 	disconnect := spec.DisconnectProb > 0 && f.rng.Float64() < spec.DisconnectProb
 	if spec.DisconnectAfterBytes > 0 && *bytes+int64(n) >= spec.DisconnectAfterBytes {
@@ -173,7 +202,7 @@ func (f *FaultyConn) Write(p []byte) (int, error) {
 		return f.Conn.Write(p)
 	}
 	f.mu.Lock()
-	drop, err := f.inject(f.up, len(p), &f.stats.UpBytes, &f.stats.DroppedUp, "write")
+	drop, err := f.inject(f.up, len(p), &f.stats.UpBytes, &f.stats.DroppedUp, f.upNom, "write")
 	f.mu.Unlock()
 	if err != nil {
 		return 0, err
@@ -198,7 +227,7 @@ func (f *FaultyConn) Read(p []byte) (int, error) {
 			return n, err
 		}
 		f.mu.Lock()
-		drop, ierr := f.inject(f.down, n, &f.stats.DownBytes, &f.stats.DroppedDown, "read")
+		drop, ierr := f.inject(f.down, n, &f.stats.DownBytes, &f.stats.DroppedDown, f.downNom, "read")
 		f.mu.Unlock()
 		if ierr != nil {
 			return 0, ierr

@@ -162,6 +162,36 @@ func TestInjectDegradeSchedule(t *testing.T) {
 	}
 }
 
+func TestInjectDegradeWithNominal(t *testing.T) {
+	// With a declared 8 Mb/s nominal shaper and a 1 Mb/s cap, the
+	// injector must charge only the difference: 125000 bytes = 1 s at
+	// the cap minus 0.125 s the shaper already paid.
+	spec := FaultSpec{Degrade: []DegradeStep{{AfterMs: 0, Mbps: 1}}}
+	mc := newMemConn(nil)
+	fc := Inject(mc, spec, FaultSpec{}, 1, 1).WithNominal(Channel{UplinkMbps: 8})
+	var slept time.Duration
+	fc.sleep = func(d time.Duration) { slept += d }
+	if _, err := fc.Write(make([]byte, 125000)); err != nil {
+		t.Fatal(err)
+	}
+	if d := slept.Seconds(); d < 0.874 || d > 0.876 {
+		t.Fatalf("compensated degrade pacing slept %v, want ~0.875s", slept)
+	}
+
+	// A cap at or above the nominal costs nothing extra — the shaper
+	// alone already enforces it.
+	fc2 := Inject(newMemConn(nil), FaultSpec{Degrade: []DegradeStep{{AfterMs: 0, Mbps: 8}}},
+		FaultSpec{}, 1, 1).WithNominal(Channel{UplinkMbps: 4})
+	slept = 0
+	fc2.sleep = func(d time.Duration) { slept += d }
+	if _, err := fc2.Write(make([]byte, 125000)); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 0 {
+		t.Fatalf("cap above nominal slept %v, want 0", slept)
+	}
+}
+
 func TestInjectReadDropConsumesFrame(t *testing.T) {
 	// With DropProb 1 every delivered frame is discarded: the reader
 	// blocks through them all and sees only the stream's end.

@@ -1,0 +1,55 @@
+package netsim
+
+// Scripted degradation profiles for the adaptive-replanning tests and
+// the -fig adapt experiment: each constructor returns a DegradeStep
+// schedule (sorted by AfterMs, as FaultSpec requires) describing a
+// canonical bandwidth pathology. All times are channel time, like
+// DegradeStep.AfterMs.
+
+// StepDown caps the direction at toMbps from afterMs on — the single
+// regime shift of the acceptance trace (12→2 Mb/s at t=200 ms is
+// StepDown(200, 2) under a 12 Mb/s nominal channel).
+func StepDown(afterMs, toMbps float64) []DegradeStep {
+	return []DegradeStep{{AfterMs: afterMs, Mbps: toMbps}}
+}
+
+// StepUp starts the direction capped at fromMbps and lifts the cap at
+// afterMs (Mbps 0 = uncapped: the nominal shaper rate takes over) —
+// a link that recovers mid-run.
+func StepUp(afterMs, fromMbps float64) []DegradeStep {
+	return []DegradeStep{{AfterMs: 0, Mbps: fromMbps}, {AfterMs: afterMs, Mbps: 0}}
+}
+
+// Sawtooth alternates the cap between loMbps and uncapped every
+// periodMs, starting degraded at startMs, for the given number of
+// degraded phases — repeated fade-and-recover cycles.
+func Sawtooth(startMs, periodMs, loMbps float64, cycles int) []DegradeStep {
+	var steps []DegradeStep
+	at := startMs
+	for c := 0; c < cycles; c++ {
+		steps = append(steps,
+			DegradeStep{AfterMs: at, Mbps: loMbps},
+			DegradeStep{AfterMs: at + periodMs, Mbps: 0})
+		at += 2 * periodMs
+	}
+	return steps
+}
+
+// Ramp decays the cap linearly from fromMbps at startMs to toMbps at
+// endMs in the given number of equal steps — a slow fade rather than a
+// regime shift, the case change-point detection must NOT mistake for a
+// step while the estimate still tracks it.
+func Ramp(startMs, endMs, fromMbps, toMbps float64, steps int) []DegradeStep {
+	if steps < 2 {
+		steps = 2
+	}
+	out := make([]DegradeStep, steps)
+	for i := 0; i < steps; i++ {
+		frac := float64(i) / float64(steps-1)
+		out[i] = DegradeStep{
+			AfterMs: startMs + frac*(endMs-startMs),
+			Mbps:    fromMbps + frac*(toMbps-fromMbps),
+		}
+	}
+	return out
+}

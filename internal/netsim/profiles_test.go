@@ -1,0 +1,87 @@
+package netsim
+
+import "testing"
+
+// capsAt evaluates the schedule through the same FaultSpec.capAt the
+// injector uses, so these tests pin the constructors' semantics, not a
+// re-implementation.
+func capsAt(steps []DegradeStep, ms float64) float64 {
+	return FaultSpec{Degrade: steps}.capAt(ms)
+}
+
+func assertSorted(t *testing.T, name string, steps []DegradeStep) {
+	t.Helper()
+	for i := 1; i < len(steps); i++ {
+		if steps[i].AfterMs < steps[i-1].AfterMs {
+			t.Fatalf("%s: steps unsorted at %d: %.1f after %.1f", name, i, steps[i].AfterMs, steps[i-1].AfterMs)
+		}
+	}
+}
+
+func TestStepDownProfile(t *testing.T) {
+	p := StepDown(200, 2)
+	assertSorted(t, "StepDown", p)
+	for _, tc := range []struct{ ms, want float64 }{{0, 0}, {199, 0}, {200, 2}, {1e6, 2}} {
+		if got := capsAt(p, tc.ms); got != tc.want {
+			t.Errorf("StepDown cap at %.0fms = %.1f, want %.1f", tc.ms, got, tc.want)
+		}
+	}
+}
+
+func TestStepUpProfile(t *testing.T) {
+	p := StepUp(300, 2)
+	assertSorted(t, "StepUp", p)
+	for _, tc := range []struct{ ms, want float64 }{{0, 2}, {299, 2}, {300, 0}, {1e6, 0}} {
+		if got := capsAt(p, tc.ms); got != tc.want {
+			t.Errorf("StepUp cap at %.0fms = %.1f, want %.1f", tc.ms, got, tc.want)
+		}
+	}
+}
+
+func TestSawtoothProfile(t *testing.T) {
+	p := Sawtooth(100, 50, 2, 3)
+	assertSorted(t, "Sawtooth", p)
+	if len(p) != 6 {
+		t.Fatalf("3 cycles = %d steps, want 6", len(p))
+	}
+	for _, tc := range []struct{ ms, want float64 }{
+		{0, 0},             // before the first fade
+		{100, 2}, {149, 2}, // degraded phase 1
+		{150, 0}, {199, 0}, // recovered
+		{200, 2}, // degraded phase 2
+		{450, 0}, // after the last recovery
+	} {
+		if got := capsAt(p, tc.ms); got != tc.want {
+			t.Errorf("Sawtooth cap at %.0fms = %.1f, want %.1f", tc.ms, got, tc.want)
+		}
+	}
+}
+
+func TestRampProfile(t *testing.T) {
+	p := Ramp(100, 500, 12, 2, 5)
+	assertSorted(t, "Ramp", p)
+	if len(p) != 5 {
+		t.Fatalf("got %d steps, want 5", len(p))
+	}
+	if got := capsAt(p, 99); got != 0 {
+		t.Errorf("cap before ramp = %.1f, want uncapped", got)
+	}
+	if got := capsAt(p, 100); got != 12 {
+		t.Errorf("cap at ramp start = %.1f, want 12", got)
+	}
+	if got := capsAt(p, 500); got != 2 {
+		t.Errorf("cap at ramp end = %.1f, want 2", got)
+	}
+	// Monotone decreasing across the ramp.
+	prev := 13.0
+	for _, s := range p {
+		if s.Mbps >= prev {
+			t.Errorf("ramp cap not strictly decreasing: %.2f then %.2f", prev, s.Mbps)
+		}
+		prev = s.Mbps
+	}
+	// Degenerate step count clamps to 2 (the two endpoints).
+	if got := Ramp(0, 100, 8, 4, 1); len(got) != 2 {
+		t.Errorf("Ramp with 1 step = %d entries, want 2", len(got))
+	}
+}

@@ -1,0 +1,112 @@
+// Adaptive-replanning regression corpus: the estimator sample stream
+// recorded by one live `jpsbench -fig adapt -adapt-trace` run (96 jobs,
+// 12 Mb/s uplink stepping to 2 Mb/s at 200 ms channel time) is
+// committed under testdata and replayed through a fresh estimator on
+// every CI run. Replay is pure arithmetic over the recorded byte/
+// duration pairs — no wall clock — so a change to the EWMA weighting,
+// the CUSUM accumulators, or the planner's degraded-regime cut choice
+// fails these tests deterministically.
+package regression_test
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"dnnjps/internal/core"
+	"dnnjps/internal/estimator"
+	"dnnjps/internal/experiments"
+)
+
+const adaptTraceFile = "testdata/adapt_stepdown_12to2.json"
+
+func loadAdaptTrace(t *testing.T) *estimator.ReplayTrace {
+	t.Helper()
+	f, err := os.Open(adaptTraceFile)
+	if err != nil {
+		t.Fatalf("open corpus: %v", err)
+	}
+	defer f.Close()
+	tr, err := estimator.ReadReplayTrace(f)
+	if err != nil {
+		t.Fatalf("parse corpus: %v", err)
+	}
+	return tr
+}
+
+// The committed golden points must be exactly what a fresh estimator
+// under the committed config re-detects from the committed samples. A
+// drift in the EWMA, warmup, or CUSUM math shows up here as a moved,
+// added, or dropped change point.
+func TestAdaptCorpusReplaysToGoldenChangePoints(t *testing.T) {
+	tr := loadAdaptTrace(t)
+	if len(tr.Samples) == 0 || len(tr.Points) == 0 {
+		t.Fatalf("corpus degenerate: %d samples, %d points; re-record it", len(tr.Samples), len(tr.Points))
+	}
+	if tr.Config != estimator.DefaultConfig() {
+		t.Fatalf("corpus config %+v is not the default config %+v", tr.Config, estimator.DefaultConfig())
+	}
+	cps := tr.Replay()
+	if len(cps) != len(tr.Points) {
+		t.Fatalf("replay detected %d change points, golden has %d", len(cps), len(tr.Points))
+	}
+	for i, cp := range cps {
+		p := tr.Points[i]
+		if cp.Sample != p.Sample {
+			t.Errorf("point %d: replay fired at sample %d, golden %d", i, cp.Sample, p.Sample)
+		}
+		if cp.Direction.String() != p.Direction {
+			t.Errorf("point %d: replay direction %s, golden %s", i, cp.Direction, p.Direction)
+		}
+		if math.Abs(cp.ToMbps-p.Mbps) > 1e-9 {
+			t.Errorf("point %d: replay snapped to %.12f Mb/s, golden %.12f", i, cp.ToMbps, p.Mbps)
+		}
+	}
+}
+
+// The golden cut sequence: each point's recorded cut must be what the
+// planner chooses today for an AdaptTraceBatch-job remainder priced at
+// that point's snapped estimate, on the exact curve the figure plans
+// on. The scripted step must also genuinely move the dominant cut —
+// the committed scenario is only a regression anchor if the nominal
+// and degraded regimes disagree.
+func TestAdaptCorpusGoldenCutSequence(t *testing.T) {
+	tr := loadAdaptTrace(t)
+	if tr.Model != "adaptnet" {
+		t.Fatalf("corpus model %q, want adaptnet", tr.Model)
+	}
+	ch := experiments.AdaptChannel()
+	if tr.UplinkMbps != ch.UplinkMbps || tr.SetupMs != ch.SetupMs {
+		t.Fatalf("corpus channel %g Mb/s (setup %g ms) is not the figure channel %+v",
+			tr.UplinkMbps, tr.SetupMs, ch)
+	}
+	curve := experiments.AdaptCurve(experiments.DefaultEnv())
+
+	nominalPlan, err := core.Replan(curve, ch, experiments.AdaptTraceBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nominalCut := experiments.DominantCut(nominalPlan)
+
+	var sawDegradedDown bool
+	for i, p := range tr.Points {
+		measured := ch
+		measured.UplinkMbps = p.Mbps
+		plan, err := core.Replan(curve, measured, experiments.AdaptTraceBatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cut := experiments.DominantCut(plan); cut != p.Cut {
+			t.Errorf("point %d (%.3f Mb/s): planner now picks dominant cut %d, golden %d", i, p.Mbps, cut, p.Cut)
+		}
+		if p.Direction == "down" && p.Mbps < 4 {
+			sawDegradedDown = true
+			if p.Cut == nominalCut {
+				t.Errorf("point %d: degraded cut %d equals the nominal dominant cut — the scripted step moved nothing", i, p.Cut)
+			}
+		}
+	}
+	if !sawDegradedDown {
+		t.Fatalf("corpus has no down change point inside the degraded regime: %+v", tr.Points)
+	}
+}

@@ -304,6 +304,47 @@ func BenchmarkFleetServer(b *testing.B) {
 	})
 }
 
+// BenchmarkRunnerAdaptive measures what continuous adaptive replanning
+// costs when the link is healthy: the same fault-tolerant runner
+// executes the paper's AlexNet + Wi-Fi plan with the estimator off
+// ("static") and on ("adaptive"). On a steady link the estimator
+// tracks the nominal rate, so no change point fires and no replan
+// runs — the adaptive row pays only the per-upload sample fold and the
+// between-windows divergence check, which must be noise against the
+// pipeline itself (gated as a within-run ratio in scripts/benchgate.sh).
+func BenchmarkRunnerAdaptive(b *testing.B) {
+	m, plan, inputs, scale := benchSetup(b)
+	g, err := models.Build("alexnet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	curve := profile.BuildCurve(g, profile.RaspberryPi4(), profile.CloudGPU(), netsim.WiFi, tensor.Float32)
+
+	run := func(b *testing.B, adaptive bool) {
+		opts := RunOptions{Window: 2}
+		opts.AdaptiveReplan = adaptive
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dial := func() (net.Conn, error) { return benchDial(b, m), nil }
+			r := NewRunner(dial, m, netsim.WiFi, scale, opts).WithCurve(curve)
+			rep, err := r.RunPlan(plan, inputs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rep.Results) != len(plan.Cuts) {
+				b.Fatalf("got %d results", len(rep.Results))
+			}
+			if rep.Replans != 0 {
+				b.Fatalf("steady link replanned %d times", rep.Replans)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(plan.Cuts)), "ns/job")
+	}
+	b.Run("static", func(b *testing.B) { run(b, false) })
+	b.Run("adaptive", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkWriteInferRequest measures the encode side of the wire
 // path: with pooled chunk buffers, a 16 K-element tensor frame must
 // encode with zero allocations.

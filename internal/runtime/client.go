@@ -10,6 +10,7 @@ import (
 
 	"dnnjps/internal/core"
 	"dnnjps/internal/engine"
+	"dnnjps/internal/estimator"
 	"dnnjps/internal/netsim"
 	"dnnjps/internal/profile"
 	"dnnjps/internal/regression"
@@ -38,8 +39,9 @@ type Client struct {
 	w      *bufio.Writer
 	ch     netsim.Channel
 	scale  float64
-	obsv   *Obs   // optional tracing + metrics; nil disables recording
-	tenant string // non-empty: sent as a hello frame before any request
+	obsv   *Obs                 // optional tracing + metrics; nil disables recording
+	est    *estimator.Estimator // optional online link estimator; nil disables feeding
+	tenant string               // non-empty: sent as a hello frame before any request
 
 	once  sync.Once // starts the writer + demux goroutines lazily
 	sendQ chan wireMsg
@@ -55,6 +57,11 @@ type Client struct {
 	// Uplink health accounting: per completed upload, the channel-model
 	// expectation vs the wall measurement (both channel-scale ms). The
 	// fault-tolerant runner reads the ratio to detect degradation.
+	// Expectations are priced against expCh, which starts as the wire
+	// channel but is rebased by ResetLinkHealth after a replan adopts a
+	// new channel model (c.ch itself stays fixed — the writer goroutine
+	// reads its SetupMs without the lock).
+	expCh       netsim.Channel
 	upExpectMs  float64
 	upMeasureMs float64
 	upSamples   int
@@ -101,6 +108,7 @@ func NewClient(conn net.Conn, m *engine.Model, ch netsim.Channel, timeScale floa
 		r:          bufio.NewReaderSize(shaped, 1<<16),
 		w:          bufio.NewWriterSize(shaped, 1<<16),
 		ch:         ch,
+		expCh:      ch,
 		scale:      timeScale,
 		sendQ:      make(chan wireMsg, sendQueueCap),
 		calls:      make(map[uint32]*call),
@@ -115,6 +123,19 @@ func NewClient(conn net.Conn, m *engine.Model, ch netsim.Channel, timeScale floa
 // reply-wait) and the uplink/job metrics documented on Obs.
 func (c *Client) WithObs(o *Obs) *Client {
 	c.obsv = o
+	return c
+}
+
+// WithEstimator attaches an online link estimator: every completed
+// upload's ground-truth (bytes, channel-scale duration) and every
+// reply's total latency are fed into it, so the estimator sees exactly
+// what the shaper did, not what the channel model predicted. The same
+// estimator may outlive the client — the fault-tolerant runner threads
+// one across reconnect attempts so the bandwidth estimate carries
+// over. Must be called before the client's first remote use; returns c
+// for chaining.
+func (c *Client) WithEstimator(e *estimator.Estimator) *Client {
+	c.est = e
 	return c
 }
 
@@ -307,6 +328,9 @@ func (c *Client) deliver(rep inferReply) error {
 	res.Shed = rep.Flags&replyFlagShed != 0
 	res.Done = now
 	c.notePressure(rep.Flags, res.QueueMs)
+	// Feed the reply-latency EWMA in channel-scale ms, matching the
+	// upload feed in noteUpload.
+	c.est.AddReply(float64(total.Nanoseconds()) / 1e6 / c.scale)
 	if !sentEnd.IsZero() {
 		c.obsv.span(TrackCloud, SpanReplyWait, int(rep.JobID), sentEnd, now)
 	}
@@ -420,23 +444,60 @@ func (c *Client) awaitTimeout(cl *call, d time.Duration) error {
 	return nil
 }
 
-// noteUpload records one completed upload against the channel model
-// and publishes the uplink metrics.
+// estMinSampleBytes is the smallest upload fed to the online
+// estimator. Below this, transmission time is dominated by timer
+// granularity and scheduling noise rather than the link (a 168-byte
+// frame crosses an 8 Mb/s channel in 168 µs — well under a sleep
+// quantum), so such samples measure the host, not the bandwidth.
+// Consequence: a plan that only ships tiny boundaries freezes the
+// estimate at its last fat-upload value — the estimator can only see
+// what the plan uploads (noted in DESIGN.md "Adaptive replanning").
+const estMinSampleBytes = 1024
+
+// noteUpload records one completed upload against the channel model,
+// feeds the online estimator, and publishes the uplink metrics.
 func (c *Client) noteUpload(bytes int, wall time.Duration) {
 	measuredMs := float64(wall) / float64(time.Millisecond) / c.scale
 	c.mu.Lock()
-	c.upExpectMs += c.ch.TxMs(bytes)
+	c.upExpectMs += c.expCh.TxMs(bytes)
 	c.upMeasureMs += measuredMs
 	c.upSamples++
 	c.mu.Unlock()
+	fired := false
+	if bytes >= estMinSampleBytes {
+		_, fired = c.est.AddUpload(bytes, measuredMs)
+	}
 	if o := c.obsv; o != nil {
 		o.BytesUp.Add(int64(bytes))
 		if measuredMs > 0 {
 			// Channel-scale throughput of this upload in Mb/s.
 			o.LinkMbps.Set(float64(bytes) * 8 / (measuredMs * 1000))
 		}
+		if est, n := c.est.Mbps(); n > 0 {
+			o.EstMbps.Set(est)
+		}
+		if fired {
+			o.ChangePoints.Inc()
+			o.event(TrackUplink, EventChangePoint, -1, time.Now())
+		}
 		o.ConnBytes.Set(float64(c.conn.BytesWritten()))
 	}
+}
+
+// ResetLinkHealth rebases the uplink health accounting on a new
+// channel model and clears the accumulated samples. The fault-tolerant
+// runner calls this right after a replan adopts a measured channel, so
+// a later LinkHealth reading compares uploads against the plan that is
+// actually in force — without the rebase, a second degradation in the
+// same run would be measured against the original nominal model and
+// the repriced bandwidth would compound quadratically. The online
+// estimator is deliberately NOT reset: it tracks absolute throughput
+// and carries its history across replans.
+func (c *Client) ResetLinkHealth(ch netsim.Channel) {
+	c.mu.Lock()
+	c.expCh = ch
+	c.upExpectMs, c.upMeasureMs, c.upSamples = 0, 0, 0
+	c.mu.Unlock()
 }
 
 // notePressure folds one reply's admission-control flags into the
@@ -470,12 +531,15 @@ func (c *Client) ServerPressure() (rate float64, meanQueueMs float64, samples in
 // LinkHealth reports the uplink's measured speed relative to the
 // channel model: 1.0 means uploads complete exactly as fast as
 // g(x) predicts, 0.5 means the link runs at half the planned rate.
-// samples is the number of completed uploads behind the estimate
-// (health is 1 when no upload has finished yet).
+// samples is the number of completed uploads behind the estimate.
+// Health is 1 whenever there is no signal: no upload has finished
+// yet, nothing measurable accumulated, or every upload was zero-byte
+// (the channel model expects 0 ms for those, so a ratio would read as
+// total degradation on no evidence).
 func (c *Client) LinkHealth() (health float64, samples int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.upSamples == 0 || c.upMeasureMs <= 0 {
+	if c.upSamples == 0 || c.upMeasureMs <= 0 || c.upExpectMs <= 0 {
 		return 1, c.upSamples
 	}
 	return c.upExpectMs / c.upMeasureMs, c.upSamples

@@ -36,6 +36,12 @@ const (
 	SpanLocalFallback = "local-fallback" // runner: job finished on the mobile engine
 )
 
+// Event names (instantaneous markers, no duration).
+const (
+	EventChangePoint   = "link-changepoint" // uplink: estimator detected a bandwidth regime shift
+	EventReplanTrigger = "replan-trigger"   // runner: adaptive replan decision point (precedes SpanReplan)
+)
+
 // Obs bundles the tracer and every metric the runtime records. Pass
 // one instance to the client, server, and runner that should share a
 // registry (the in-process experiments do; a real deployment gives
@@ -51,6 +57,8 @@ type Obs struct {
 	BytesDown     *obs.Counter   // jps_client_downlink_bytes_total (reply frames)
 	ConnBytes     *obs.Gauge     // jps_client_conn_bytes (shaper's ground-truth byte count)
 	LinkMbps      *obs.Gauge     // jps_client_uplink_mbps (measured, channel-scale)
+	EstMbps       *obs.Gauge     // jps_client_est_uplink_mbps (EWMA throughput estimate, channel-scale)
+	ChangePoints  *obs.Counter   // jps_client_link_changepoints_total (estimator regime shifts)
 	ReplyLatency  *obs.Histogram // jps_client_reply_latency_ms (send start -> reply)
 
 	// Runner recovery.
@@ -90,6 +98,8 @@ func NewObs(tr *obs.Tracer, m *obs.Metrics) *Obs {
 		BytesDown:     m.Counter("jps_client_downlink_bytes_total", "wire bytes of received reply frames"),
 		ConnBytes:     m.Gauge("jps_client_conn_bytes", "bytes written through the shaped connection (ground truth incl. pings)"),
 		LinkMbps:      m.Gauge("jps_client_uplink_mbps", "measured uplink throughput of the last completed upload, channel-scale"),
+		EstMbps:       m.Gauge("jps_client_est_uplink_mbps", "EWMA uplink throughput estimate, channel-scale"),
+		ChangePoints:  m.Counter("jps_client_link_changepoints_total", "bandwidth regime shifts detected by the link estimator"),
 		ReplyLatency:  m.Histogram("jps_client_reply_latency_ms", "transmission start to reply delivery, ms", nil),
 
 		JobsRetried:    m.Counter("jps_runner_jobs_retried_total", "job resubmissions after a failed attempt"),

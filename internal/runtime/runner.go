@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"sort"
@@ -9,6 +10,7 @@ import (
 
 	"dnnjps/internal/core"
 	"dnnjps/internal/engine"
+	"dnnjps/internal/estimator"
 	"dnnjps/internal/netsim"
 	"dnnjps/internal/profile"
 	"dnnjps/internal/tensor"
@@ -38,8 +40,33 @@ type RunOptions struct {
 	// ReplanFactor re-plans the remaining jobs when the measured link
 	// health (see Client.LinkHealth) drops below it — e.g. 0.5 means
 	// "re-plan once uploads run at less than half the planned rate".
-	// Zero disables re-planning. Requires Runner.WithCurve.
+	// Zero disables re-planning. Requires Runner.WithCurve. Ignored
+	// when AdaptiveReplan is set (the estimator path replaces it).
 	ReplanFactor float64
+	// AdaptiveReplan switches link-degradation replanning from the
+	// one-shot cumulative-health threshold to the continuous online
+	// estimator (internal/estimator): every completed upload feeds a
+	// half-life EWMA with CUSUM change-point detection, and between
+	// windows the runner re-plans the unsubmitted suffix whenever a
+	// change point fired or the estimate diverged from the plan's
+	// bandwidth by more than ReplanHysteresis — as many times as the
+	// link shifts, rate-limited by ReplanMinInterval. Requires
+	// Runner.WithCurve.
+	AdaptiveReplan bool
+	// EstimatorConfig tunes the online estimator; zero fields take
+	// estimator.DefaultConfig. Only read when AdaptiveReplan is set.
+	EstimatorConfig estimator.Config
+	// ReplanMinInterval is the minimum wall-clock time between
+	// consecutive replans of the same kind — the anti-thrash guard that
+	// replaces the old once-per-batch latch. Zero takes the default;
+	// tests that need back-to-back replans set it to 1ns.
+	ReplanMinInterval time.Duration
+	// ReplanHysteresis is the relative divergence between the
+	// estimator's bandwidth estimate and the bandwidth the current plan
+	// was priced at that triggers an adaptive replan without a change
+	// point — e.g. 0.3 means "replan when the estimate moved ±30%".
+	// Zero takes the default. Only read when AdaptiveReplan is set.
+	ReplanHysteresis float64
 	// BackpressureThreshold re-plans the remaining jobs toward local
 	// compute when the fraction of replies carrying the server's
 	// backpressure flag (see Client.ServerPressure) reaches it — e.g.
@@ -56,12 +83,14 @@ type RunOptions struct {
 // DefaultRunOptions returns the defaults the zero RunOptions maps to.
 func DefaultRunOptions() RunOptions {
 	return RunOptions{
-		JobTimeout:    5 * time.Second,
-		MaxReconnects: 4,
-		BackoffBase:   50 * time.Millisecond,
-		BackoffMax:    2 * time.Second,
-		Seed:          1,
-		Window:        8,
+		JobTimeout:        5 * time.Second,
+		MaxReconnects:     4,
+		BackoffBase:       50 * time.Millisecond,
+		BackoffMax:        2 * time.Second,
+		Seed:              1,
+		Window:            8,
+		ReplanMinInterval: 50 * time.Millisecond,
+		ReplanHysteresis:  0.3,
 	}
 }
 
@@ -87,6 +116,15 @@ type FTReport struct {
 	// backpressure hints (a subset of replan activity distinct from
 	// Replans, which counts link-degradation replans).
 	HintReplans int
+	// ChangePoints counts the bandwidth regime shifts the online
+	// estimator detected, and EstimatedMbps is its final uplink
+	// estimate (both 0 unless AdaptiveReplan was enabled).
+	ChangePoints  int
+	EstimatedMbps float64
+	// ReplaySamples is the estimator's recorded upload stream, in
+	// arrival order (nil unless EstimatorConfig.Record was set) — the
+	// raw material of a committed estimator.ReplayTrace.
+	ReplaySamples []estimator.ReplaySample
 }
 
 // Runner executes plans fault-tolerantly on top of the pipelined
@@ -131,6 +169,12 @@ func NewRunner(dial func() (net.Conn, error), m *engine.Model, ch netsim.Channel
 	}
 	if opts.Window <= 0 {
 		opts.Window = def.Window
+	}
+	if opts.ReplanMinInterval <= 0 {
+		opts.ReplanMinInterval = def.ReplanMinInterval
+	}
+	if opts.ReplanHysteresis <= 0 {
+		opts.ReplanHysteresis = def.ReplanHysteresis
 	}
 	return &Runner{
 		dial:  dial,
@@ -193,6 +237,13 @@ func (r *Runner) RunPlan(p *core.Plan, inputs []*tensor.Tensor) (*FTReport, erro
 	rng := rand.New(rand.NewSource(r.opts.Seed))
 	backoff := r.opts.BackoffBase
 	nominal := r.ch
+	// The replan bookkeeping — and with AdaptiveReplan the estimator
+	// itself — outlives individual connection attempts: samples and
+	// rate-limit state carry across redials.
+	rs := &replanState{planMbps: nominal.UplinkMbps}
+	if r.opts.AdaptiveReplan {
+		rs.est = estimator.New(r.opts.EstimatorConfig)
+	}
 
 	for attempt := 0; countPending(order) > 0 && attempt <= r.opts.MaxReconnects; attempt++ {
 		if attempt > 0 {
@@ -214,8 +265,8 @@ func (r *Runner) RunPlan(p *core.Plan, inputs []*tensor.Tensor) (*FTReport, erro
 		if err != nil {
 			continue // dial failures consume an attempt and back off
 		}
-		cl := NewClient(conn, r.model, nominal, r.scale).WithObs(r.obsv)
-		fatal, aerr := r.attempt(cl, order, &nominal, ft)
+		cl := NewClient(conn, r.model, nominal, r.scale).WithObs(r.obsv).WithEstimator(rs.est)
+		fatal, aerr := r.attempt(cl, order, rs, &nominal, ft)
 		cl.Close()
 		// Wait for the demux goroutine to exit: once it has, no straggler
 		// reply from this attempt can write into a JobResult that the next
@@ -259,6 +310,11 @@ func (r *Runner) RunPlan(p *core.Plan, inputs []*tensor.Tensor) (*FTReport, erro
 	}
 	sort.Slice(results, func(i, k int) bool { return results[i].JobID < results[k].JobID })
 	ft.Results = results
+	if rs.est != nil {
+		ft.EstimatedMbps, _ = rs.est.Mbps()
+		ft.ChangePoints = len(rs.est.ChangePoints())
+		ft.ReplaySamples = rs.est.Samples()
+	}
 	for _, res := range results {
 		if ms := float64(res.Done.Sub(start).Nanoseconds()) / 1e6; ms > ft.MakespanMs {
 			ft.MakespanMs = ms
@@ -277,12 +333,26 @@ func countPending(order []*ftJob) int {
 	return n
 }
 
+// replanState carries the adaptive-replanning bookkeeping across the
+// connection attempts of one RunPlan: the shared estimator (nil unless
+// AdaptiveReplan), when each replan kind last fired (the min-interval
+// guard that replaced the once-per-batch latches), the bandwidth the
+// current plan was priced at (the hysteresis base), and how many
+// estimator change points have already been acted on.
+type replanState struct {
+	est      *estimator.Estimator
+	last     time.Time // last link-degradation replan (zero = never)
+	hintLast time.Time // last backpressure-hint replan
+	planMbps float64   // uplink bandwidth the current plan assumes
+	cpSeen   int       // change points consumed by earlier replans
+}
+
 // attempt drives one connection: windowed pipelined execution of the
 // remaining jobs in schedule order. A transport failure or a job
 // deadline tears the connection down and returns (false, nil) — the
 // outer loop redials and resubmits whatever is still pending. Only
 // engine/model errors are fatal.
-func (r *Runner) attempt(cl *Client, order []*ftJob, nominal *netsim.Channel, ft *FTReport) (fatal bool, err error) {
+func (r *Runner) attempt(cl *Client, order []*ftJob, rs *replanState, nominal *netsim.Channel, ft *FTReport) (fatal bool, err error) {
 	pending := make([]*ftJob, 0, len(order))
 	for _, j := range order {
 		if !j.done {
@@ -343,8 +413,6 @@ func (r *Runner) attempt(cl *Client, order []*ftJob, nominal *netsim.Channel, ft
 		return true
 	}
 
-	replanned := false
-	hintReplanned := false
 	for i := 0; i < len(pending); i++ {
 		j := pending[i]
 		if j.done {
@@ -378,29 +446,12 @@ func (r *Runner) attempt(cl *Client, order []*ftJob, nominal *netsim.Channel, ft
 			if !drainTo(r.opts.Window - 1) {
 				return fatalErr != nil, fatalErr
 			}
-			// Between windows the link has fresh samples: re-plan the
-			// not-yet-submitted suffix once if the uplink degraded.
-			if !replanned && r.opts.ReplanFactor > 0 && r.curve != nil {
-				if health, samples := cl.LinkHealth(); samples >= 2 && health < r.opts.ReplanFactor {
-					replanned = true
-					replanStart := time.Now()
-					r.replanRemaining(pending[i+1:], health, nominal, ft)
-					r.obsv.span(TrackRunner, SpanReplan, -1, replanStart, time.Now())
-				}
-			}
-			// Likewise for the server's admission-control hints: once
-			// enough replies carry the backpressure flag, surcharge the
-			// offloaded cuts with the observed queue wait and re-plan —
-			// shifting the unsubmitted suffix toward local compute
-			// before the cloud starts shedding.
-			if !hintReplanned && r.opts.BackpressureThreshold > 0 && r.curve != nil {
-				if rate, queueMs, samples := cl.ServerPressure(); samples >= 2 && rate >= r.opts.BackpressureThreshold {
-					hintReplanned = true
-					replanStart := time.Now()
-					r.replanRemainingHint(pending[i+1:], queueMs, nominal, ft)
-					r.obsv.span(TrackRunner, SpanReplan, -1, replanStart, time.Now())
-				}
-			}
+			// Between windows the link has fresh samples. Re-planning is
+			// continuous: any trigger may fire again later in the same
+			// batch (a second regime shift replans a second time),
+			// rate-limited by ReplanMinInterval so the cut never thrashes
+			// on jitter.
+			r.maybeReplan(cl, pending[i+1:], rs, nominal, ft)
 		}
 	}
 	if !drainTo(0) {
@@ -430,12 +481,76 @@ func (r *Runner) finishShedLocal(j *ftJob, ft *FTReport) error {
 	return nil
 }
 
+// maybeReplan is the between-windows re-planning decision point. Three
+// triggers, each under its own ReplanMinInterval rate limit:
+//
+//   - Estimator path (AdaptiveReplan): replan at the EWMA's absolute
+//     bandwidth estimate whenever a change point fired since the last
+//     replan, or the estimate diverged from the bandwidth the current
+//     plan was priced at by more than ReplanHysteresis. Because the
+//     estimate is absolute, repeated replans cannot compound the way
+//     ratio-based repricing would.
+//   - Threshold path (ReplanFactor, estimator off): the legacy
+//     cumulative-health trigger — no longer one-shot, because the
+//     health accounting is rebased on the adopted channel model after
+//     every replan (Client.ResetLinkHealth), so a second degradation
+//     in the same batch is measured against the plan actually in
+//     force and triggers again.
+//   - Hint path (BackpressureThreshold): the server's piggybacked
+//     admission-control hints, unchanged in trigger but rate-limited
+//     instead of latched.
+func (r *Runner) maybeReplan(cl *Client, rest []*ftJob, rs *replanState, nominal *netsim.Channel, ft *FTReport) {
+	if r.curve == nil || len(rest) == 0 {
+		return
+	}
+	now := time.Now()
+	if rs.est != nil {
+		if now.Sub(rs.last) >= r.opts.ReplanMinInterval {
+			est, n := rs.est.Mbps()
+			cps := rs.est.ChangePoints()
+			shifted := len(cps) > rs.cpSeen
+			diverged := rs.planMbps > 0 && math.Abs(est-rs.planMbps)/rs.planMbps > r.opts.ReplanHysteresis
+			if n >= 2 && (shifted || diverged) {
+				r.obsv.event(TrackRunner, EventReplanTrigger, -1, now)
+				replanStart := time.Now()
+				if r.replanRemainingAt(rest, est, nominal, ft) {
+					rs.cpSeen = len(cps)
+					rs.planMbps = est
+					rs.last = time.Now()
+					cl.ResetLinkHealth(*nominal)
+				}
+				r.obsv.span(TrackRunner, SpanReplan, -1, replanStart, time.Now())
+			}
+		}
+	} else if r.opts.ReplanFactor > 0 && now.Sub(rs.last) >= r.opts.ReplanMinInterval {
+		if health, samples := cl.LinkHealth(); samples >= 2 && health < r.opts.ReplanFactor {
+			replanStart := time.Now()
+			if r.replanRemaining(rest, health, nominal, ft) {
+				rs.planMbps = nominal.UplinkMbps
+				rs.last = time.Now()
+				cl.ResetLinkHealth(*nominal)
+			}
+			r.obsv.span(TrackRunner, SpanReplan, -1, replanStart, time.Now())
+		}
+	}
+	if r.opts.BackpressureThreshold > 0 && now.Sub(rs.hintLast) >= r.opts.ReplanMinInterval {
+		if rate, queueMs, samples := cl.ServerPressure(); samples >= 2 && rate >= r.opts.BackpressureThreshold {
+			replanStart := time.Now()
+			if r.replanRemainingHint(rest, queueMs, nominal, ft) {
+				rs.hintLast = time.Now()
+			}
+			r.obsv.span(TrackRunner, SpanReplan, -1, replanStart, time.Now())
+		}
+	}
+}
+
 // replanRemaining reprices the curve at the measured bandwidth, runs
 // the JPS planner for the still-unsubmitted jobs, and rewrites their
-// cuts and order in place. Planner errors leave the old plan standing.
-func (r *Runner) replanRemaining(rest []*ftJob, health float64, nominal *netsim.Channel, ft *FTReport) {
+// cuts and order in place. Planner errors leave the old plan standing
+// and report false.
+func (r *Runner) replanRemaining(rest []*ftJob, health float64, nominal *netsim.Channel, ft *FTReport) bool {
 	if len(rest) == 0 {
-		return
+		return false
 	}
 	measured := netsim.Channel{
 		Name:       nominal.Name + "-degraded",
@@ -444,7 +559,7 @@ func (r *Runner) replanRemaining(rest []*ftJob, health float64, nominal *netsim.
 	}
 	p2, err := core.Replan(r.curve, measured, len(rest))
 	if err != nil {
-		return
+		return false
 	}
 	applyPlan(rest, p2)
 	*nominal = measured // later attempts plan and measure against the degraded link
@@ -453,26 +568,59 @@ func (r *Runner) replanRemaining(rest []*ftJob, health float64, nominal *netsim.
 	if o := r.obsv; o != nil {
 		o.Replans.Inc()
 	}
+	return true
+}
+
+// replanRemainingAt reprices the curve at the estimator's absolute
+// bandwidth estimate and replans the still-unsubmitted jobs. Unlike
+// replanRemaining there is no health ratio against a channel model:
+// the estimate is ground truth in Mb/s, so the adopted channel is
+// exact regardless of how many replans preceded it. Planner errors
+// leave the old plan standing and report false.
+func (r *Runner) replanRemainingAt(rest []*ftJob, mbps float64, nominal *netsim.Channel, ft *FTReport) bool {
+	if len(rest) == 0 || mbps <= 0 {
+		return false
+	}
+	measured := netsim.Channel{
+		Name:         nominal.Name + "-est",
+		UplinkMbps:   mbps,
+		SetupMs:      nominal.SetupMs,
+		DownlinkMbps: nominal.DownlinkMbps,
+	}
+	p2, err := core.Replan(r.curve, measured, len(rest))
+	if err != nil {
+		return false
+	}
+	applyPlan(rest, p2)
+	*nominal = measured
+	ft.Replans++
+	ft.ReplannedMbps = mbps
+	if o := r.obsv; o != nil {
+		o.Replans.Inc()
+	}
+	return true
 }
 
 // replanRemainingHint re-plans the still-unsubmitted jobs against the
 // server's backpressure hint: same bandwidth, but every offloaded cut
 // surcharged with the observed mean queue wait, so the planner shifts
 // work toward local compute. Planner errors leave the old plan
-// standing; the channel model is untouched (the link itself is fine).
-func (r *Runner) replanRemainingHint(rest []*ftJob, queueMs float64, nominal *netsim.Channel, ft *FTReport) {
+// standing and report false; the channel model is untouched (the link
+// itself is fine).
+func (r *Runner) replanRemainingHint(rest []*ftJob, queueMs float64, nominal *netsim.Channel, ft *FTReport) bool {
 	if len(rest) == 0 {
-		return
+		return false
 	}
 	p2, err := core.ReplanWithHint(r.curve, *nominal, len(rest), core.ServerHint{QueueMs: queueMs})
 	if err != nil {
-		return
+		return false
 	}
 	applyPlan(rest, p2)
 	ft.HintReplans++
 	if o := r.obsv; o != nil {
 		o.Replans.Inc()
 	}
+	return true
 }
 
 // applyPlan rewrites the cuts and order of the still-unsubmitted jobs

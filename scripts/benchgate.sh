@@ -28,7 +28,7 @@ trap 'rm -f "$RAW"' EXIT
 # scheduler noise on runs that take >= 50ms each, cheap enough to live
 # inside the tier-1 loop.
 go test -run NONE -bench 'Forward' -benchmem -benchtime 3x ./internal/engine/ | tee "$RAW"
-go test -run NONE -bench 'FleetServer' -benchmem -benchtime 3x ./internal/runtime/ | tee -a "$RAW"
+go test -run NONE -bench 'FleetServer|RunnerAdaptive' -benchmem -benchtime 3x ./internal/runtime/ | tee -a "$RAW"
 
 awk '
 # Pass 1 (baseline JSON, one object per line as bench.sh writes it).
@@ -42,7 +42,11 @@ FNR == NR {
     }
     next
 }
-# Pass 2 (fresh `go test -bench` output).
+# Pass 2 (fresh `go test -bench` output). RunnerAdaptive is exempt
+# from the absolute gate: its wall time is mostly calibrated
+# simulated-link sleeps, which swing with the host load present at
+# calibration — the adaptive/static ratio stanza below is its gate.
+/^BenchmarkRunnerAdaptive/ { next }
 /^Benchmark/ {
     name = $1; ns = $3
     allocs = ""
@@ -90,5 +94,27 @@ END {
         exit 1
     }
     printf "benchgate: ok FleetServer batched/solo = %.2fx\n", r
+}
+' "$RAW"
+
+# Adaptive-overhead gate: on a healthy link the online estimator
+# (per-upload sample fold + between-windows divergence check) must be
+# free against the pipeline — no change point fires, so the adaptive
+# runner does the same work as the static one plus bookkeeping.
+# Within-run ratio, host-independent like the Fleet gate above.
+awk '
+/^BenchmarkRunnerAdaptive\/static/   { for (i = 1; i <= NF; i++) if ($(i) == "ns/job") static = $(i-1) }
+/^BenchmarkRunnerAdaptive\/adaptive/ { for (i = 1; i <= NF; i++) if ($(i) == "ns/job") adaptive = $(i-1) }
+END {
+    if (static == "" || adaptive == "") {
+        print "benchgate: FAIL RunnerAdaptive ns/job missing from bench output"
+        exit 1
+    }
+    r = adaptive / static
+    if (r > 1.15) {
+        printf "benchgate: FAIL RunnerAdaptive adaptive %.0f ns/job vs static %.0f (%.2fx > 1.15x)\n", adaptive, static, r
+        exit 1
+    }
+    printf "benchgate: ok RunnerAdaptive adaptive/static = %.2fx\n", r
 }
 ' "$RAW"

@@ -40,6 +40,17 @@ go test -race ./internal/engine/... ./internal/flowshop/...
 echo "== go test -race -count=2 (runtime pipeline)"
 go test -race -count=2 ./internal/runtime/...
 
+echo "== go test -race (estimator)"
+go test -race ./internal/estimator/...
+
+echo "== adaptive replanning deflake (3x, timing-sensitive live runs)"
+# The adaptive tests drive real loopback connections through the
+# scripted-degradation injector; three back-to-back runs catch
+# scheduler-dependent flakiness before it lands. The regression corpus
+# replay (internal/regression) is pure arithmetic and runs under the
+# plain `go test ./...` above.
+go test -run Adapt -count=3 ./internal/runtime/... ./internal/estimator/... ./internal/experiments/...
+
 echo "== fuzz smoke (10s per target)"
 # Each wire decoder and the fault injector get a short coverage-guided
 # run on top of the committed seed corpora in testdata/fuzz/. A crash
@@ -56,6 +67,7 @@ for target in FuzzReadTensor FuzzHandleConn FuzzReadInferRequest FuzzReadInferRe
     fuzz_smoke "$target" ./internal/runtime/
 done
 fuzz_smoke FuzzInjector ./internal/netsim/
+fuzz_smoke FuzzEstimator ./internal/estimator/
 
 echo "== multi-client e2e smoke (jpsserve, 4 tenants, SIGTERM drain)"
 SMOKE_LOG="$(mktemp)"
