@@ -46,7 +46,7 @@ func withDownlink(ch netsim.Channel) netsim.Channel {
 func main() {
 	var (
 		all        = flag.Bool("all", false, "run every experiment")
-		fig        = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, quant, 3tier, robust, runtime, faults, trace, batch, fleet, adapt")
+		fig        = flag.String("fig", "", "experiment id: 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, quant, 3tier, chain, robust, runtime, faults, trace, batch, fleet, adapt")
 		model      = flag.String("model", "alexnet", "model for figure 4/13 (alexnet, mobilenetv2, ...)")
 		n          = flag.Int("n", 100, "number of inference jobs")
 		csvDir     = flag.String("csv", "", "directory to also write tables as CSV")
@@ -66,7 +66,7 @@ func main() {
 
 	ids := []string{*fig}
 	if *all {
-		ids = []string{"4", "11", "12", "12d", "table1", "13", "14", "ablations", "hetero", "stream", "dtypes", "quant", "3tier", "robust"}
+		ids = []string{"4", "11", "12", "12d", "table1", "13", "14", "ablations", "hetero", "stream", "dtypes", "quant", "3tier", "chain", "robust"}
 	}
 	if !*all && *fig == "" {
 		flag.Usage()
@@ -265,6 +265,19 @@ func run(env experiments.Env, id, model, traceOut, traceJSON, adaptTrace string)
 			return nil, err
 		}
 		return []*report.Table{experiments.ThreeTierTable(rows)}, nil
+	case "chain":
+		// k-way chains: the depth sweep uses -n jobs; the heuristic-gap
+		// leg fixes n=2 because the brute-force baseline enumerates
+		// multisets over the full cut-tuple space and is exponential in n.
+		rows, err := experiments.ChainDepth(env)
+		if err != nil {
+			return nil, err
+		}
+		gaps, err := experiments.ChainGap(env, 2)
+		if err != nil {
+			return nil, err
+		}
+		return []*report.Table{experiments.ChainDepthTable(rows), experiments.ChainGapTable(gaps)}, nil
 	case "batch":
 		// Live execution of the server-side coalescer: a cloud-only
 		// plan floods the server at each job count, once with batching
@@ -329,7 +342,7 @@ func run(env experiments.Env, id, model, traceOut, traceJSON, adaptTrace string)
 		}
 		return []*report.Table{experiments.RobustnessTable(model, netsim.FourG, rows)}, nil
 	default:
-		return nil, fmt.Errorf("unknown experiment %q (have 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, quant, 3tier, robust, runtime, faults, trace, batch, fleet, adapt)", id)
+		return nil, fmt.Errorf("unknown experiment %q (have 4, 11, 12, 12d, table1, 13, 14, ablations, hetero, stream, dtypes, quant, 3tier, chain, robust, runtime, faults, trace, batch, fleet, adapt)", id)
 	}
 }
 

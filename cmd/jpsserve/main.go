@@ -21,6 +21,16 @@
 //
 //	jpsserve -model alexnet -tenants gold:2,bronze:1 -shed-watermark 48
 //
+// With -next-hop the server becomes a middle stage of a device chain
+// instead of the terminal cloud: requests cut before -next-cut are
+// computed up to that boundary and forwarded to the named downstream
+// jpsserve over the same wire protocol (see DESIGN.md "k-way chains").
+// Forwarding stages never coalesce batches, so -next-hop rejects
+// -batch-window:
+//
+//	jpsserve -model alexnet -addr :7444                      # terminal
+//	jpsserve -model alexnet -next-hop :7444 -next-cut 5      # middle stage
+//
 // For fault-tolerance testing the server can degrade its own side of
 // every accepted connection with the netsim fault injector, including
 // a scripted bandwidth profile (comma-separated afterMs:mbps steps,
@@ -48,6 +58,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -80,6 +91,9 @@ func main() {
 		tenants  = flag.String("tenants", "", "comma-separated tenant:weight WFQ weights, e.g. gold:2,bronze:1 (unlisted tenants get weight 1)")
 		shedMark = flag.Int("shed-watermark", 0, "queue depth at which new infer jobs are shed with a Class -1 reply; backpressure hints start at half this (0 = disabled)")
 
+		nextHop = flag.String("next-hop", "", "forward work past -next-cut to this downstream jpsserve (host:port); turns this server into a middle chain stage (empty = terminal)")
+		nextCut = flag.Int("next-cut", 0, "handoff unit boundary for -next-hop: this stage computes up to it, the next hop takes the rest")
+
 		faultDrop    = flag.Float64("fault-drop", 0, "probability of dropping each frame in either direction")
 		faultStall   = flag.Float64("fault-stall-p", 0, "probability of stalling each frame")
 		stallMs      = flag.Float64("fault-stall-ms", 50, "stall duration in channel-model ms (with -fault-stall-p)")
@@ -101,6 +115,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "jpsserve:", err)
 		os.Exit(2)
 	}
+	if *nextHop != "" && *batchWindow > 0 {
+		fmt.Fprintln(os.Stderr, "jpsserve: -next-hop is incompatible with -batch-window: a coalesced batch would bypass the handoff")
+		os.Exit(2)
+	}
+	if *nextHop == "" && *nextCut != 0 {
+		fmt.Fprintln(os.Stderr, "jpsserve: -next-cut requires -next-hop")
+		os.Exit(2)
+	}
 	spec := netsim.FaultSpec{
 		DropProb:             *faultDrop,
 		StallProb:            *faultStall,
@@ -112,6 +134,7 @@ func main() {
 		model: *model, addr: *addr, seed: *seed, workers: *workers, conc: *conc,
 		batchWindow: *batchWindow, batchMax: *batchMax, downMbps: *downMbps,
 		tenants: weights, shedWatermark: *shedMark,
+		nextHop: *nextHop, nextCut: *nextCut,
 		spec: spec, faultSeed: *faultSeed,
 		metricsAddr: *metricsAddr, traceOut: *traceOut,
 	}
@@ -134,13 +157,16 @@ func parseDegrade(s string) ([]netsim.DegradeStep, error) {
 		if !ok {
 			return nil, fmt.Errorf("-fault-degrade: %q is not afterMs:mbps", part)
 		}
+		// ParseFloat accepts "NaN" and "Inf", and NaN compares false with
+		// everything, so a plain `< 0` guard lets both through — require
+		// finite explicitly.
 		after, err := strconv.ParseFloat(at, 64)
-		if err != nil || after < 0 {
-			return nil, fmt.Errorf("-fault-degrade: %q needs a non-negative afterMs", part)
+		if err != nil || math.IsNaN(after) || math.IsInf(after, 0) || after < 0 {
+			return nil, fmt.Errorf("-fault-degrade: %q needs a finite non-negative afterMs", part)
 		}
 		mbps, err := strconv.ParseFloat(ms, 64)
-		if err != nil || mbps < 0 {
-			return nil, fmt.Errorf("-fault-degrade: %q needs a non-negative mbps (0 lifts the cap)", part)
+		if err != nil || math.IsNaN(mbps) || math.IsInf(mbps, 0) || mbps < 0 {
+			return nil, fmt.Errorf("-fault-degrade: %q needs a finite non-negative mbps (0 lifts the cap)", part)
 		}
 		if n := len(steps); n > 0 && after <= steps[n-1].AfterMs {
 			return nil, fmt.Errorf("-fault-degrade: steps must be in increasing afterMs order, got %g after %g", after, steps[n-1].AfterMs)
@@ -161,9 +187,14 @@ func parseTenants(s string) (map[string]float64, error) {
 		if !ok || name == "" {
 			return nil, fmt.Errorf("-tenants: %q is not name:weight", part)
 		}
+		// NaN <= 0 is false, so the positivity guard alone would admit a
+		// NaN weight and poison every WFQ virtual-time comparison.
 		w, err := strconv.ParseFloat(ws, 64)
-		if err != nil || w <= 0 {
-			return nil, fmt.Errorf("-tenants: %q needs a positive weight", part)
+		if err != nil || math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+			return nil, fmt.Errorf("-tenants: %q needs a finite positive weight", part)
+		}
+		if _, dup := weights[name]; dup {
+			return nil, fmt.Errorf("-tenants: duplicate tenant %q", name)
 		}
 		weights[name] = w
 	}
@@ -205,6 +236,8 @@ type serveConfig struct {
 	downMbps      float64
 	tenants       map[string]float64
 	shedWatermark int
+	nextHop       string
+	nextCut       int
 	spec          netsim.FaultSpec
 	faultSeed     int64
 	metricsAddr   string
@@ -240,6 +273,19 @@ func run(cfg serveConfig) error {
 		fmt.Printf("admission control: shed at queue depth %d, hints from %d\n",
 			cfg.shedWatermark, max(1, cfg.shedWatermark/2))
 		srv.WithShedWatermark(cfg.shedWatermark)
+	}
+	if cfg.nextHop != "" {
+		// main validates this at flag time; guard again for callers that
+		// build a serveConfig directly.
+		if cfg.batchWindow > 0 {
+			lis.Close()
+			return fmt.Errorf("next-hop forwarding is incompatible with batching")
+		}
+		if _, err := srv.WithNextHop(cfg.nextHop, cfg.nextCut); err != nil {
+			lis.Close()
+			return err
+		}
+		fmt.Printf("chain stage: computing up to unit %d, forwarding to %s\n", cfg.nextCut, cfg.nextHop)
 	}
 	// The server's writes are the client's downlink: pacing them models
 	// reply bandwidth without the client's cooperation.

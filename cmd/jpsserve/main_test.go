@@ -28,6 +28,18 @@ func TestRunRejectsBadInputs(t *testing.T) {
 		metricsAddr: "256.256.256.256:99999"}); err == nil {
 		t.Error("unlistenable metrics address must error")
 	}
+	if err := run(serveConfig{model: "squeezenet", addr: "127.0.0.1:0", seed: 1, batchMax: 16, faultSeed: 1,
+		nextHop: "127.0.0.1:1", nextCut: 0, batchWindow: time.Millisecond}); err == nil {
+		t.Error("next-hop combined with batching must error")
+	}
+	if err := run(serveConfig{model: "squeezenet", addr: "127.0.0.1:0", seed: 1, batchMax: 16, faultSeed: 1,
+		nextHop: "127.0.0.1:1", nextCut: 9999}); err == nil {
+		t.Error("out-of-range next-cut must error")
+	}
+	if err := run(serveConfig{model: "squeezenet", addr: "127.0.0.1:0", seed: 1, batchMax: 16, faultSeed: 1,
+		nextHop: "127.0.0.1:1", nextCut: -1}); err == nil {
+		t.Error("negative next-cut must error")
+	}
 }
 
 func TestParseTenants(t *testing.T) {
@@ -38,9 +50,35 @@ func TestParseTenants(t *testing.T) {
 	if w, err := parseTenants(""); err != nil || w != nil {
 		t.Errorf("empty spec: %v, %v", w, err)
 	}
-	for _, bad := range []string{"gold", "gold:", ":2", "gold:0", "gold:-1", "gold:two"} {
+	// ParseFloat accepts "NaN"/"Inf" spellings and NaN <= 0 is false, so
+	// these once slipped through the positivity guard; duplicates were
+	// silently last-wins. All must now fail fast.
+	for _, bad := range []string{
+		"gold", "gold:", ":2", "gold:0", "gold:-1", "gold:two",
+		"gold:NaN", "gold:nan", "gold:Inf", "gold:+Inf", "gold:-Inf",
+		"gold:2,gold:3", "gold:2,bronze:1,gold:2",
+	} {
 		if _, err := parseTenants(bad); err == nil {
 			t.Errorf("parseTenants(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseDegrade(t *testing.T) {
+	steps, err := parseDegrade("0:8, 500:2,1000:0")
+	if err != nil || len(steps) != 3 || steps[1].AfterMs != 500 || steps[1].Mbps != 2 {
+		t.Errorf("parseDegrade = %v, %v", steps, err)
+	}
+	if steps, err := parseDegrade(""); err != nil || steps != nil {
+		t.Errorf("empty spec: %v, %v", steps, err)
+	}
+	for _, bad := range []string{
+		"200", "200:", ":2", "-1:2", "200:-2", "a:2", "200:b",
+		"500:2,200:4", "200:2,200:4", // out of order / duplicate afterMs
+		"NaN:2", "200:NaN", "Inf:2", "200:Inf", "200:+Inf", "200:-Inf",
+	} {
+		if _, err := parseDegrade(bad); err == nil {
+			t.Errorf("parseDegrade(%q) accepted", bad)
 		}
 	}
 }

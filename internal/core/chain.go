@@ -1,0 +1,415 @@
+package core
+
+// k-way pipeline partitioning over an ordered device chain — the
+// generalization past the paper's single mobile→cloud cut (and past
+// threetier.go's hardcoded two-cut form) toward Parthasarathy-style
+// multi-segment placement. A Chain is d devices joined by d-1 links;
+// every job is split by k = d-1 non-decreasing cuts on the line view,
+// so device 0 computes through cuts[0], link l carries the tensor at
+// cuts[l], and device d-1 finishes. The scheduled pipeline is device-0
+// compute plus the k link transmissions: a (k+1)-machine permutation
+// flow shop priced by flowshop.ScheduleM. As in the three-tier model,
+// intermediate and terminal device compute is validated, not
+// scheduled — each hop has its own executor per job.
+//
+// The existing planners are exact special cases, pinned by parity
+// tests: a 2-device chain IS the paper's two-tier problem (JPSChain
+// delegates to JPS, reply pricing included), and a 3-device chain
+// reproduces JPSThreeTier bit-identically — same candidate order, same
+// best/runner-up selection, same mixing splits, same flow-shop code
+// underneath (Schedule3 is a wrapper over ScheduleM).
+
+import (
+	"fmt"
+	"math"
+
+	"dnnjps/internal/dag"
+	"dnnjps/internal/flowshop"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/tensor"
+)
+
+// Chain is an ordered offloading topology: Devices[0] holds the jobs,
+// Links[l] connects Devices[l] to Devices[l+1].
+type Chain struct {
+	Devices []profile.Device
+	Links   []netsim.Channel
+	DType   tensor.DType
+}
+
+// TwoTierChain wraps the paper's mobile→cloud pair as a 1-link chain.
+func TwoTierChain(mobile, cloud profile.Device, uplink netsim.Channel, dt tensor.DType) Chain {
+	return Chain{
+		Devices: []profile.Device{mobile, cloud},
+		Links:   []netsim.Channel{uplink},
+		DType:   dt,
+	}
+}
+
+// Chain reconstructs the three-tier env as a 2-link chain
+// (mobile→edge→cloud); JPSChain on it reproduces JPSThreeTier exactly.
+func (e ThreeTierEnv) Chain() Chain {
+	return Chain{
+		Devices: []profile.Device{e.Mobile, e.Edge, e.Cloud},
+		Links:   []netsim.Channel{e.Uplink, e.Backhaul},
+		DType:   e.DType,
+	}
+}
+
+// Depth returns the number of cuts per job (= number of links).
+func (c Chain) Depth() int { return len(c.Links) }
+
+// Validate rejects chains the planner cannot price: too few devices,
+// mismatched link count, and — the silent-degeneracy bugfix — links
+// whose bandwidth is zero, negative, NaN or infinite, which would turn
+// TxMs into +Inf/NaN and poison every downstream makespan instead of
+// failing here with a message.
+func (c Chain) Validate() error {
+	if len(c.Devices) < 2 {
+		return fmt.Errorf("core: chain needs >= 2 devices, got %d", len(c.Devices))
+	}
+	if len(c.Links) != len(c.Devices)-1 {
+		return fmt.Errorf("core: chain with %d devices needs %d links, got %d",
+			len(c.Devices), len(c.Devices)-1, len(c.Links))
+	}
+	for l, ch := range c.Links {
+		if math.IsNaN(ch.UplinkMbps) || math.IsInf(ch.UplinkMbps, 0) || ch.UplinkMbps <= 0 {
+			return fmt.Errorf("core: chain link %d (%s) has unusable uplink bandwidth %g Mb/s",
+				l, ch.Name, ch.UplinkMbps)
+		}
+		if math.IsNaN(ch.SetupMs) || math.IsInf(ch.SetupMs, 0) || ch.SetupMs < 0 {
+			return fmt.Errorf("core: chain link %d (%s) has unusable setup latency %g ms",
+				l, ch.Name, ch.SetupMs)
+		}
+		if math.IsNaN(ch.DownlinkMbps) || math.IsInf(ch.DownlinkMbps, 0) {
+			return fmt.Errorf("core: chain link %d (%s) has unusable downlink bandwidth %g Mb/s",
+				l, ch.Name, ch.DownlinkMbps)
+		}
+	}
+	return nil
+}
+
+// ChainPlan is a joint k-cut partition plus m-machine schedule for n
+// identical jobs.
+type ChainPlan struct {
+	Method string
+	// Cuts[i] is job i's non-decreasing cut tuple (len = chain depth)
+	// on the line view.
+	Cuts     [][]int
+	Sequence []flowshop.JobM
+	Makespan float64
+}
+
+// AvgMs is Makespan / n; 0 for an empty plan (no jobs, no NaN).
+func (p *ChainPlan) AvgMs() float64 {
+	if len(p.Cuts) == 0 {
+		return 0
+	}
+	return p.Makespan / float64(len(p.Cuts))
+}
+
+// chainCurves profiles the model once per device and link. Like
+// threeTierCurves it derives every transmission from the device-0
+// curve's tensor volumes (Bytes is a pure model/dtype property), so
+// linkMs[l][i] is the time for the tensor at position i to cross link
+// l, exactly 0 at the last position (zero-byte payload).
+type chainCurves struct {
+	// f[d][i]: cumulative compute ms through position i on device d.
+	f [][]float64
+	// linkMs[l][i]: transmission ms of the tensor at position i over
+	// link l (no reply leg — replies ride the last hop back and are
+	// priced only by the two-tier special case, matching threetier.go).
+	linkMs [][]float64
+	pareto []int
+	n      int
+}
+
+func buildChainCurves(g *dag.Graph, ch Chain) *chainCurves {
+	d := len(ch.Devices)
+	last := ch.Devices[d-1]
+	base := profile.BuildCurve(g, ch.Devices[0], last, ch.Links[0], ch.DType)
+	c := &chainCurves{
+		f:      make([][]float64, d),
+		linkMs: make([][]float64, len(ch.Links)),
+		pareto: base.ParetoCuts(),
+		n:      base.Len(),
+	}
+	c.f[0] = base.F
+	for dev := 1; dev < d; dev++ {
+		c.f[dev] = profile.BuildCurve(g, ch.Devices[dev], last, ch.Links[dev-1], ch.DType).F
+	}
+	for l, link := range ch.Links {
+		ms := make([]float64, c.n)
+		for i := 0; i < c.n; i++ {
+			ms[i] = link.TxMs(base.Bytes[i])
+		}
+		c.linkMs[l] = ms
+	}
+	return c
+}
+
+// stagesFor prices one job's pipeline stages for a non-decreasing cut
+// tuple: device-0 compute through cuts[0], then link l's transmission
+// of the tensor at cuts[l]. Degenerate tuples inherit the (verified)
+// three-tier semantics: cuts[l-1] == cuts[l] means nothing runs on
+// device l but the tensor still pays both adjacent hops, and any cut
+// at the last position transmits zero bytes, hence exactly 0 ms — no
+// special-casing needed (TestChainDegenerateGrid pins this).
+func (c *chainCurves) stagesFor(cuts []int) []float64 {
+	st := make([]float64, len(cuts)+1)
+	st[0] = c.f[0][cuts[0]]
+	for l, cut := range cuts {
+		st[l+1] = c.linkMs[l][cut]
+	}
+	return st
+}
+
+// segmentComputeMs is the unscheduled compute of device d for a tuple:
+// the span (cuts[d-1], cuts[d]] evaluated on that device's curve
+// (cuts[depth] is implicitly the end). Used for validation only.
+func (c *chainCurves) segmentComputeMs(dev int, cuts []int) float64 {
+	lo := cuts[dev-1]
+	hi := c.n - 1
+	if dev < len(cuts) {
+		hi = cuts[dev]
+	}
+	return c.f[dev][hi] - c.f[dev][lo]
+}
+
+// enumTuples yields every non-decreasing k-tuple over the Pareto
+// candidates in lexicographic order (first cut outermost — for k=2
+// this is exactly JPSThreeTier's lo-outer/hi-inner pair loop).
+func enumTuples(pareto []int, k int, visit func(cuts []int)) {
+	cuts := make([]int, k)
+	var rec func(pos, start int)
+	rec = func(pos, start int) {
+		if pos == k {
+			visit(cuts)
+			return
+		}
+		for i := start; i < len(pareto); i++ {
+			cuts[pos] = pareto[i]
+			rec(pos+1, i)
+		}
+	}
+	rec(0, 0)
+}
+
+// JPSChain jointly picks k cuts per job and an m-machine schedule for
+// a chain. Depth 1 is the paper's exact problem and delegates to JPS
+// (Alg. 2 + Thm 5.3 + Johnson, reply pricing included). Deeper chains
+// generalize the three-tier search: enumerate non-decreasing Pareto
+// tuples, rank by peak stage (the asymptotic average-makespan driver),
+// and mix the best two candidates across jobs at a few splits, each
+// priced by the full CDS-m/NEH-m/descent sequencer. O(C(p+k-1,k))
+// tuples over p Pareto cuts — model-sized p keeps this in
+// milliseconds even at depth 4.
+func JPSChain(g *dag.Graph, ch Chain, n int) (*ChainPlan, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("core: JPSChain needs n >= 1, got %d", n)
+	}
+	if ch.Depth() == 1 {
+		curve := profile.BuildCurve(g, ch.Devices[0], ch.Devices[1], ch.Links[0], ch.DType)
+		p, err := JPS(curve, n)
+		if err != nil {
+			return nil, err
+		}
+		return chainPlanFromTwoTier("JPS-chain", p), nil
+	}
+	c := buildChainCurves(g, ch)
+	k := ch.Depth()
+
+	type cand struct {
+		cuts []int
+		peak float64
+	}
+	var cands []cand
+	enumTuples(c.pareto, k, func(cuts []int) {
+		st := c.stagesFor(cuts)
+		peak := st[0]
+		for _, s := range st[1:] {
+			if s > peak {
+				peak = s
+			}
+		}
+		cands = append(cands, cand{cuts: append([]int(nil), cuts...), peak: peak})
+	})
+	// Best and runner-up by peak stage — same selection (and the same
+	// tie-breaking quirks) as JPSThreeTier, which this code must
+	// reproduce bit-for-bit at k=2.
+	bestIdx, secondIdx := 0, 0
+	for i, p := range cands {
+		if p.peak < cands[bestIdx].peak {
+			secondIdx = bestIdx
+			bestIdx = i
+		} else if p.peak < cands[secondIdx].peak || secondIdx == bestIdx {
+			if i != bestIdx {
+				secondIdx = i
+			}
+		}
+	}
+
+	evaluate := func(mixAt int) *ChainPlan {
+		plan := &ChainPlan{Method: "JPS-chain", Cuts: make([][]int, n)}
+		jobs := make([]flowshop.JobM, n)
+		for i := 0; i < n; i++ {
+			p := cands[bestIdx]
+			if i < mixAt {
+				p = cands[secondIdx]
+			}
+			plan.Cuts[i] = append([]int(nil), p.cuts...)
+			jobs[i] = flowshop.JobM{ID: i, Stages: c.stagesFor(p.cuts)}
+		}
+		plan.Sequence = flowshop.ScheduleM(jobs)
+		plan.Makespan = flowshop.MakespanM(plan.Sequence)
+		return plan
+	}
+
+	best := evaluate(0)
+	for _, m := range []int{n / 4, n / 2, 3 * n / 4, n} {
+		if cand := evaluate(m); cand.Makespan < best.Makespan {
+			best = cand
+		}
+	}
+	return best, nil
+}
+
+// chainPlanFromTwoTier lifts a two-stage Plan into the chain shape:
+// each cut becomes a 1-tuple, each Johnson job a 2-stage JobM. The
+// makespan carries over unchanged (same recurrence, same floats).
+func chainPlanFromTwoTier(method string, p *Plan) *ChainPlan {
+	out := &ChainPlan{Method: method, Cuts: make([][]int, len(p.Cuts)), Makespan: p.Makespan}
+	for i, cut := range p.Cuts {
+		out.Cuts[i] = []int{cut}
+	}
+	out.Sequence = make([]flowshop.JobM, len(p.Sequence))
+	for i, j := range p.Sequence {
+		out.Sequence[i] = flowshop.JobM{ID: j.ID, Stages: []float64{j.A, j.B}}
+	}
+	return out
+}
+
+// OneCutChain is the single-cut baseline on a deep chain: one cut at
+// device 0, the tensor crossing every link back to back, all
+// intermediate devices pass-through — the straight generalization of
+// TwoTierAsThreeTier (bit-identical to it on 3-device chains). The
+// chain-depth experiment measures JPSChain against it.
+func OneCutChain(g *dag.Graph, ch Chain, n int) (*ChainPlan, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("core: OneCutChain needs n >= 1, got %d", n)
+	}
+	c := buildChainCurves(g, ch)
+	k := ch.Depth()
+	tuple := func(lo int) []int {
+		cuts := make([]int, k)
+		for l := range cuts {
+			cuts[l] = lo
+		}
+		return cuts
+	}
+	bestLo, bestPeak := c.pareto[0], -1.0
+	for _, lo := range c.pareto {
+		st := c.stagesFor(tuple(lo))
+		peak := st[0]
+		for _, s := range st[1:] {
+			if s > peak {
+				peak = s
+			}
+		}
+		if bestPeak < 0 || peak < bestPeak {
+			bestLo, bestPeak = lo, peak
+		}
+	}
+	plan := &ChainPlan{Method: "1cut-chain", Cuts: make([][]int, n)}
+	jobs := make([]flowshop.JobM, n)
+	for i := 0; i < n; i++ {
+		plan.Cuts[i] = tuple(bestLo)
+		jobs[i] = flowshop.JobM{ID: i, Stages: c.stagesFor(plan.Cuts[i])}
+	}
+	plan.Sequence = flowshop.CDSM(jobs)
+	plan.Makespan = flowshop.MakespanM(plan.Sequence)
+	return plan, nil
+}
+
+// ChainBruteForce is the offline-optimal baseline (à la DOPart's MILP
+// reference): enumerate every multiset of size n over the full
+// non-decreasing Pareto tuple set, sequence each exhaustively when
+// n <= 7 (else with ScheduleM, still exact over partitions), and keep
+// the best. Exponential — the heuristic-gap experiments run it at
+// small n/depth; maxCombos bounds the multisets visited (0 means
+// 200_000) and ErrSearchSpaceTooLarge reports overflow.
+func ChainBruteForce(g *dag.Graph, ch Chain, n, maxCombos int) (*ChainPlan, error) {
+	if err := ch.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("core: ChainBruteForce needs n >= 1, got %d", n)
+	}
+	if maxCombos <= 0 {
+		maxCombos = 200_000
+	}
+	c := buildChainCurves(g, ch)
+	var tuples [][]int
+	enumTuples(c.pareto, ch.Depth(), func(cuts []int) {
+		tuples = append(tuples, append([]int(nil), cuts...))
+	})
+	t := len(tuples)
+	if combosExceed(n, t, maxCombos) {
+		return nil, fmt.Errorf("%w: C(%d+%d-1,%d) > %d", ErrSearchSpaceTooLarge, n, t, n, maxCombos)
+	}
+
+	sequence := func(jobs []flowshop.JobM) []flowshop.JobM {
+		if len(jobs) <= 7 {
+			seq, _, _ := flowshop.BestPermutationM(jobs)
+			return seq
+		}
+		return flowshop.ScheduleM(jobs)
+	}
+
+	counts := make([]int, t)
+	var best *ChainPlan
+	visited := 0
+	var rec func(pos, remaining int) error
+	rec = func(pos, remaining int) error {
+		if pos == t-1 {
+			counts[pos] = remaining
+			visited++
+			if visited > maxCombos {
+				return ErrSearchSpaceTooLarge
+			}
+			plan := &ChainPlan{Method: "BF-chain", Cuts: make([][]int, 0, n)}
+			jobs := make([]flowshop.JobM, 0, n)
+			for ti, cnt := range counts {
+				for j := 0; j < cnt; j++ {
+					plan.Cuts = append(plan.Cuts, tuples[ti])
+					jobs = append(jobs, flowshop.JobM{ID: len(jobs), Stages: c.stagesFor(tuples[ti])})
+				}
+			}
+			plan.Sequence = sequence(jobs)
+			plan.Makespan = flowshop.MakespanM(plan.Sequence)
+			if best == nil || plan.Makespan < best.Makespan {
+				best = plan
+			}
+			return nil
+		}
+		for take := 0; take <= remaining; take++ {
+			counts[pos] = take
+			if err := rec(pos+1, remaining-take); err != nil {
+				return err
+			}
+		}
+		counts[pos] = 0
+		return nil
+	}
+	if err := rec(0, n); err != nil {
+		return nil, err
+	}
+	return best, nil
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dnnjps/internal/core"
+	"dnnjps/internal/netsim"
+	"dnnjps/internal/profile"
+	"dnnjps/internal/report"
+)
+
+// ChainRow compares k-way chain planning against the best single cut
+// on the same device chain, for one model, uplink, and chain depth
+// (depth = number of network hops; depth 1 is the paper's two-tier
+// setting, depth 2 the three-tier extension).
+type ChainRow struct {
+	Model    string
+	Uplink   string
+	Depth    int
+	OneCutMs float64
+	KWayMs   float64
+	GainPct  float64
+}
+
+// ChainEnvDefault builds the depth-d device chain the experiment uses.
+// Depth 1 and 2 reproduce the existing topologies exactly (two-tier
+// over the uplink; ThreeTierEnvDefault's quarter-speed edge behind a
+// half-bandwidth WAN backhaul), so the chain rows line up with the
+// 3tier experiment. Depth 3 splits the WAN segment in two: the same
+// quarter-speed metro edge over the thin backhaul, then a half-speed
+// regional box one short hop further, then the cloud over a
+// full-bandwidth backbone — each extra hop is another place a k-way
+// plan can park middle layers that a single cut must ship across the
+// whole path.
+func ChainEnvDefault(env Env, uplink netsim.Channel, depth int) (core.Chain, error) {
+	three := ThreeTierEnvDefault(env, uplink)
+	switch depth {
+	case 1:
+		return core.TwoTierChain(env.Mobile, env.Cloud, uplink, env.DType), nil
+	case 2:
+		return three.Chain(), nil
+	case 3:
+		return core.Chain{
+			Devices: []profile.Device{three.Mobile, three.Edge, env.Cloud.Scaled(0.5), three.Cloud},
+			Links: []netsim.Channel{
+				three.Uplink,
+				three.Backhaul,
+				{Name: "wan-backbone", UplinkMbps: uplink.UplinkMbps, SetupMs: 5},
+			},
+			DType: env.DType,
+		}, nil
+	default:
+		return core.Chain{}, fmt.Errorf("experiments: chain depth %d not in [1,3]", depth)
+	}
+}
+
+// ChainDepth sweeps chain depth 1–3 for two line models across the
+// preset uplinks, planning each chain with the k-way planner and with
+// the best-single-cut baseline. Gain is the k-way improvement over one
+// cut; at depth 1 both planners see the same search space, so the row
+// doubles as a sanity anchor (gain 0).
+func ChainDepth(env Env) ([]ChainRow, error) {
+	var rows []ChainRow
+	for _, model := range []string{"alexnet", "mobilenetv2"} {
+		g := mustModel(model)
+		for _, up := range netsim.Presets() {
+			for depth := 1; depth <= 3; depth++ {
+				ch, err := ChainEnvDefault(env, up, depth)
+				if err != nil {
+					return nil, err
+				}
+				kway, err := core.JPSChain(g, ch, env.NJobs)
+				if err != nil {
+					return nil, err
+				}
+				one, err := core.OneCutChain(g, ch, env.NJobs)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, ChainRow{
+					Model:    model,
+					Uplink:   up.Name,
+					Depth:    depth,
+					OneCutMs: one.AvgMs(),
+					KWayMs:   kway.AvgMs(),
+					GainPct:  pct(one.AvgMs(), kway.AvgMs()),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// ChainDepthTable renders the depth sweep.
+func ChainDepthTable(rows []ChainRow) *report.Table {
+	t := report.NewTable("Extension — k-way chain planning vs best single cut (avg ms/job)",
+		"Model", "Uplink", "Hops", "1-cut", "k-way", "Gain %")
+	for _, r := range rows {
+		t.AddRow(displayName(r.Model), r.Uplink, r.Depth, r.OneCutMs, r.KWayMs, r.GainPct)
+	}
+	return t
+}
+
+// ChainGapRow measures the k-way heuristic's distance from the
+// offline-optimal brute force on one small instance.
+type ChainGapRow struct {
+	Model  string
+	Depth  int
+	NJobs  int
+	BFMs   float64
+	KWayMs float64
+	GapPct float64
+}
+
+// ChainGap compares JPSChain to ChainBruteForce on instances small
+// enough to enumerate exactly (n jobs, exhaustive sequencing): the
+// heuristic-gap leg of the chain experiment. Gap is how far the
+// heuristic's makespan sits above the optimum, in percent.
+func ChainGap(env Env, n int) ([]ChainGapRow, error) {
+	var rows []ChainGapRow
+	for _, model := range []string{"alexnet", "mobilenetv2"} {
+		g := mustModel(model)
+		for depth := 2; depth <= 3; depth++ {
+			ch, err := ChainEnvDefault(env, netsim.FourG, depth)
+			if err != nil {
+				return nil, err
+			}
+			bf, err := core.ChainBruteForce(g, ch, n, 2_000_000)
+			if err != nil {
+				return nil, err
+			}
+			kway, err := core.JPSChain(g, ch, n)
+			if err != nil {
+				return nil, err
+			}
+			gap := 0.0
+			if bf.Makespan > 0 {
+				gap = (kway.Makespan - bf.Makespan) / bf.Makespan * 100
+			}
+			rows = append(rows, ChainGapRow{
+				Model:  model,
+				Depth:  depth,
+				NJobs:  n,
+				BFMs:   bf.Makespan,
+				KWayMs: kway.Makespan,
+				GapPct: gap,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// ChainGapTable renders the heuristic-gap rows.
+func ChainGapTable(rows []ChainGapRow) *report.Table {
+	t := report.NewTable("Extension — k-way heuristic vs offline-optimal brute force (makespan ms)",
+		"Model", "Hops", "Jobs", "Brute force", "k-way", "Gap %")
+	for _, r := range rows {
+		t.AddRow(displayName(r.Model), r.Depth, r.NJobs, r.BFMs, r.KWayMs, r.GapPct)
+	}
+	return t
+}

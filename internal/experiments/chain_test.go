@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dnnjps/internal/netsim"
+)
+
+func TestChainEnvDefaultDepths(t *testing.T) {
+	e := env()
+	for depth := 1; depth <= 3; depth++ {
+		ch, err := ChainEnvDefault(e, netsim.FourG, depth)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if err := ch.Validate(); err != nil {
+			t.Errorf("depth %d chain invalid: %v", depth, err)
+		}
+		if ch.Depth() != depth {
+			t.Errorf("depth %d chain has %d links", depth, ch.Depth())
+		}
+	}
+	for _, bad := range []int{0, -1, 4} {
+		if _, err := ChainEnvDefault(e, netsim.FourG, bad); err == nil {
+			t.Errorf("depth %d accepted", bad)
+		}
+	}
+}
+
+func TestChainDepthExperiment(t *testing.T) {
+	e := env()
+	e.NJobs = 20
+	rows, err := ChainDepth(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(netsim.Presets()) * 3; len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	bigWin := false
+	for _, r := range rows {
+		// The k-way planner's candidate set contains every single-cut
+		// plan, so it never loses to the 1-cut baseline.
+		if r.KWayMs > r.OneCutMs*1.001 {
+			t.Errorf("%s@%s depth %d: k-way %.1f worse than 1-cut %.1f",
+				r.Model, r.Uplink, r.Depth, r.KWayMs, r.OneCutMs)
+		}
+		if r.Depth >= 2 && r.GainPct > 20 {
+			bigWin = true
+		}
+	}
+	if !bigWin {
+		t.Error("expected >20% k-way gains somewhere on multi-hop chains with a thin backhaul")
+	}
+	if !strings.Contains(ChainDepthTable(rows).String(), "k-way") {
+		t.Error("table missing header")
+	}
+}
+
+func TestChainGapExperiment(t *testing.T) {
+	e := env()
+	rows, err := ChainGap(e, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.BFMs <= 0 || r.KWayMs <= 0 {
+			t.Errorf("%s depth %d: non-positive makespans (bf %.2f, kway %.2f)",
+				r.Model, r.Depth, r.BFMs, r.KWayMs)
+		}
+		// Brute force is the offline optimum: the heuristic can match it
+		// but never beat it.
+		if r.KWayMs < r.BFMs*0.999 {
+			t.Errorf("%s depth %d: k-way %.2f below brute force %.2f",
+				r.Model, r.Depth, r.KWayMs, r.BFMs)
+		}
+		// Measured gaps on these instances are 8.8–31.7% (see DESIGN.md
+		// §12); 50% is the regression tripwire.
+		if r.GapPct > 50 {
+			t.Errorf("%s depth %d: gap %.1f%% blew past the documented range",
+				r.Model, r.Depth, r.GapPct)
+		}
+	}
+	if !strings.Contains(ChainGapTable(rows).String(), "Brute force") {
+		t.Error("table missing header")
+	}
+}

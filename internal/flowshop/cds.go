@@ -1,7 +1,5 @@
 package flowshop
 
-import "sort"
-
 // Three-machine flow shop support for the mobile→edge→cloud extension.
 // With three stages the makespan-minimal permutation problem is
 // NP-hard (Garey, Johnson & Sethi 1976); the Campbell–Dudek–Smith
@@ -9,6 +7,12 @@ import "sort"
 // Johnson's rule and keeps the best, which is exact whenever one
 // machine dominates — the usual case here, where the cloud stage is
 // tiny.
+//
+// Since the k-way chain work the Job3 sequencers are thin wrappers
+// over the m-machine implementations in mshop.go; only the makespan
+// recurrences stay specialized (no per-call slice conversion on the
+// planner's hot evaluate path). TestScheduleMMatchesSchedule3 pins the
+// wrappers bit-identical to the historical 3-machine code.
 
 // Job3 is a three-stage job: A on the mobile CPU, B on the
 // mobile→edge uplink, C on the edge→cloud uplink (or edge compute —
@@ -16,6 +20,25 @@ import "sort"
 type Job3 struct {
 	ID      int
 	A, B, C float64
+}
+
+func job3ToM(jobs []Job3) []JobM {
+	out := make([]JobM, len(jobs))
+	for i, j := range jobs {
+		out[i] = JobM{ID: j.ID, Stages: []float64{j.A, j.B, j.C}}
+	}
+	return out
+}
+
+func mToJob3(jobs []JobM) []Job3 {
+	if jobs == nil {
+		return nil
+	}
+	out := make([]Job3, len(jobs))
+	for i, j := range jobs {
+		out[i] = Job3{ID: j.ID, A: j.Stages[0], B: j.Stages[1], C: j.Stages[2]}
+	}
+	return out
 }
 
 // Makespan3 evaluates the exact three-machine permutation flow-shop
@@ -60,30 +83,7 @@ func Completions3(seq []Job3) []float64 {
 // sequenced by Johnson's rule and the better makespan wins. The input
 // is not modified.
 func CDS(jobs []Job3) []Job3 {
-	if len(jobs) == 0 {
-		return nil
-	}
-	build := func(first bool) []Job3 {
-		two := make([]Job, len(jobs))
-		for i, j := range jobs {
-			if first {
-				two[i] = Job{ID: i, A: j.A, B: j.B + j.C}
-			} else {
-				two[i] = Job{ID: i, A: j.A + j.B, B: j.C}
-			}
-		}
-		order := Johnson(two)
-		seq := make([]Job3, len(order))
-		for i, o := range order {
-			seq[i] = jobs[o.ID]
-		}
-		return seq
-	}
-	s1, s2 := build(true), build(false)
-	if Makespan3(s1) <= Makespan3(s2) {
-		return s1
-	}
-	return s2
+	return mToJob3(CDSM(job3ToM(jobs)))
 }
 
 // NEH orders jobs with the Nawaz–Enscore–Ham insertion heuristic:
@@ -92,95 +92,21 @@ func CDS(jobs []Job3) []Job3 {
 // this direct form — fine for batch sizes here — and consistently
 // tighter than CDS on hard instances.
 func NEH(jobs []Job3) []Job3 {
-	if len(jobs) == 0 {
-		return nil
-	}
-	order := append([]Job3(nil), jobs...)
-	sort.SliceStable(order, func(i, j int) bool {
-		ti := order[i].A + order[i].B + order[i].C
-		tj := order[j].A + order[j].B + order[j].C
-		if ti != tj {
-			return ti > tj
-		}
-		return order[i].ID < order[j].ID
-	})
-	seq := make([]Job3, 0, len(order))
-	for _, j := range order {
-		bestPos, bestSpan := 0, -1.0
-		for pos := 0; pos <= len(seq); pos++ {
-			trial := make([]Job3, 0, len(seq)+1)
-			trial = append(trial, seq[:pos]...)
-			trial = append(trial, j)
-			trial = append(trial, seq[pos:]...)
-			if span := Makespan3(trial); bestSpan < 0 || span < bestSpan {
-				bestPos, bestSpan = pos, span
-			}
-		}
-		seq = append(seq[:bestPos], append([]Job3{j}, seq[bestPos:]...)...)
-	}
-	return seq
+	return mToJob3(NEHM(job3ToM(jobs)))
 }
 
 // Schedule3 is the production three-machine sequencer: the better of
-// the CDS and NEH sequences, polished by pairwise-swap descent.
+// the CDS and NEH sequences, polished by pairwise-swap descent. The
+// input is not modified.
 func Schedule3(jobs []Job3) []Job3 {
-	cds := CDS(jobs)
-	neh := NEH(jobs)
-	seq := cds
-	if Makespan3(neh) < Makespan3(cds) {
-		seq = neh
-	}
-	return swapDescent(seq)
-}
-
-// swapDescent applies first-improvement pairwise swaps until a local
-// optimum; O(n²) per pass and a handful of passes in practice.
-func swapDescent(seq []Job3) []Job3 {
-	cur := append([]Job3(nil), seq...)
-	span := Makespan3(cur)
-	for improved := true; improved; {
-		improved = false
-		for i := 0; i < len(cur); i++ {
-			for j := i + 1; j < len(cur); j++ {
-				cur[i], cur[j] = cur[j], cur[i]
-				if s := Makespan3(cur); s < span-1e-12 {
-					span = s
-					improved = true
-				} else {
-					cur[i], cur[j] = cur[j], cur[i]
-				}
-			}
-		}
-	}
-	return cur
+	return mToJob3(ScheduleM(job3ToM(jobs)))
 }
 
 // BestPermutation3 exhaustively finds a makespan-minimal sequence
-// (validation only, n ≤ ~9).
-func BestPermutation3(jobs []Job3) ([]Job3, float64) {
-	best := append([]Job3(nil), jobs...)
-	bestSpan := Makespan3(best)
-	perm := append([]Job3(nil), jobs...)
-	var heaps func(k int)
-	heaps = func(k int) {
-		if k == 1 {
-			if span := Makespan3(perm); span < bestSpan {
-				bestSpan = span
-				copy(best, perm)
-			}
-			return
-		}
-		for i := 0; i < k; i++ {
-			heaps(k - 1)
-			if k%2 == 0 {
-				perm[i], perm[k-1] = perm[k-1], perm[i]
-			} else {
-				perm[0], perm[k-1] = perm[k-1], perm[0]
-			}
-		}
-	}
-	if len(perm) > 0 {
-		heaps(len(perm))
-	}
-	return best, bestSpan
+// when len(jobs) <= MaxExhaustiveJobs (ok=true); above the cap it
+// returns the Schedule3 heuristic with ok=false instead of launching
+// a factorial search. The input is not modified.
+func BestPermutation3(jobs []Job3) (seq []Job3, span float64, ok bool) {
+	m, s, ok := BestPermutationM(job3ToM(jobs))
+	return mToJob3(m), s, ok
 }

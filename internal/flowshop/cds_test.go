@@ -50,7 +50,10 @@ func TestSchedule3NearOptimal(t *testing.T) {
 		for i := range jobs {
 			jobs[i] = Job3{ID: i, A: rng.Float64() * 10, B: rng.Float64() * 10, C: rng.Float64() * 10}
 		}
-		_, best := BestPermutation3(jobs)
+		_, best, ok := BestPermutation3(jobs)
+		if !ok {
+			t.Fatalf("trial %d: exhaustive search refused at n=%d", trial, n)
+		}
 		cds := Makespan3(CDS(jobs))
 		combined := Makespan3(Schedule3(jobs))
 		if combined < best-1e-9 {
@@ -99,7 +102,7 @@ func TestCDSExactWhenThirdStageNegligible(t *testing.T) {
 		for i := range jobs {
 			jobs[i] = Job3{ID: i, A: rng.Float64() * 10, B: rng.Float64() * 10, C: rng.Float64() * 1e-9}
 		}
-		_, best := BestPermutation3(jobs)
+		_, best, _ := BestPermutation3(jobs)
 		if got := Makespan3(CDS(jobs)); math.Abs(got-best) > 1e-6 {
 			t.Fatalf("trial %d: CDS %g != optimum %g with negligible stage 3", trial, got, best)
 		}

@@ -113,7 +113,11 @@ func newFleetScheduler(s *Server) *fleetScheduler {
 		done:    make(chan struct{}),
 	}
 	fs.cond = sync.NewCond(&fs.mu)
-	if s.batchWindow > 0 && s.batchMax > 1 {
+	// A forwarding stage never coalesces: inferBatch runs the full
+	// suffix locally, which would silently bypass the next hop. jpsserve
+	// rejects the flag combination up front; this guard covers direct
+	// library users.
+	if s.batchWindow > 0 && s.batchMax > 1 && s.next == nil {
 		fs.co = newCoalescer(s.batchWindow, s.batchMax,
 			func(task func()) { fs.work <- task },
 			fs.runBatch)

@@ -1,0 +1,160 @@
+package runtime
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dnnjps/internal/engine"
+	"dnnjps/internal/tensor"
+)
+
+// Next-hop forwarding: a server configured with WithNextHop becomes a
+// middle pipeline stage of a device chain instead of the terminal
+// cloud. For a request cut at c before the handoff boundary h, the
+// stage executes only the middle segment (c, h] locally, ships the
+// tensor at h to the next server over the same infer wire protocol,
+// and relays the downstream class back to its own client — so
+// jpsserve processes compose into the k-way chains core.JPSChain
+// plans. Requests already cut at or past h (including a terminal
+// stage's full-suffix traffic) run locally as always, and any forward
+// failure — dial, write, read, or a shed reply from an overloaded
+// next hop — falls back to finishing the suffix locally from the
+// boundary tensor already in hand, mirroring the client runner's
+// local-fallback discipline.
+
+// nextHop is the forwarding half: one lazily dialed connection to the
+// downstream stage, serialized by a mutex (stage traffic is the
+// upstream server's worker pool, which is already bounded; a single
+// ordered connection keeps redial/fallback reasoning simple and the
+// downstream read loop replies in request order for synchronous
+// callers). Any transport error tears the connection down so the next
+// forward redials from scratch.
+type nextHop struct {
+	addr string
+	cut  int // handoff boundary: the tensor at units[cut].Exit ships
+	dial func(addr string) (net.Conn, error)
+
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// WithNextHop turns the server into a middle pipeline stage: requests
+// cut before the handoff position are computed up to it and forwarded
+// to addr (host:port, same wire protocol). cut must leave work for the
+// downstream stage — at most len(units)-2, since a handoff at the sink
+// would ship a finished result. Must be called before serving.
+func (s *Server) WithNextHop(addr string, cut int) (*Server, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("runtime: next hop needs an address")
+	}
+	if cut < 0 || cut >= len(s.units)-1 {
+		return nil, fmt.Errorf("runtime: next-hop cut %d out of range [0,%d) for %d units",
+			cut, len(s.units)-1, len(s.units))
+	}
+	s.next = &nextHop{
+		addr: addr,
+		cut:  cut,
+		dial: func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
+	}
+	// mid[c] holds the nodes of units (c, cut] — the segment this stage
+	// computes before handing off. The boundary node units[cut].Exit has
+	// consumers outside the list, so the engine keeps its activation
+	// live for serialization (and for the local fallback).
+	s.mid = make([][]int, cut)
+	for c := 0; c < cut; c++ {
+		var nodes []int
+		for _, u := range s.units[c+1 : cut+1] {
+			nodes = append(nodes, u.Nodes...)
+		}
+		s.mid[c] = nodes
+	}
+	return s, nil
+}
+
+// forward ships one boundary tensor downstream and waits for its
+// reply. Exactly one forward is in flight at a time; an error on any
+// leg closes the connection so the next call redials.
+func (nh *nextHop) forward(req *inferRequest) (*inferReply, error) {
+	nh.mu.Lock()
+	defer nh.mu.Unlock()
+	if nh.conn == nil {
+		conn, err := nh.dial(nh.addr)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: next hop %s: %w", nh.addr, err)
+		}
+		nh.conn = conn
+		nh.r = bufio.NewReaderSize(conn, 1<<16)
+		nh.w = bufio.NewWriterSize(conn, 1<<16)
+	}
+	err := writeInferRequest(nh.w, req)
+	if err == nil {
+		err = nh.w.Flush()
+	}
+	var rep *inferReply
+	if err == nil {
+		rep, err = readInferReply(nh.r)
+	}
+	if err != nil {
+		nh.conn.Close()
+		nh.conn, nh.r, nh.w = nil, nil, nil
+		return nil, fmt.Errorf("runtime: next hop %s: %w", nh.addr, err)
+	}
+	return rep, nil
+}
+
+// close tears down the forwarding connection if one is up.
+func (nh *nextHop) close() {
+	nh.mu.Lock()
+	defer nh.mu.Unlock()
+	if nh.conn != nil {
+		nh.conn.Close()
+		nh.conn, nh.r, nh.w = nil, nil, nil
+	}
+}
+
+// inferForward handles one request on a forwarding stage: middle
+// segment locally, handoff downstream, local full-suffix fallback on
+// any forwarding failure. Only the downstream backpressure hint
+// survives into the relayed reply — shed means "not computed", which
+// is never true once the fallback ran.
+func (s *Server) inferForward(req *inferRequest) (*inferReply, error) {
+	cut := int(req.Cut)
+	boundary := s.units[cut].Exit
+	wantShape := s.model.Graph().Node(boundary).OutShape
+	if !req.Tensor.Shape.Equal(wantShape) {
+		return nil, fmt.Errorf("runtime: boundary tensor %v, cut %d wants %v",
+			req.Tensor.Shape, cut, wantShape)
+	}
+	start := time.Now()
+	acts := map[int]*tensor.Tensor{boundary: req.Tensor}
+	if err := s.model.Execute(acts, nil, s.mid[cut]); err != nil {
+		return nil, err
+	}
+	handoff := s.units[s.next.cut].Exit
+	fwd := &inferRequest{JobID: req.JobID, Cut: uint32(s.next.cut), Tensor: acts[handoff]}
+	rep, err := s.next.forward(fwd)
+	if err == nil && rep.Flags&replyFlagShed == 0 {
+		return &inferReply{
+			JobID:   req.JobID,
+			Class:   rep.Class,
+			CloudNs: time.Since(start).Nanoseconds(),
+			Flags:   rep.Flags & replyFlagBackpressure,
+		}, nil
+	}
+	// Fallback: the boundary tensor is still live in acts; finish the
+	// whole remaining suffix on this stage.
+	if err := s.model.Execute(acts, nil, s.suffix[s.next.cut]); err != nil {
+		return nil, err
+	}
+	out := acts[s.model.Graph().Sink()]
+	return &inferReply{
+		JobID:   req.JobID,
+		Class:   int32(engine.Argmax(out)),
+		CloudNs: time.Since(start).Nanoseconds(),
+	}, nil
+}

@@ -1,0 +1,170 @@
+package runtime
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"dnnjps/internal/engine"
+	"dnnjps/internal/netsim"
+)
+
+// startTerminal runs a plain server on a loopback TCP listener and
+// returns its address.
+func startTerminal(t *testing.T, m *engine.Model) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(m)
+	go func() { _ = srv.Serve(lis) }()
+	t.Cleanup(func() {
+		lis.Close()
+		srv.Close()
+	})
+	return lis.Addr().String()
+}
+
+// startForwarder runs a middle-stage server (handoff at nextCut toward
+// addr) and returns a client connected to it.
+func startForwarder(t *testing.T, m *engine.Model, addr string, nextCut int) *Client {
+	t.Helper()
+	srv, err := NewServer(m).WithNextHop(addr, nextCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cConn, sConn := net.Pipe()
+	go func() {
+		defer sConn.Close()
+		_ = srv.HandleConn(sConn)
+	}()
+	t.Cleanup(func() { cConn.Close() })
+	return NewClient(cConn, m, netsim.WiFi, 1e-6)
+}
+
+// A two-hop chain (client -> forwarder -> terminal) must produce the
+// same class as single-machine inference from every cut: cuts before
+// the handoff exercise mid-segment + forward, cuts at or past it run
+// entirely on the forwarder.
+func TestNextHopChainMatchesLocal(t *testing.T) {
+	m := testModel(t)
+	addr := startTerminal(t, m)
+	const handoff = 3
+	cl := startForwarder(t, m, addr, handoff)
+
+	in := input(2)
+	want, err := m.Forward(in.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClass := engine.Argmax(want)
+	for cut := 0; cut < cl.Units(); cut++ {
+		res, err := cl.RunJob(cut, cut, in.Clone())
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if res.Class != wantClass {
+			t.Errorf("cut %d: class %d, want %d", cut, res.Class, wantClass)
+		}
+	}
+}
+
+// Forwarded work survives a next hop that dies mid-stream: the
+// forwarder redials, and while the hop stays dead it finishes jobs
+// locally (fallback) instead of failing the client.
+func TestNextHopFallbackWhenHopDead(t *testing.T) {
+	m := testModel(t)
+	// A listener that is closed immediately: dials fail fast.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := lis.Addr().String()
+	lis.Close()
+
+	cl := startForwarder(t, m, deadAddr, 3)
+	in := input(5)
+	want, err := m.Forward(in.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClass := engine.Argmax(want)
+	res, err := cl.RunJob(0, 0, in.Clone())
+	if err != nil {
+		t.Fatalf("dead next hop must fall back locally, got %v", err)
+	}
+	if res.Class != wantClass {
+		t.Errorf("fallback class %d, want %d", res.Class, wantClass)
+	}
+}
+
+// A forwarder whose next hop sheds every job (watermark 0 is disabled,
+// so use 1 and saturate... simpler: shed flag path is covered by
+// treating a shed reply as a failure) — here we pin the cheaper
+// contract: the relayed reply never carries the shed flag, because the
+// fallback computes a real class.
+func TestNextHopReplyNeverShed(t *testing.T) {
+	m := testModel(t)
+	addr := startTerminal(t, m)
+	cl := startForwarder(t, m, addr, 2)
+	res, err := cl.RunJob(7, 1, input(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class < 0 {
+		t.Errorf("forwarded job came back shed (class %d)", res.Class)
+	}
+}
+
+func TestWithNextHopValidation(t *testing.T) {
+	m := testModel(t)
+	units := len(profileUnits(m))
+	if _, err := NewServer(m).WithNextHop("", 1); err == nil {
+		t.Error("empty address must error")
+	}
+	if _, err := NewServer(m).WithNextHop("127.0.0.1:1", -1); err == nil {
+		t.Error("negative cut must error")
+	}
+	if _, err := NewServer(m).WithNextHop("127.0.0.1:1", units-1); err == nil {
+		t.Error("handoff at the sink must error (nothing left downstream)")
+	}
+	if _, err := NewServer(m).WithNextHop("127.0.0.1:1", units); err == nil {
+		t.Error("out-of-range cut must error")
+	}
+	if _, err := NewServer(m).WithNextHop("127.0.0.1:1", 0); err != nil {
+		t.Errorf("cut 0 is a valid handoff: %v", err)
+	}
+}
+
+// The cross-connection coalescer silently bypassing the next hop would
+// be a correctness bug; a forwarding stage must never create one even
+// when batching flags are set.
+func TestNextHopDisablesCoalescer(t *testing.T) {
+	m := testModel(t)
+	srv, err := NewServer(m).WithBatching(time.Millisecond, 8).WithNextHop("127.0.0.1:1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	fs := srv.scheduler()
+	if fs == nil {
+		t.Fatal("scheduler nil")
+	}
+	if fs.co != nil {
+		t.Error("forwarding stage must not create a coalescer")
+	}
+	plain := NewServer(m).WithBatching(time.Millisecond, 8)
+	t.Cleanup(plain.Close)
+	if plain.scheduler().co == nil {
+		t.Error("non-forwarding server with batching must coalesce")
+	}
+}
+
+// profileUnits exposes the unit count for validation tests.
+func profileUnits(m *engine.Model) []int {
+	s := NewServer(m)
+	out := make([]int, len(s.units))
+	return out
+}

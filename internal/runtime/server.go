@@ -45,6 +45,11 @@ type Server struct {
 	// obsv is the optional tracing + metrics bundle; nil disables
 	// recording.
 	obsv *Obs
+	// next, when set by WithNextHop, turns this server into a middle
+	// pipeline stage (see nexthop.go); mid[c] is the node segment
+	// (c, next.cut] it executes before forwarding.
+	next *nextHop
+	mid  [][]int
 
 	// schedMu guards lazy scheduler creation and Close.
 	schedMu     sync.Mutex
@@ -193,6 +198,9 @@ func (s *Server) Close() {
 	s.schedMu.Unlock()
 	if fs != nil {
 		fs.shutdown()
+	}
+	if s.next != nil {
+		s.next.close()
 	}
 }
 
@@ -384,11 +392,16 @@ func (s *Server) runJob(jobID int, recv time.Time, infer func() (*inferReply, er
 }
 
 // infer resumes the model from the request's cut and returns the
-// predicted class.
+// predicted class. On a forwarding stage (WithNextHop), requests cut
+// before the handoff boundary run the middle segment here and the rest
+// downstream; everything else completes locally.
 func (s *Server) infer(req *inferRequest) (*inferReply, error) {
 	cut := int(req.Cut)
 	if cut < 0 || cut >= len(s.units) {
 		return nil, fmt.Errorf("runtime: cut %d out of range [0,%d)", cut, len(s.units))
+	}
+	if s.next != nil && cut < s.next.cut {
+		return s.inferForward(req)
 	}
 	boundary := s.units[cut].Exit
 	wantShape := s.model.Graph().Node(boundary).OutShape

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"dnnjps/internal/core"
 )
 
@@ -76,6 +78,25 @@ func FromStreamPlan(p *core.StreamPlan) []JobSpec {
 				{Resource: ResCloud, Ms: sj.CloudMs},
 			},
 		})
+	}
+	return jobs
+}
+
+// FromChainPlan expands a k-way chain plan into simulator jobs: each
+// job's (k+1)-stage pipeline becomes device-0 compute on ResMobile
+// followed by one stage per link resource ("link0", "link1", …),
+// prioritized by sequence position. The event-simulated makespan
+// cross-checks the m-machine flow-shop recurrence the planner priced
+// with (TestFromChainPlanMatchesMakespanM).
+func FromChainPlan(p *core.ChainPlan) []JobSpec {
+	jobs := make([]JobSpec, 0, len(p.Sequence))
+	for pos, jm := range p.Sequence {
+		stages := make([]StageSpec, len(jm.Stages))
+		stages[0] = StageSpec{Resource: ResMobile, Ms: jm.Stages[0]}
+		for l := 1; l < len(jm.Stages); l++ {
+			stages[l] = StageSpec{Resource: fmt.Sprintf("link%d", l-1), Ms: jm.Stages[l]}
+		}
+		jobs = append(jobs, JobSpec{ID: jm.ID, Priority: pos, Stages: stages})
 	}
 	return jobs
 }

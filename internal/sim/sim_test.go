@@ -53,6 +53,67 @@ func TestRunMatchesFlowshopRecurrence(t *testing.T) {
 	}
 }
 
+// The m-machine recurrence that prices k-way chain plans must agree
+// with the discrete-event model, both on random instances and on a
+// real planner output routed through the FromChainPlan bridge.
+func TestFromChainPlanMatchesMakespanM(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		m := 2 + rng.Intn(4)
+		seq := make([]flowshop.JobM, n)
+		cuts := make([][]int, n)
+		for i := range seq {
+			st := make([]float64, m)
+			for k := range st {
+				st[k] = rng.Float64() * 10
+			}
+			seq[i] = flowshop.JobM{ID: i, Stages: st}
+			cuts[i] = make([]int, m-1)
+		}
+		plan := &core.ChainPlan{Method: "test", Cuts: cuts, Sequence: seq,
+			Makespan: flowshop.MakespanM(seq)}
+		res, err := Run(FromChainPlan(plan))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Makespan-plan.Makespan) > 1e-9 {
+			t.Fatalf("trial %d (n=%d m=%d): sim %g != recurrence %g",
+				trial, n, m, res.Makespan, plan.Makespan)
+		}
+		comps := flowshop.CompletionsM(seq)
+		for i, j := range seq {
+			if math.Abs(res.Completions[j.ID]-comps[i]) > 1e-9 {
+				t.Fatalf("trial %d: job %d completion %g != %g",
+					trial, j.ID, res.Completions[j.ID], comps[i])
+			}
+		}
+	}
+
+	g := models.MustBuild("alexnet")
+	env := core.ThreeTierEnv{
+		Mobile: profile.RaspberryPi4(),
+		Edge:   profile.CloudGPU().Scaled(0.25),
+		Cloud:  profile.CloudGPU(),
+		Uplink: netsim.FourG,
+		Backhaul: netsim.Channel{
+			Name: "wan-backhaul", UplinkMbps: netsim.FourG.UplinkMbps / 2, SetupMs: 15,
+		},
+		DType: tensor.Float32,
+	}
+	plan, err := core.JPSChain(g, env.Chain(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(FromChainPlan(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-plan.Makespan) > 1e-6 {
+		t.Errorf("live plan: sim %g != planner %g", res.Makespan, plan.Makespan)
+	}
+}
+
 func TestRunPaperExample(t *testing.T) {
 	seq := []flowshop.Job{{ID: 0, A: 4, B: 6}, {ID: 1, A: 7, B: 2}}
 	res, err := Run(twoStage(seq))

@@ -12,9 +12,9 @@ OUT="BENCH_runtime.json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-echo "== go test -bench (engine, runtime; benchtime=$BENCHTIME)"
+echo "== go test -bench (engine, runtime, core; benchtime=$BENCHTIME)"
 go test -run NONE -bench . -benchmem -benchtime "$BENCHTIME" \
-    ./internal/engine/ ./internal/runtime/ | tee "$RAW"
+    ./internal/engine/ ./internal/runtime/ ./internal/core/ | tee "$RAW"
 
 # Parse `BenchmarkName  N  ns/op [B/op allocs/op ...]` lines into JSON.
 awk '

@@ -51,6 +51,13 @@ echo "== adaptive replanning deflake (3x, timing-sensitive live runs)"
 # plain `go test ./...` above.
 go test -run Adapt -count=3 ./internal/runtime/... ./internal/estimator/... ./internal/experiments/...
 
+echo "== heuristic gap vs offline-optimal brute force"
+# The documented-bound legs: the m-machine flow-shop scheduler against
+# exhaustive sequencing (bounds 1.06x/1.35x, see DESIGN.md §12) and the
+# k-way chain planner against the partition brute force (tripwire 50%).
+go test -run 'TestScheduleMGapVsBruteForce' -count=1 ./internal/flowshop/
+go test -run 'TestChainGapExperiment' -count=1 ./internal/experiments/
+
 echo "== fuzz smoke (10s per target)"
 # Each wire decoder and the fault injector get a short coverage-guided
 # run on top of the committed seed corpora in testdata/fuzz/. A crash
@@ -106,6 +113,67 @@ grep -q "drained" "$SMOKE_LOG" || {
     cat "$SMOKE_LOG" >&2
     exit 1
 }
+
+echo "== chain e2e smoke (two chained jpsserve stages, next-hop forwarding)"
+# A live two-hop chain: a terminal stage plus a forwarding stage with
+# -next-hop pointing at it. The client offloads at cut 0 (before the
+# handoff at unit 3), so every job exercises the forwarder's
+# mid-segment + forward path, then again at the handoff cut itself
+# (pure relay downstream).
+TERM_LOG="$(mktemp)"
+FWD_LOG="$(mktemp)"
+TERM_PID=""
+FWD_PID=""
+cleanup_chain() {
+    [ -n "$TERM_PID" ] && kill "$TERM_PID" 2> /dev/null || true
+    [ -n "$FWD_PID" ] && kill "$FWD_PID" 2> /dev/null || true
+    rm -f "$TERM_LOG" "$FWD_LOG"
+    cleanup_smoke
+}
+trap cleanup_chain EXIT
+"$SMOKE_BIN" -model squeezenet -addr 127.0.0.1:0 > "$TERM_LOG" 2>&1 &
+TERM_PID=$!
+TERM_ADDR=""
+for _ in $(seq 1 100); do
+    TERM_ADDR="$(awk '/^serving .* on /{print $NF}' "$TERM_LOG")"
+    [ -n "$TERM_ADDR" ] && break
+    sleep 0.2
+done
+if [ -z "$TERM_ADDR" ]; then
+    echo "chain smoke: terminal stage never came up:" >&2
+    cat "$TERM_LOG" >&2
+    exit 1
+fi
+"$SMOKE_BIN" -model squeezenet -addr 127.0.0.1:0 \
+    -next-hop "$TERM_ADDR" -next-cut 3 > "$FWD_LOG" 2>&1 &
+FWD_PID=$!
+FWD_ADDR=""
+for _ in $(seq 1 100); do
+    FWD_ADDR="$(awk '/^serving .* on /{print $NF}' "$FWD_LOG")"
+    [ -n "$FWD_ADDR" ] && break
+    sleep 0.2
+done
+if [ -z "$FWD_ADDR" ]; then
+    echo "chain smoke: forwarding stage never came up:" >&2
+    cat "$FWD_LOG" >&2
+    exit 1
+fi
+go run scripts/e2e_client.go -addr "$FWD_ADDR" -model squeezenet -clients 2 -jobs 2 -cut 0
+go run scripts/e2e_client.go -addr "$FWD_ADDR" -model squeezenet -clients 1 -jobs 2 -cut 3
+kill -TERM "$FWD_PID"
+wait "$FWD_PID" || {
+    echo "chain smoke: forwarder did not exit cleanly:" >&2
+    cat "$FWD_LOG" >&2
+    exit 1
+}
+FWD_PID=""
+kill -TERM "$TERM_PID"
+wait "$TERM_PID" || {
+    echo "chain smoke: terminal did not exit cleanly:" >&2
+    cat "$TERM_LOG" >&2
+    exit 1
+}
+TERM_PID=""
 
 echo "== benchmarks compile and run once"
 go test -run NONE -bench . -benchtime 1x ./... > /dev/null

@@ -32,16 +32,17 @@ func main() {
 		seed    = flag.Int64("seed", 42, "weight seed (must match the server)")
 		clients = flag.Int("clients", 4, "concurrent client connections")
 		jobs    = flag.Int("jobs", 4, "jobs per connection")
+		cut     = flag.Int("cut", 0, "partition point: units computed locally before offloading (0 = cloud-only)")
 	)
 	flag.Parse()
-	if err := run(*addr, *model, *seed, *clients, *jobs); err != nil {
+	if err := run(*addr, *model, *seed, *clients, *jobs, *cut); err != nil {
 		fmt.Fprintln(os.Stderr, "e2e_client:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("e2e smoke ok: %d clients x %d jobs against %s\n", *clients, *jobs, *addr)
 }
 
-func run(addr, model string, seed int64, clients, jobs int) error {
+func run(addr, model string, seed int64, clients, jobs, cut int) error {
 	g, err := models.Build(model)
 	if err != nil {
 		return err
@@ -66,11 +67,13 @@ func run(addr, model string, seed int64, clients, jobs int) error {
 			defer conn.Close()
 			cl := runtime.NewClient(conn, m, netsim.WiFi, 1e-6).
 				WithTenant(fmt.Sprintf("smoke-%d", c))
-			// Cut 0 offloads at the input unit: the client does no heavy
-			// compute, and every connection exercises the server's full
-			// suffix path concurrently.
+			// Cut 0 (the default) offloads at the input unit: the client
+			// does no heavy compute, and every connection exercises the
+			// server's full suffix path concurrently. A nonzero -cut runs
+			// that prefix locally first — the chain smoke uses it to push
+			// traffic through a forwarding stage's mid-segment path.
 			for j := 0; j < jobs; j++ {
-				res, err := cl.RunJob(j, 0, in)
+				res, err := cl.RunJob(j, cut, in)
 				if err != nil {
 					errs <- fmt.Errorf("client %d job %d: %w", c, j, err)
 					return
