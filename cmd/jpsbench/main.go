@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"dnnjps/internal/engine"
 	"dnnjps/internal/experiments"
 	"dnnjps/internal/netsim"
 	"dnnjps/internal/report"
@@ -29,7 +30,14 @@ var (
 	batchMax     = flag.Int("batch-max", 16, "with -fig batch/fleet: maximum jobs per coalesced group")
 	shedMark     = flag.Int("shed-watermark", 48, "with -fig fleet: queue depth of the overload row's admission control (0 skips the row)")
 	downlinkMbps = flag.Float64("downlink-mbps", 0, "model reply bandwidth on the experiments' fixed channels (0 keeps the historical free-downlink assumption)")
+	kernelName   string
 )
+
+func init() {
+	const usage = "engine kernel path for the live-runtime experiments: auto, gemm, panel, micro, asm, or direct"
+	flag.StringVar(&kernelName, "kernel", "auto", usage)
+	flag.StringVar(&kernelName, "engine", "auto", usage+" (alias of -kernel)")
+}
 
 // nExplicit records whether -n was set on the command line; the batch
 // experiment sweeps its default job counts otherwise.
@@ -63,6 +71,12 @@ func main() {
 
 	env := experiments.DefaultEnv()
 	env.NJobs = *n
+	kern, err := engine.ParseKernelPath(kernelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jpsbench:", err)
+		os.Exit(2)
+	}
+	env.Kernel = kern
 
 	ids := []string{*fig}
 	if *all {

@@ -2,17 +2,18 @@
 // and can persist the curves for all preset channels as a JSON lookup
 // table (the artifact the paper's scheduler loads at startup). With
 // -calibrate it times real engine forward passes on this machine
-// instead, printing ns/layer and a fitted device model; -engine picks
-// the kernel path (the default GEMM kernels or the direct reference
-// loops) so the two can be compared layer by layer.
+// instead, printing ns/layer and a fitted device model; -kernel picks
+// the path (auto, gemm, panel, micro, asm, or the direct reference
+// loops; -engine is an alias) so any two can be compared layer by
+// layer.
 //
 // Usage:
 //
 //	jpsprofile -model alexnet
 //	jpsprofile -model alexnet -quant
 //	jpsprofile -model mobilenetv2 -o lookup.json
-//	jpsprofile -model alexnet -calibrate -engine=gemm -workers 0
-//	jpsprofile -model alexnet -calibrate -engine=direct
+//	jpsprofile -model alexnet -calibrate -kernel auto -workers 0
+//	jpsprofile -model alexnet -calibrate -kernel direct
 package main
 
 import (
@@ -38,16 +39,22 @@ func main() {
 		dot     = flag.String("dot", "", "write the model's Graphviz DOT to this file")
 		quant   = flag.Bool("quant", false, "price the int8 deployment: quantized mobile device + 1-byte cut tensors")
 		cal     = flag.Bool("calibrate", false, "calibrate a device model by timing real engine runs on this machine")
-		eng     = flag.String("engine", "gemm", "engine kernel path for -calibrate: gemm (im2col+SGEMM) or direct (reference loops)")
 		workers = flag.Int("workers", 1, "engine worker goroutines for -calibrate; 0 = GOMAXPROCS")
 	)
+	var eng string
+	const kernelUsage = "engine kernel path for -calibrate: auto, gemm, panel, micro, asm, or direct"
+	flag.StringVar(&eng, "kernel", "auto", kernelUsage)
+	flag.StringVar(&eng, "engine", "auto", kernelUsage+" (alias of -kernel)")
 	flag.Parse()
+	// Validate the kernel spelling even when -calibrate is off: the
+	// flag is inert for analytic profiling, but a typo must not pass
+	// silently only to bite when the user later adds -calibrate.
+	kernel, err := engine.ParseKernelPath(eng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jpsprofile:", err)
+		os.Exit(1)
+	}
 	if *cal {
-		kernel, err := engine.ParseKernelPath(*eng)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "jpsprofile:", err)
-			os.Exit(1)
-		}
 		if err := calibrate(*model, *mbps, kernel, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "jpsprofile:", err)
 			os.Exit(1)

@@ -82,6 +82,7 @@ func main() {
 		addr    = flag.String("addr", "127.0.0.1:7443", "listen address")
 		seed    = flag.Int64("seed", 42, "weight seed (must match the client)")
 		workers = flag.Int("workers", 0, "engine worker goroutines per layer; 0 = GOMAXPROCS")
+		kernel  string
 		conc    = flag.Int("conc", 0, "concurrent inferences per connection (worker pool); 0 = GOMAXPROCS. Multiplies with -workers, so size the product to the core count")
 
 		batchWindow = flag.Duration("batch-window", 0, "coalesce same-shape requests arriving within this window into one batched forward (0 = disabled)")
@@ -104,6 +105,9 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics (Prometheus), /trace, /trace.json and /debug/pprof/ on this address (empty = disabled)")
 		traceOut    = flag.String("trace-out", "", "write the span buffer as Chrome trace JSON to this file on graceful shutdown (requires -metrics-addr; empty = skip)")
 	)
+	const kernelUsage = "engine kernel path: auto, gemm, panel, micro, asm, or direct"
+	flag.StringVar(&kernel, "kernel", "auto", kernelUsage)
+	flag.StringVar(&kernel, "engine", "auto", kernelUsage+" (alias of -kernel)")
 	flag.Parse()
 	weights, err := parseTenants(*tenants)
 	if err != nil {
@@ -132,6 +136,7 @@ func main() {
 	}
 	cfg := serveConfig{
 		model: *model, addr: *addr, seed: *seed, workers: *workers, conc: *conc,
+		kernel: kernel,
 		batchWindow: *batchWindow, batchMax: *batchMax, downMbps: *downMbps,
 		tenants: weights, shedWatermark: *shedMark,
 		nextHop: *nextHop, nextCut: *nextCut,
@@ -230,6 +235,7 @@ type serveConfig struct {
 	model         string
 	addr          string
 	seed          int64
+	kernel        string // engine kernel path; "" means auto
 	workers, conc int
 	batchWindow   time.Duration
 	batchMax      int
@@ -245,6 +251,13 @@ type serveConfig struct {
 }
 
 func run(cfg serveConfig) error {
+	kern := engine.KernelGEMM
+	if cfg.kernel != "" {
+		var err error
+		if kern, err = engine.ParseKernelPath(cfg.kernel); err != nil {
+			return err
+		}
+	}
 	g, err := models.Build(cfg.model)
 	if err != nil {
 		return err
@@ -252,7 +265,7 @@ func run(cfg serveConfig) error {
 	fmt.Printf("loading %s (seed %d)...\n", cfg.model, cfg.seed)
 	// The cloud side uses all cores: the paper's server is the fast
 	// machine, and the GEMM kernels scale over row panels.
-	m := engine.Load(g, cfg.seed).Parallel(cfg.workers)
+	m := engine.Load(g, cfg.seed).WithKernel(kern).Parallel(cfg.workers)
 	lis, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err

@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Parity contract for the assembly kernels (see gemm_asm.go):
+//
+//   - When the asm path is off (noasm tag, unsupported CPU, or
+//     DNNJPS_NOASM) every driver is pure Go and bit-identical — the
+//     tests in this package compare exactly.
+//   - When the f32 asm path is on, KernelAsm and the KernelGEMM
+//     routing past the crossover use FMA: one rounding per
+//     multiply-add instead of two. Accumulation still walks k
+//     ascending with one accumulator per element, so for a length-k
+//     dot product the fused and unfused results each sit within the
+//     standard γ_k = k·u/(1−k·u) forward-error envelope (u = 2⁻²⁴)
+//     of the exact value, and within ~2·γ_k·Σ|aᵢbᵢ| of each other.
+//     For the deepest layer here (k ≈ 4608) that is ≲ 3e-4 relative
+//     against the magnitude of the products; observed differences on
+//     normal-distributed data are ~1e-7..1e-6 relative to the largest
+//     output in a slice (individual elements can be much smaller
+//     through cancellation while carrying the same absolute error).
+//     asmRelTol budgets well inside the analytic bound with a wide
+//     margin over the observed one.
+//   - The int8 kernels are exact everywhere: integer addition is
+//     associative and VPMADDWD pair sums cannot saturate for codes in
+//     [-128, 127], so the quantized tests keep comparing bitwise.
+const (
+	asmRelTol = 1e-4
+	asmAbsTol = 1e-6
+)
+
+// assertSliceParity compares got against ref elementwise: bitwise when
+// exact, within the FMA envelope otherwise. The envelope anchors the
+// relative term to the largest magnitude in the slice rather than to
+// each element — rounding error in a dot product scales with the
+// magnitudes of the accumulated products, so an element made small by
+// cancellation carries the same absolute error as its large
+// neighbors, not a proportionally smaller one. ctx prefixes failures.
+func assertSliceParity(t *testing.T, ctx string, got, ref []float32, exact bool) {
+	t.Helper()
+	if exact {
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("%s: out[%d] = %g, want %g (bitwise)", ctx, i, got[i], ref[i])
+			}
+		}
+		return
+	}
+	var scale float64
+	for i := range ref {
+		if v := math.Abs(float64(ref[i])); v > scale {
+			scale = v
+		}
+	}
+	tol := asmAbsTol + asmRelTol*scale
+	for i := range ref {
+		if d := math.Abs(float64(got[i]) - float64(ref[i])); d > tol {
+			t.Fatalf("%s: out[%d] = %g, want %g (|diff| %g > tol %g at scale %g)",
+				ctx, i, got[i], ref[i], d, tol, scale)
+		}
+	}
+}
+
+// TestPreferAsmTileGuard: shapes the asm tile cannot cover are never
+// routed to it, regardless of the crossover threshold or CPU.
+func TestPreferAsmTileGuard(t *testing.T) {
+	cases := []struct{ m, k, n int }{
+		{asmMR - 1, 64, 64}, // too few rows
+		{64, 64, asmNR - 1}, // too few columns
+		{64, 7, 64},         // too shallow to amortize packing
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		if preferAsm(c.m, c.k, c.n) {
+			t.Errorf("preferAsm(%d,%d,%d) = true for an untileable shape", c.m, c.k, c.n)
+		}
+	}
+	if !asmEnabled() {
+		if preferAsm(256, 1152, 256) {
+			t.Error("preferAsm = true with the asm path disabled")
+		}
+		return
+	}
+	// A comfortably deep shape resolves purely from the threshold.
+	want := asmCrossoverBytes >= 0 && 1152*256*4 >= asmCrossoverBytes
+	if got := preferAsm(256, 1152, 256); got != want {
+		t.Errorf("preferAsm(256,1152,256) = %v, want %v from asmCrossoverBytes=%d",
+			got, want, asmCrossoverBytes)
+	}
+}
+
+// sgemmShapeParity fills random m×k · k×n operands and checks the
+// forced-asm driver against the panel reference. Shared by the table
+// test and the fuzz target. With the asm path off KernelAsm degrades
+// to the auto policy, so the comparison tightens to bitwise.
+func sgemmShapeParity(t *testing.T, m, k, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+	}
+	for i := range b {
+		b[i] = float32(rng.NormFloat64())
+	}
+	ref := make([]float32, m*n)
+	sgemmAcc(KernelPanel, m, k, n, n, a, b, ref, 1)
+	for _, workers := range []int{1, 4} {
+		c := make([]float32, m*n)
+		sgemmAcc(KernelAsm, m, k, n, n, a, b, c, workers)
+		assertSliceParity(t, fmt.Sprintf("m%d k%d n%d workers=%d", m, k, n, workers),
+			c, ref, !asmEnabled())
+	}
+}
+
+// TestSgemmAsmVsScalar pins the asm tile against the scalar panel
+// driver at shapes covering full tiles, every ragged edge, the blocked
+// loop boundaries (KC/MC/NC), and conv-lowered geometry.
+func TestSgemmAsmVsScalar(t *testing.T) {
+	shapes := []struct{ m, k, n int }{
+		{asmMR, 8, asmNR},           // exactly one tile
+		{asmMR, 8, asmNR + 3},       // ragged columns
+		{asmMR + 2, 8, asmNR},       // ragged rows
+		{asmMR + 1, 9, asmNR + 7},   // ragged everything
+		{7, 5, 17},                  // below the k guard on no axis, odd sizes
+		{48, 96, 64},                // mid-size
+		{64, asmKC + 13, 128},       // spans two K panels
+		{asmMC + asmMR + 1, 64, 96}, // spans two M blocks, ragged tail
+		{12, 64, asmNC + asmNR + 5}, // spans two N blocks, ragged tail
+		{64, 1152, 256},             // alexnet conv3-lowered shape
+	}
+	for _, sh := range shapes {
+		t.Run(fmt.Sprintf("m%d_k%d_n%d", sh.m, sh.k, sh.n), func(t *testing.T) {
+			sgemmShapeParity(t, sh.m, sh.k, sh.n, int64(sh.m*100003+sh.k*1009+sh.n))
+		})
+	}
+}
+
+// FuzzSgemmAsmVsScalar fuzzes the asm-vs-panel comparison over
+// arbitrary small shapes. Seeds covering the tile edges are committed
+// under testdata/fuzz.
+func FuzzSgemmAsmVsScalar(f *testing.F) {
+	f.Add(asmMR, 8, asmNR, int64(1))
+	f.Add(asmMR+1, 9, asmNR+7, int64(2))
+	f.Add(1, 1, 1, int64(3))
+	f.Add(13, asmKC+1, 33, int64(4))
+	f.Fuzz(func(t *testing.T, m, k, n int, seed int64) {
+		if m < 1 || k < 1 || n < 1 || m > 160 || k > 600 || n > 1100 {
+			t.Skip()
+		}
+		sgemmShapeParity(t, m, k, n, seed)
+	})
+}
+
+// TestConvFusedIm2colParity drives the fused-im2col B packer against
+// the materialized patch matrix: for each conv geometry, pack strips
+// through bPacker in conv mode and through plain mode over the
+// im2colGroup output, and require identical bytes. This isolates the
+// packer from the tile so a window-splitting bug cannot hide behind
+// the FMA tolerance.
+func TestConvFusedIm2colParity(t *testing.T) {
+	cases := []struct {
+		inC, inH, inW                 int
+		kh, kw, stride, padH, padW, n int
+	}{
+		{3, 15, 15, 3, 3, 1, 1, 1, 1},
+		{4, 13, 13, 5, 5, 3, 2, 2, 1},
+		{2, 9, 9, 7, 7, 1, 3, 3, 1},
+		{4, 10, 12, 1, 3, 1, 0, 1, 1},
+		{3, 15, 15, 3, 3, 1, 1, 1, 4}, // batched: windows split at image seams
+		{2, 7, 9, 3, 1, 2, 1, 0, 3},
+	}
+	for ci, c := range cases {
+		t.Run(fmt.Sprintf("case%d", ci), func(t *testing.T) {
+			outH := (c.inH+2*c.padH-c.kh)/c.stride + 1
+			outW := (c.inW+2*c.padW-c.kw)/c.stride + 1
+			hw := outH * outW
+			kSize := c.inC * c.kh * c.kw
+			rng := rand.New(rand.NewSource(int64(ci + 5)))
+			src := make([]float32, c.inC*c.n*c.inH*c.inW)
+			for i := range src {
+				src[i] = float32(rng.NormFloat64())
+			}
+			// Reference patch matrix, one image at a time (the packed
+			// batch layout keeps each (channel, image) plane contiguous).
+			ref := make([]float32, kSize*hw*c.n)
+			for b := 0; b < c.n; b++ {
+				for kr := 0; kr < kSize; kr++ {
+					ch := kr / (c.kh * c.kw)
+					r := kr % (c.kh * c.kw) / c.kw
+					s := kr % c.kw
+					im2colRow(src, ref[kr*hw*c.n+b*hw:kr*hw*c.n+(b+1)*hw],
+						(ch*c.n+b)*c.inH*c.inW, r, s, c.inH, c.inW, c.stride, c.padH, c.padW, outH, outW)
+				}
+			}
+			conv := bPacker{conv: true, src: src, inH: c.inH, inW: c.inW,
+				kh: c.kh, kw: c.kw, stride: c.stride, padH: c.padH, padW: c.padW,
+				outW: outW, cLo: 0, n: c.n, hw: hw}
+			plain := bPacker{b: ref, ldb: hw * c.n}
+			nTot := hw * c.n
+			for _, win := range []struct{ kp, kc, jp, nc int }{
+				{0, kSize, 0, nTot},
+				{kSize / 3, kSize - kSize/3, nTot / 3, nTot - nTot/3},
+				{1, min(5, kSize-1), 3, min(2*asmNR+5, nTot-3)},
+			} {
+				if win.kc < 1 || win.nc < 1 {
+					continue
+				}
+				strips := (win.nc + asmNR - 1) / asmNR * asmNR
+				got := make([]float32, strips*win.kc)
+				want := make([]float32, strips*win.kc)
+				conv.pack(win.kp, win.kc, win.jp, win.nc, got)
+				plain.pack(win.kp, win.kc, win.jp, win.nc, want)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("window %+v: packed[%d] = %g, want %g", win, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQuantizeSpanAsmParity: the AVX2 activation-quantization kernel
+// is byte-exact against the scalar math.Round loop — the lane math is
+// the same float64 arithmetic, and the trunc/bump decomposition of
+// round-half-away-from-zero is exact (see quant_avx2_amd64.s). The
+// sweep covers ragged tails, exact .5 boundaries where a one-ulp
+// rounding difference would flip the code, and values beyond the
+// int8 clamp on both sides.
+func TestQuantizeSpanAsmParity(t *testing.T) {
+	if !asmQuantOK {
+		t.Skip("quantize kernel not available on this host")
+	}
+	quantScalarRef := func(dst []int8, src []float32, inv, zero float64) {
+		for i := range src {
+			q := math.Round(float64(src[i])*inv) + zero
+			if q < -128 {
+				q = -128
+			}
+			if q > 127 {
+				q = 127
+			}
+			dst[i] = int8(q)
+		}
+	}
+	cases := []struct {
+		name      string
+		inv, zero float64
+	}{
+		{"unit", 1, 0},
+		{"relu6ish", 255.0 / 6.0, -128},
+		{"symmetric", 17.37, 0},
+		{"offset", 3.25, 11},
+		{"tiny_scale", 1e-3, -4},
+	}
+	for _, tc := range cases {
+		for _, n := range []int{1, 7, 8, 9, 15, 16, 33, 1000, 1003} {
+			src := make([]float32, n)
+			rng := rand.New(rand.NewSource(int64(n)*31 + 7))
+			for i := range src {
+				switch i % 5 {
+				case 0: // exact half-integer products under inv=1
+					src[i] = float32(i%300) - 150 + 0.5
+				case 1: // far beyond the clamp
+					src[i] = (rng.Float32() - 0.5) * 1e6
+				case 2:
+					src[i] = 0
+				default:
+					src[i] = (rng.Float32() - 0.5) * 20
+				}
+			}
+			got := make([]int8, n)
+			want := make([]int8, n)
+			quantizeSpan(got, src, tc.inv, tc.zero, 0, n)
+			quantScalarRef(want, src, tc.inv, tc.zero)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s n=%d: element %d: asm %d, scalar %d (src=%v)",
+						tc.name, n, i, got[i], want[i], src[i])
+				}
+			}
+		}
+	}
+}

@@ -35,11 +35,12 @@ func TestPreferMicroTileGuard(t *testing.T) {
 }
 
 // TestSgemmAccDriverParity runs sgemmAcc under every kernel selection
-// at shapes straddling the tile guard and the crossover working set,
-// and requires bit-identical C against the forced panel driver. This
-// pins the contract that lets the auto policy be retuned freely: the
-// drivers share one accumulation order, so selection is invisible in
-// the output.
+// at shapes straddling the tile guards and the crossover working sets,
+// against the forced panel driver. The pure-Go drivers share one
+// accumulation order, so KernelMicro — and every selection when the
+// asm path is off — must match bitwise; selections that can route to
+// the FMA tile compare within the asm_parity_test.go envelope. This
+// pins the contract that lets the auto policy be retuned freely.
 func TestSgemmAccDriverParity(t *testing.T) {
 	shapes := []struct{ m, k, n int }{
 		{microMR - 1, 8, 8},   // below the row guard: micro must fall back
@@ -62,15 +63,14 @@ func TestSgemmAccDriverParity(t *testing.T) {
 			}
 			ref := make([]float32, sh.m*sh.n)
 			sgemmAcc(KernelPanel, sh.m, sh.k, sh.n, sh.n, a, b, ref, 1)
-			for _, kern := range []KernelPath{KernelGEMM, KernelMicro} {
+			for _, kern := range []KernelPath{KernelGEMM, KernelMicro, KernelAsm} {
+				exact := kern == KernelMicro || !asmEnabled() ||
+					(kern == KernelGEMM && !preferAsm(sh.m, sh.k, sh.n))
 				for _, workers := range []int{1, 4} {
 					c := make([]float32, sh.m*sh.n)
 					sgemmAcc(kern, sh.m, sh.k, sh.n, sh.n, a, b, c, workers)
-					for i := range ref {
-						if c[i] != ref[i] {
-							t.Fatalf("%v workers=%d: c[%d] = %g, panel = %g", kern, workers, i, c[i], ref[i])
-						}
-					}
+					assertSliceParity(t, fmt.Sprintf("%v workers=%d vs panel", kern, workers),
+						c, ref, exact)
 				}
 			}
 		})

@@ -196,6 +196,29 @@ func conv2dGEMMBatch(arena *tensor.Arena, kern KernelPath, in *tensor.Tensor, in
 	// b·plane+pos — exactly the packed data order. No scratch is
 	// materialized, so no image retiling is needed either.
 	pure1x1 := kh == 1 && kw == 1 && stride == 1 && padH == 0 && padW == 0
+
+	// On the asm path the fused packer synthesizes patch windows
+	// straight from the packed input — across image boundaries — so
+	// the whole batch runs as one GEMM per group with no scratch; the
+	// driver's own NC/KC/MC blocking replaces batchTile's image-group
+	// retiling. Elementwise results stay bit-identical to n separate
+	// asm Forwards (batching only relocates an element's column, and
+	// SIMD lanes are independent).
+	if !pure1x1 && asmSgemmOK && (kern == KernelAsm || (kern == KernelGEMM && preferAsm(ocpg, kSize, nhw))) {
+		for g := 0; g < groups; g++ {
+			a := p.w[g*ocpg*kSize : (g+1)*ocpg*kSize]
+			c := out.Data[g*ocpg*nhw : (g+1)*ocpg*nhw]
+			pk := bPacker{
+				conv: true, src: in.Data,
+				inH: inH, inW: inW, kh: kh, kw: kw,
+				stride: stride, padH: padH, padW: padW, outW: outW,
+				cLo: g * icpg, n: n, hw: hw,
+			}
+			sgemmAsm(ocpg, kSize, nhw, nhw, a, pk, c, workers)
+		}
+		return out
+	}
+
 	if pure1x1 {
 		for g := 0; g < groups; g++ {
 			b := in.Data[g*icpg*n*inH*inW : (g+1)*icpg*n*inH*inW]

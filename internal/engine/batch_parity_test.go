@@ -12,11 +12,17 @@ import (
 
 // Batched-vs-batch-1 equivalence: ForwardBatch packs n inputs and runs
 // widened GEMMs, but every per-image output element accumulates the
-// same products in the same order as a solo Forward — so outputs must
-// be bit-identical, at any batch size and worker count.
+// same products in the same order as a solo Forward — so outputs are
+// bit-identical at any batch size and worker count when one driver
+// family handles both. With the asm path on, the widened shapes can
+// cross the asm crossover (or leave the n==1 sgemv shortcut) while the
+// solo shapes do not, putting FMA on one side only; the comparison
+// then falls back to the documented tolerance. The noasm build keeps
+// the bitwise contract pinned.
 
 // runBatchParity runs each input through a solo Forward and the whole
-// set through ForwardBatch, and requires exact equality per image.
+// set through ForwardBatch, and requires per-image equality — bitwise
+// when the asm path is off, within the FMA envelope otherwise.
 func runBatchParity(t *testing.T, g *dag.Graph, seed int64, ns ...int) {
 	t.Helper()
 	m := Load(g, seed)
@@ -45,12 +51,8 @@ func runBatchParity(t *testing.T, g *dag.Graph, seed int64, ns ...int) {
 				if !got[b].Shape.Equal(refs[b].Shape) {
 					t.Fatalf("n=%d workers=%d image %d: shape %v, want %v", n, workers, b, got[b].Shape, refs[b].Shape)
 				}
-				for i := range refs[b].Data {
-					if got[b].Data[i] != refs[b].Data[i] {
-						t.Fatalf("n=%d workers=%d image %d: out[%d] = %g, solo = %g",
-							n, workers, b, i, got[b].Data[i], refs[b].Data[i])
-					}
-				}
+				assertSliceParity(t, fmt.Sprintf("n=%d workers=%d image %d vs solo", n, workers, b),
+					got[b].Data, refs[b].Data, !asmEnabled())
 			}
 		}
 	}

@@ -48,6 +48,14 @@ const (
 	// KernelMicro forces the GEMM lowering onto the packed
 	// register-tile microkernel regardless of GOARCH.
 	KernelMicro
+	// KernelAsm forces the GEMM lowering onto the hand-written
+	// SIMD microkernel (AVX2+FMA on amd64, NEON on arm64) when the
+	// CPU supports it; on other builds (or under the noasm tag) it
+	// degrades to the KernelGEMM auto policy. Unlike the pure-Go
+	// drivers the FMA tile rounds once per multiply-add, so float32
+	// outputs agree with the other paths only within the documented
+	// tolerance (see gemm_asm.go); the int8 kernels remain exact.
+	KernelAsm
 )
 
 func (k KernelPath) String() string {
@@ -60,16 +68,19 @@ func (k KernelPath) String() string {
 		return "panel"
 	case KernelMicro:
 		return "micro"
+	case KernelAsm:
+		return "asm"
 	default:
 		return fmt.Sprintf("kernel(%d)", int(k))
 	}
 }
 
-// ParseKernelPath maps the CLI spelling ("gemm" or "direct") to a
-// KernelPath.
+// ParseKernelPath maps the CLI spelling to a KernelPath. "auto" (and
+// its historical alias "gemm") selects the shape-aware policy; the
+// other spellings force one driver.
 func ParseKernelPath(s string) (KernelPath, error) {
 	switch s {
-	case "gemm":
+	case "auto", "gemm":
 		return KernelGEMM, nil
 	case "direct":
 		return KernelDirect, nil
@@ -77,8 +88,10 @@ func ParseKernelPath(s string) (KernelPath, error) {
 		return KernelPanel, nil
 	case "micro":
 		return KernelMicro, nil
+	case "asm":
+		return KernelAsm, nil
 	default:
-		return 0, fmt.Errorf("engine: unknown kernel path %q (want gemm, panel, micro, or direct)", s)
+		return 0, fmt.Errorf("engine: unknown kernel path %q (want auto, gemm, panel, micro, asm, or direct)", s)
 	}
 }
 

@@ -1,0 +1,111 @@
+//go:build !noasm
+
+package engine
+
+import "os"
+
+// AVX2+FMA assembly gating for amd64. The kernels in
+// gemm_avx2_amd64.s / qgemm_avx2_amd64.s need AVX2, FMA3 and an OS
+// that saves YMM state; all three are probed once at init via CPUID /
+// XGETBV. Without them (or under the noasm build tag, or with
+// DNNJPS_NOASM set) the engine behaves exactly as before this kernel
+// existed: KernelGEMM resolves through preferMicro, which on amd64
+// means the streaming panel loop, bit-identical to the pre-asm build.
+
+const (
+	// asmMR x asmNR is the assembly register tile: 6 rows x 16
+	// columns keeps 12 YMM accumulators live with Y0..Y3 left for the
+	// B row halves and A broadcasts.
+	asmMR = 6
+	asmNR = 16
+
+	// Cache blocking for the packed asm driver. One packed B strip
+	// (asmKC x asmNR x 4 B = 16 KiB) stays L1-resident against the A
+	// strips; the packed A block (asmMC x asmKC x 4 B = 132 KiB) and
+	// B block (asmKC x asmNC x 4 B = 1 MiB) share L2/L3.
+	asmKC = 256
+	asmMC = 132  // multiple of asmMR
+	asmNC = 1024 // multiple of asmNR
+
+	// asmCrossoverBytes is the B working set (k*n*4 bytes) above which
+	// KernelGEMM routes to the FMA tile when available. Measured with
+	// BenchmarkSgemmCrossover (m=256, k=1152): asm beats the panel
+	// loop at every swept width, from 2.7x at n=16 (6.6 vs 2.5 MAC/ns)
+	// to ~9x at n=1024 (28.6 vs 3.1). A shallow-shape sweep confirms
+	// the win holds right down to the structural floor — a single
+	// 6x16 tile at k=16 runs 6.2 vs 3.0 MAC/ns — so the threshold is
+	// zero: the tile guard in preferAsm (m ≥ asmMR, n ≥ asmNR, k ≥ 8)
+	// is the whole policy on this architecture.
+	asmCrossoverBytes = 0
+
+	// Int8 tile: 4 rows x 16 columns of int32 accumulators.
+	asmQMR = 4
+	asmQNR = 16
+)
+
+// asmSgemmOK / asmQgemmOK / asmQuantOK report at runtime whether the
+// float32 GEMM, int8 GEMM and activation-quantization assembly kernels
+// may be used on this CPU.
+var asmSgemmOK, asmQgemmOK, asmQuantOK bool
+
+func init() {
+	if os.Getenv("DNNJPS_NOASM") != "" {
+		return
+	}
+	ok := cpuHasAVX2FMA()
+	asmSgemmOK, asmQgemmOK, asmQuantOK = ok, ok, ok
+}
+
+// cpuHasAVX2FMA probes CPUID leaf 1 (FMA, AVX, OSXSAVE), XGETBV
+// (OS-enabled XMM+YMM state) and leaf 7 (AVX2).
+func cpuHasAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuidAsm(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const osxsave, avx, fma = 1 << 27, 1 << 28, 1 << 12
+	_, _, c1, _ := cpuidAsm(1, 0)
+	if c1&osxsave == 0 || c1&avx == 0 || c1&fma == 0 {
+		return false
+	}
+	if lo, _ := xgetbvAsm(); lo&0x6 != 0x6 {
+		return false
+	}
+	_, b7, _, _ := cpuidAsm(7, 0)
+	return b7&(1<<5) != 0
+}
+
+//go:noescape
+func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbvAsm() (eax, edx uint32)
+
+//go:noescape
+func sgemmTile6x16(kc int, pa, pb, c *float32, ldc int)
+
+//go:noescape
+func qgemmTile4x16(kp2 int, pa, pb *int16, c *int32, ldc int)
+
+//go:noescape
+func qdotAsm(k16 int, a, x *int8) int32
+
+//go:noescape
+func quantizeSpanAsm(dst *int8, src *float32, inv, zero float64, n int)
+
+// asmSgemmTile runs the arch tile on packed strips pa/pb against the
+// C tile at c[off] with row stride ldc.
+func asmSgemmTile(kc int, pa, pb, c []float32, off, ldc int) {
+	sgemmTile6x16(kc, &pa[0], &pb[0], &c[off], ldc)
+}
+
+// asmQgemmTile runs the int8 tile over kp2 packed k-pairs.
+func asmQgemmTile(kp2 int, pa, pb []int16, c []int32, off, ldc int) {
+	qgemmTile4x16(kp2, &pa[0], &pb[0], &c[off], ldc)
+}
+
+// asmQdot returns the dot product of a[0:k32] and x[0:k32]; k32 must
+// be a multiple of 32.
+func asmQdot(k32 int, a, x []int8) int32 {
+	return qdotAsm(k32, &a[0], &x[0])
+}

@@ -1,0 +1,44 @@
+//go:build noasm || (!amd64 && !arm64)
+
+package engine
+
+// Assembly kernels disabled: either the noasm build tag is set or the
+// target architecture has no hand-written microkernel. asmSgemmOK and
+// asmQgemmOK are false constants here, so the dispatch in gemm.go and
+// qgemm.go compiles down to the pure-Go paths — bit-identical to the
+// pre-asm build — and the stub bodies below are unreachable.
+
+const (
+	asmMR = 6
+	asmNR = 16
+	asmKC = 256
+	asmMC = 132
+	asmNC = 1024
+
+	asmCrossoverBytes = -1
+
+	asmQMR = 4
+	asmQNR = 16
+)
+
+const (
+	asmSgemmOK = false
+	asmQgemmOK = false
+	asmQuantOK = false
+)
+
+func asmSgemmTile(kc int, pa, pb, c []float32, off, ldc int) {
+	panic("engine: assembly kernels disabled in this build")
+}
+
+func asmQgemmTile(kp2 int, pa, pb []int16, c []int32, off, ldc int) {
+	panic("engine: assembly kernels disabled in this build")
+}
+
+func asmQdot(k32 int, a, x []int8) int32 {
+	panic("engine: assembly kernels disabled in this build")
+}
+
+func quantizeSpanAsm(dst *int8, src *float32, inv, zero float64, n int) {
+	panic("engine: assembly kernels disabled in this build")
+}

@@ -6,8 +6,11 @@ import (
 )
 
 // BenchmarkSgemmCrossover sweeps the column count at a fixed deep-K
-// GEMM to locate where the packed microkernel overtakes the panel
-// loop; the sgemmAcc dispatch threshold is set from its output.
+// GEMM to locate where the packed drivers overtake the panel loop;
+// the sgemmAcc dispatch thresholds (microCrossoverBytes and
+// asmCrossoverBytes) are set from its output. The asm legs run only
+// where the assembly path is live, so ratios within one run compare
+// like with like.
 func BenchmarkSgemmCrossover(b *testing.B) {
 	const m, k = 256, 1152
 	a := make([]float32, m*k)
@@ -33,5 +36,46 @@ func BenchmarkSgemmCrossover(b *testing.B) {
 			}
 			b.ReportMetric(macs*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "MAC/ns")
 		})
+		if asmEnabled() {
+			b.Run(fmt.Sprintf("asm/n=%d", n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sgemmAsm(m, k, n, n, a, bPacker{b: bb, ldb: n}, c, 1)
+				}
+				b.ReportMetric(macs*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "MAC/ns")
+			})
+		}
+	}
+}
+
+// BenchmarkQgemmCrossover compares the int8 drivers the same way: the
+// scalar row-pair loop against the VPMADDWD tile (where live), at the
+// alexnet fc6 GEMV shape and conv-lowered matrix shapes.
+func BenchmarkQgemmCrossover(b *testing.B) {
+	const m, k = 256, 1152
+	a := make([]int8, m*k)
+	for i := range a {
+		a[i] = int8(i%251 - 125)
+	}
+	for _, n := range []int{16, 64, 256, 1024} {
+		bb := make([]int8, k*n)
+		c := make([]int32, m*n)
+		for i := range bb {
+			bb[i] = int8(i%241 - 120)
+		}
+		macs := float64(m) * float64(k) * float64(n)
+		b.Run(fmt.Sprintf("scalar/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				qgemmRows(0, m, k, n, a, bb, c)
+			}
+			b.ReportMetric(macs*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "MAC/ns")
+		})
+		if asmQgemmOK {
+			b.Run(fmt.Sprintf("asm/n=%d", n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					qgemmAsm(m, k, n, a, bb, c, 1)
+				}
+				b.ReportMetric(macs*float64(b.N)/float64(b.Elapsed().Nanoseconds()), "MAC/ns")
+			})
+		}
 	}
 }

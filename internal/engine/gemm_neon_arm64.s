@@ -1,0 +1,96 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// NEON float32 microkernel for arm64. The Go assembler has no
+// by-element FMLA form, so each A lane is broadcast with VDUP and fed
+// to a full-vector VFMLA — the arithmetic is identical (one rounding
+// per multiply-add, like the FMADD contraction the compiler already
+// applies to the pure-Go kernels on this architecture).
+
+// func sgemmTile8x8(kc int, pa, pb, c *float32, ldc int)
+//
+// C[0:8][0:8] += A·B over one packed K panel. pa is an 8-row k-major
+// strip (pa[kk*8+r]), pb an 8-column k-major strip (pb[kk*8+j]), c the
+// top-left C element with rows ldc floats apart. Sixteen 4-lane
+// accumulators hold the 8x8 tile (row r in V(2r), V(2r+1)); each k
+// step loads 8 B floats and 8 A floats and issues 16 FMLAs. Every C
+// element is loaded once, accumulated in ascending k in one register
+// lane, and stored once.
+//
+// Register map: V16/V17 = B halves, V18/V19 = A, V20..V27 = broadcast
+// lanes, V0..V15 = C.
+TEXT ·sgemmTile8x8(SB), NOSPLIT, $0-40
+	MOVD kc+0(FP), R0
+	MOVD pa+8(FP), R1
+	MOVD pb+16(FP), R2
+	MOVD c+24(FP), R3
+	MOVD ldc+32(FP), R4
+	LSL  $2, R4, R4          // row stride in bytes
+
+	// Load the 8x8 C tile.
+	MOVD R3, R5
+	VLD1 (R5), [V0.S4, V1.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V2.S4, V3.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V4.S4, V5.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V6.S4, V7.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V8.S4, V9.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V10.S4, V11.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V12.S4, V13.S4]
+	ADD  R4, R5
+	VLD1 (R5), [V14.S4, V15.S4]
+
+neonLoop:
+	VLD1.P 32(R2), [V16.S4, V17.S4]
+	VLD1.P 32(R1), [V18.S4, V19.S4]
+	VDUP  V18.S[0], V20.S4
+	VDUP  V18.S[1], V21.S4
+	VDUP  V18.S[2], V22.S4
+	VDUP  V18.S[3], V23.S4
+	VDUP  V19.S[0], V24.S4
+	VDUP  V19.S[1], V25.S4
+	VDUP  V19.S[2], V26.S4
+	VDUP  V19.S[3], V27.S4
+	VFMLA V20.S4, V16.S4, V0.S4
+	VFMLA V20.S4, V17.S4, V1.S4
+	VFMLA V21.S4, V16.S4, V2.S4
+	VFMLA V21.S4, V17.S4, V3.S4
+	VFMLA V22.S4, V16.S4, V4.S4
+	VFMLA V22.S4, V17.S4, V5.S4
+	VFMLA V23.S4, V16.S4, V6.S4
+	VFMLA V23.S4, V17.S4, V7.S4
+	VFMLA V24.S4, V16.S4, V8.S4
+	VFMLA V24.S4, V17.S4, V9.S4
+	VFMLA V25.S4, V16.S4, V10.S4
+	VFMLA V25.S4, V17.S4, V11.S4
+	VFMLA V26.S4, V16.S4, V12.S4
+	VFMLA V26.S4, V17.S4, V13.S4
+	VFMLA V27.S4, V16.S4, V14.S4
+	VFMLA V27.S4, V17.S4, V15.S4
+	SUB  $1, R0, R0
+	CBNZ R0, neonLoop
+
+	// Store the tile back.
+	MOVD R3, R5
+	VST1 [V0.S4, V1.S4], (R5)
+	ADD  R4, R5
+	VST1 [V2.S4, V3.S4], (R5)
+	ADD  R4, R5
+	VST1 [V4.S4, V5.S4], (R5)
+	ADD  R4, R5
+	VST1 [V6.S4, V7.S4], (R5)
+	ADD  R4, R5
+	VST1 [V8.S4, V9.S4], (R5)
+	ADD  R4, R5
+	VST1 [V10.S4, V11.S4], (R5)
+	ADD  R4, R5
+	VST1 [V12.S4, V13.S4], (R5)
+	ADD  R4, R5
+	VST1 [V14.S4, V15.S4], (R5)
+	RET

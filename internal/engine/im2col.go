@@ -118,6 +118,28 @@ func conv2dGEMM(arena *tensor.Arena, kern KernelPath, in *tensor.Tensor, outShap
 	}
 
 	pure1x1 := kh == 1 && kw == 1 && stride == 1 && padH == 0 && padW == 0
+
+	// The asm driver packs B panels straight from the input tensor
+	// (fused im2col) — the kSize×hw patch matrix is never materialized.
+	if asmSgemmOK && (kern == KernelAsm || (kern == KernelGEMM && preferAsm(ocpg, kSize, hw))) {
+		for g := 0; g < groups; g++ {
+			a := p.w[g*ocpg*kSize : (g+1)*ocpg*kSize]
+			c := out.Data[g*ocpg*hw : (g+1)*ocpg*hw]
+			pk := bPacker{
+				conv: true, src: in.Data,
+				inH: inH, inW: inW, kh: kh, kw: kw,
+				stride: stride, padH: padH, padW: padW, outW: outW,
+				cLo: g * icpg, n: 1, hw: hw,
+			}
+			if pure1x1 {
+				// The group's input planes already are the patch matrix.
+				pk = bPacker{b: in.Data[g*icpg*inH*inW : (g+1)*icpg*inH*inW], ldb: hw}
+			}
+			sgemmAsm(ocpg, kSize, hw, hw, a, pk, c, workers)
+		}
+		return out
+	}
+
 	var scratch []float32
 	if !pure1x1 {
 		scratch = arena.GetSlice(kSize * hw)

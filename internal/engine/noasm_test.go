@@ -1,0 +1,29 @@
+//go:build noasm
+
+package engine
+
+import "testing"
+
+// Under the noasm tag the assembly paths must be compiled out
+// entirely: asmEnabled() is a constant false, KernelAsm degrades to
+// the auto policy, and every parity test in this package runs in its
+// bitwise mode — pinning the build to the exact outputs of the
+// pure-Go drivers (the pre-asm behavior of this engine).
+func TestNoasmBuildDisablesAsm(t *testing.T) {
+	if asmEnabled() {
+		t.Fatal("asmEnabled() = true under the noasm build tag")
+	}
+	if asmQgemmOK {
+		t.Fatal("asmQgemmOK = true under the noasm build tag")
+	}
+	if asmQuantOK {
+		t.Fatal("asmQuantOK = true under the noasm build tag")
+	}
+	if preferAsm(256, 1152, 256) {
+		t.Fatal("preferAsm routed a shape to asm under the noasm build tag")
+	}
+	// KernelAsm stays selectable — it just routes to the auto policy.
+	if k, err := ParseKernelPath("asm"); err != nil || k != KernelAsm {
+		t.Fatalf("ParseKernelPath(asm) = %v, %v", k, err)
+	}
+}

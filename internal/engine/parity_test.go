@@ -11,9 +11,13 @@ import (
 	"dnnjps/internal/tensor"
 )
 
-// Direct-vs-GEMM equivalence: both kernel paths accumulate every
-// output element in the same fixed order, so outputs must compare
-// equal element by element — at any worker count.
+// Direct-vs-GEMM equivalence: the pure-Go kernel paths accumulate
+// every output element in the same fixed order, so their outputs must
+// compare equal element by element — at any worker count. Paths that
+// route to the FMA assembly tile (KernelAsm, and KernelGEMM past the
+// crossover when the CPU has it) keep the same accumulation order but
+// fuse each multiply-add into one rounding; they compare within the
+// envelope documented in asm_parity_test.go instead.
 
 func randInput(shape tensor.Shape, seed int64) *tensor.Tensor {
 	rng := rand.New(rand.NewSource(seed))
@@ -25,8 +29,10 @@ func randInput(shape tensor.Shape, seed int64) *tensor.Tensor {
 }
 
 // runBothKernels executes the model's forward pass on the direct path
-// (1 worker) and on every GEMM driver (auto, panel, micro) at several
-// worker counts, and requires all outputs to be equal.
+// (1 worker) and on every GEMM driver (auto, panel, micro, asm) at
+// several worker counts. Pure-Go drivers must match the direct output
+// bitwise; drivers that can reach the FMA asm tile compare within the
+// documented tolerance (and bitwise too when the asm path is off).
 func runBothKernels(t *testing.T, g *dag.Graph, seed int64) {
 	t.Helper()
 	in := randInput(g.Node(g.Source()).OutShape, seed+100)
@@ -35,7 +41,8 @@ func runBothKernels(t *testing.T, g *dag.Graph, seed int64) {
 	if err != nil {
 		t.Fatalf("direct forward: %v", err)
 	}
-	for _, kern := range []KernelPath{KernelGEMM, KernelPanel, KernelMicro} {
+	for _, kern := range []KernelPath{KernelGEMM, KernelPanel, KernelMicro, KernelAsm} {
+		exact := !asmEnabled() || kern == KernelPanel || kern == KernelMicro
 		for _, workers := range []int{1, 3, 8} {
 			got, err := m.WithKernel(kern).Parallel(workers).Forward(in.Clone())
 			if err != nil {
@@ -44,11 +51,8 @@ func runBothKernels(t *testing.T, g *dag.Graph, seed int64) {
 			if !got.Shape.Equal(ref.Shape) {
 				t.Fatalf("%v workers=%d: shape %v, want %v", kern, workers, got.Shape, ref.Shape)
 			}
-			for i := range ref.Data {
-				if got.Data[i] != ref.Data[i] {
-					t.Fatalf("%v workers=%d: out[%d] = %g, direct = %g", kern, workers, i, got.Data[i], ref.Data[i])
-				}
-			}
+			assertSliceParity(t, fmt.Sprintf("%v workers=%d vs direct", kern, workers),
+				got.Data, ref.Data, exact)
 		}
 	}
 	m.WithKernel(KernelGEMM).Parallel(1)
@@ -142,8 +146,9 @@ func TestConvGoldenBothKernels(t *testing.T) {
 		4, 5, 6,
 		7, 8, 9,
 	})
+	// Small integers: exact under FMA too, so KernelAsm compares equal.
 	want := []float32{12, 16, 24, 28}
-	for _, k := range []KernelPath{KernelGEMM, KernelPanel, KernelMicro, KernelDirect} {
+	for _, k := range []KernelPath{KernelGEMM, KernelPanel, KernelMicro, KernelAsm, KernelDirect} {
 		out, err := m.WithKernel(k).Forward(input.Clone())
 		if err != nil {
 			t.Fatal(err)

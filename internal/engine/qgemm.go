@@ -9,10 +9,16 @@ package engine
 // order-independent.
 
 // qgemmAcc computes C (int32, m×n row-major) = A (int8, m×k) · B
-// (int8, k×n), overwriting C. Rows are split across workers; within a
-// worker the inner loop walks row pairs with k unrolled by four, the
-// integer sibling of sgemmPanel's hot loop.
+// (int8, k×n), overwriting C. On CPUs with the int8 assembly tile the
+// packed VPMADDWD driver runs (bit-identical — integer sums are
+// exact); otherwise rows are split across workers and the inner loop
+// walks row pairs with k unrolled by four, the integer sibling of
+// sgemmPanel's hot loop.
 func qgemmAcc(m, k, n int, a, b []int8, c []int32, workers int) {
+	if asmQgemmOK && m >= asmQMR && n >= asmQNR && k >= 8 {
+		qgemmAsm(m, k, n, a, b, c, workers)
+		return
+	}
 	if serialSpan(workers, m) {
 		qgemmRows(0, m, k, n, a, b, c)
 		return
@@ -89,9 +95,21 @@ func qgemmRows(lo, hi, k, n int, a, b []int8, c []int32) {
 }
 
 // qgemvAcc computes y (int32, m) = A (int8, m×k) · x (int8, k), rows
-// split across workers, four rows interleaved to break the dependency
-// chain on the accumulators.
+// split across workers. With the assembly dot kernel available each
+// row runs 32 codes per step through VPMADDWD (exact, bit-identical);
+// otherwise four rows are interleaved to break the dependency chain on
+// the accumulators.
 func qgemvAcc(m, k int, a, x []int8, y []int32, workers int) {
+	if asmQgemmOK && k >= 32 {
+		if serialSpan(workers, m) {
+			qgemvAsmRows(0, m, k, a, x, y)
+			return
+		}
+		parallelFor(workers, m, func(lo, hi int) {
+			qgemvAsmRows(lo, hi, k, a, x, y)
+		})
+		return
+	}
 	if serialSpan(workers, m) {
 		qgemvRows(0, m, k, a, x, y)
 		return

@@ -1,0 +1,119 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// AVX2 int8 microkernels. Operands are sign-extended to int16 at pack
+// time (see qgemmAsm in gemm_asm.go), so the inner instruction is
+// VPMADDWD: s16*s16 products summed pairwise into exact int32 lanes.
+// With |codes| <= 128 a pair sum is at most 2*128*127, far from the
+// only VPMADDWD saturation point (both products = 0x40000000), so the
+// accumulation is exact — integer addition is associative, and these
+// kernels are bit-identical to the scalar int8 path.
+
+// func qgemmTile4x16(kp2 int, pa, pb *int16, c *int32, ldc int)
+//
+// C[0:4][0:16] += A·B over one packed K panel of kp2 k-PAIRS. pa holds
+// 4 rows pair-interleaved (pa[p*8 + r*2 + d] = row r, k = 2p+d), pb 16
+// columns pair-interleaved (pb[p*32 + j*2 + d]). Each pair step
+// broadcasts a row's (k, k+1) s16 pair as a dword and VPMADDWDs it
+// against the two 8-column B halves: 8 madd + 8 add per step for 128
+// MACs. c points at the int32 tile top-left, rows ldc lanes apart.
+//
+// Register map: Y0/Y1 = B halves, Y2 = broadcast pair, Y3 = madd tmp,
+// Y8..Y15 = C accumulators (4 rows x 2 halves).
+TEXT ·qgemmTile4x16(SB), NOSPLIT, $0-40
+	MOVQ kp2+0(FP), CX
+	MOVQ pa+8(FP), DI
+	MOVQ pb+16(FP), SI
+	MOVQ c+24(FP), DX
+	MOVQ ldc+32(FP), R8
+	SHLQ $2, R8              // row stride in bytes
+	LEAQ (R8)(R8*2), R9      // 3*ldc bytes
+
+	VMOVDQU (DX), Y8
+	VMOVDQU 32(DX), Y9
+	VMOVDQU (DX)(R8*1), Y10
+	VMOVDQU 32(DX)(R8*1), Y11
+	VMOVDQU (DX)(R8*2), Y12
+	VMOVDQU 32(DX)(R8*2), Y13
+	VMOVDQU (DX)(R9*1), Y14
+	VMOVDQU 32(DX)(R9*1), Y15
+
+qtileLoop:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VPBROADCASTD (DI), Y2
+	VPMADDWD Y0, Y2, Y3
+	VPADDD   Y3, Y8, Y8
+	VPMADDWD Y1, Y2, Y3
+	VPADDD   Y3, Y9, Y9
+	VPBROADCASTD 4(DI), Y2
+	VPMADDWD Y0, Y2, Y3
+	VPADDD   Y3, Y10, Y10
+	VPMADDWD Y1, Y2, Y3
+	VPADDD   Y3, Y11, Y11
+	VPBROADCASTD 8(DI), Y2
+	VPMADDWD Y0, Y2, Y3
+	VPADDD   Y3, Y12, Y12
+	VPMADDWD Y1, Y2, Y3
+	VPADDD   Y3, Y13, Y13
+	VPBROADCASTD 12(DI), Y2
+	VPMADDWD Y0, Y2, Y3
+	VPADDD   Y3, Y14, Y14
+	VPMADDWD Y1, Y2, Y3
+	VPADDD   Y3, Y15, Y15
+	ADDQ $16, DI
+	ADDQ $64, SI
+	DECQ CX
+	JNZ  qtileLoop
+
+	VMOVDQU Y8, (DX)
+	VMOVDQU Y9, 32(DX)
+	VMOVDQU Y10, (DX)(R8*1)
+	VMOVDQU Y11, 32(DX)(R8*1)
+	VMOVDQU Y12, (DX)(R8*2)
+	VMOVDQU Y13, 32(DX)(R8*2)
+	VMOVDQU Y14, (DX)(R9*1)
+	VMOVDQU Y15, 32(DX)(R9*1)
+	VZEROUPPER
+	RET
+
+// func qdotAsm(k16 int, a, x *int8) int32
+//
+// Dot product of two int8 vectors over k16 elements (a multiple of 32;
+// the caller finishes any remainder in Go). Each step sign-extends 16
+// bytes of each operand to s16 and VPMADDWDs them; two independent
+// accumulators hide the add latency, and a horizontal reduce folds the
+// 8 int32 lanes at the end.
+TEXT ·qdotAsm(SB), NOSPLIT, $0-28
+	MOVQ k16+0(FP), CX
+	MOVQ a+8(FP), DI
+	MOVQ x+16(FP), SI
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	SHRQ $5, CX              // 32 elements per iteration
+
+qdotLoop:
+	VPMOVSXBW (DI), Y0
+	VPMOVSXBW (SI), Y1
+	VPMADDWD Y1, Y0, Y2
+	VPADDD   Y2, Y4, Y4
+	VPMOVSXBW 16(DI), Y0
+	VPMOVSXBW 16(SI), Y1
+	VPMADDWD Y1, Y0, Y2
+	VPADDD   Y2, Y5, Y5
+	ADDQ $32, DI
+	ADDQ $32, SI
+	DECQ CX
+	JNZ  qdotLoop
+
+	VPADDD Y5, Y4, Y4
+	VEXTRACTI128 $1, Y4, X1
+	VPADDD X1, X4, X4
+	VPSHUFD $0xEE, X4, X1
+	VPADDD X1, X4, X4
+	VPSHUFD $0x55, X4, X1
+	VPADDD X1, X4, X4
+	VZEROUPPER
+	MOVL X4, ret+24(FP)
+	RET

@@ -331,33 +331,122 @@ func (m *Model) qdwconv2d(id int, l *nn.DepthwiseConv2D, in *tensor.Tensor, pred
 
 // qdwChannels convolves depthwise channels [lo, hi) of the quantized
 // input into dst, requantizing each element as it is produced.
+//
+// Interior positions — where every tap lands inside the input — run a
+// branch-free loop with the zero-point hoisted out: since all taps are
+// live there, Σ k·(x−zx) = Σ k·x − zx·Σk exactly in int32 (|acc| stays
+// far below overflow for int8 codes), so the inner loop is pure
+// multiply-adds and the correction folds into one subtract per output.
+// Border positions keep the per-tap skip loop, which is what defines
+// padding semantics. The 3x3 interior — every depthwise layer in
+// mobilenetv2 — is fully unrolled; this kernel dominates the quantized
+// forward of depthwise-separable models (it has no GEMM shape the
+// VPMADDWD tile could take over).
 func qdwChannels(lo, hi int, qin []int8, dst []float32, ql *qlayer, qp tensor.QParams, zx int32,
 	kh, kw, stride, pad, inH, inW, outH, outW int) {
+	// Interior output range: oh*stride-pad+r in [0, inH) for every r.
+	ohLo, ohHi := interiorSpan(outH, stride, pad, kh, inH)
+	owLo, owHi := interiorSpan(outW, stride, pad, kw, inW)
 	for c := lo; c < hi; c++ {
 		src := qin[c*inH*inW:]
 		out := dst[c*outH*outW:]
-		krn := ql.qw[c*kh*kw:]
+		krn := ql.qw[c*kh*kw : c*kh*kw+kh*kw]
 		mul := qp.Scale * ql.ws[c]
 		bias := ql.bias[c]
-		for oh := 0; oh < outH; oh++ {
-			for ow := 0; ow < outW; ow++ {
-				var acc int32
-				for r := 0; r < kh; r++ {
-					ih := oh*stride - pad + r
-					if ih < 0 || ih >= inH {
-						continue
-					}
-					for s := 0; s < kw; s++ {
-						iw := ow*stride - pad + s
-						if iw < 0 || iw >= inW {
-							continue
-						}
-						acc += int32(krn[r*kw+s]) * (int32(src[ih*inW+iw]) - zx)
-					}
+		var ksum int32
+		for _, k := range krn {
+			ksum += int32(k)
+		}
+		zcorr := zx * ksum
+		for oh := ohLo; oh < ohHi; oh++ {
+			ihBase := oh*stride - pad
+			orow := out[oh*outW:]
+			if kh == 3 && kw == 3 {
+				r0 := src[ihBase*inW:]
+				r1 := src[(ihBase+1)*inW:]
+				r2 := src[(ihBase+2)*inW:]
+				k0, k1, k2 := int32(krn[0]), int32(krn[1]), int32(krn[2])
+				k3, k4, k5 := int32(krn[3]), int32(krn[4]), int32(krn[5])
+				k6, k7, k8 := int32(krn[6]), int32(krn[7]), int32(krn[8])
+				for ow := owLo; ow < owHi; ow++ {
+					iw := ow*stride - pad
+					acc := k0*int32(r0[iw]) + k1*int32(r0[iw+1]) + k2*int32(r0[iw+2]) +
+						k3*int32(r1[iw]) + k4*int32(r1[iw+1]) + k5*int32(r1[iw+2]) +
+						k6*int32(r2[iw]) + k7*int32(r2[iw+1]) + k8*int32(r2[iw+2])
+					orow[ow] = float32(acc-zcorr)*mul + bias
 				}
-				out[oh*outW+ow] = float32(acc)*mul + bias
+			} else {
+				for ow := owLo; ow < owHi; ow++ {
+					iwBase := ow*stride - pad
+					var acc int32
+					for r := 0; r < kh; r++ {
+						row := src[(ihBase+r)*inW+iwBase:]
+						kr := krn[r*kw:]
+						for s := 0; s < kw; s++ {
+							acc += int32(kr[s]) * int32(row[s])
+						}
+					}
+					orow[ow] = float32(acc-zcorr)*mul + bias
+				}
 			}
 		}
+		// Border: original skip loop over everything outside the
+		// interior rectangle.
+		for oh := 0; oh < outH; oh++ {
+			owS, owE := 0, outW
+			if oh >= ohLo && oh < ohHi {
+				if owLo >= owHi {
+					owS, owE = 0, outW
+				} else {
+					qdwBorderRow(out, src, krn, mul, bias, zx, oh, 0, owLo, kh, kw, stride, pad, inH, inW, outW)
+					qdwBorderRow(out, src, krn, mul, bias, zx, oh, owHi, outW, kh, kw, stride, pad, inH, inW, outW)
+					continue
+				}
+			}
+			qdwBorderRow(out, src, krn, mul, bias, zx, oh, owS, owE, kh, kw, stride, pad, inH, inW, outW)
+		}
+	}
+}
+
+// interiorSpan returns the [lo, hi) output range along one axis whose
+// receptive fields lie fully inside the input: o*stride-pad >= 0 and
+// o*stride-pad+k-1 < in.
+func interiorSpan(out, stride, pad, k, in int) (lo, hi int) {
+	lo = (pad + stride - 1) / stride
+	hi = (in - k + pad) / stride
+	hi++
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > out {
+		hi = out
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// qdwBorderRow computes output columns [owS, owE) of row oh with the
+// tap-skipping loop (out-of-bounds taps contribute exactly zero).
+func qdwBorderRow(out []float32, src []int8, krn []int8, mul, bias float32, zx int32,
+	oh, owS, owE, kh, kw, stride, pad, inH, inW, outW int) {
+	for ow := owS; ow < owE; ow++ {
+		var acc int32
+		for r := 0; r < kh; r++ {
+			ih := oh*stride - pad + r
+			if ih < 0 || ih >= inH {
+				continue
+			}
+			for s := 0; s < kw; s++ {
+				iw := ow*stride - pad + s
+				if iw < 0 || iw >= inW {
+					continue
+				}
+				acc += int32(krn[r*kw+s]) * (int32(src[ih*inW+iw]) - zx)
+			}
+		}
+		out[oh*outW+ow] = float32(acc)*mul + bias
 	}
 }
 
@@ -397,8 +486,16 @@ func quantizeAct(dst []int8, src []float32, p tensor.QParams, workers int) {
 	})
 }
 
-// quantizeSpan quantizes elements [lo, hi).
+// quantizeSpan quantizes elements [lo, hi). The assembly kernel (see
+// quant_avx2_amd64.s) takes 8-element groups and is bit-identical to
+// the scalar loop below, which always handles the tail — and, without
+// asm, the whole span.
 func quantizeSpan(dst []int8, src []float32, inv, zero float64, lo, hi int) {
+	if asmQuantOK && hi-lo >= 8 {
+		n := (hi - lo) &^ 7
+		quantizeSpanAsm(&dst[lo], &src[lo], inv, zero, n)
+		lo += n
+	}
 	for i := lo; i < hi; i++ {
 		q := math.Round(float64(src[i])*inv) + zero
 		if q < -128 {

@@ -1,0 +1,81 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// AVX2 activation quantization. The scalar contract in quantizeSpan is
+//
+//	q = math.Round(float64(src[i])*inv) + zero, clamped to [-128, 127]
+//
+// and this kernel reproduces it bit for bit on finite inputs by doing
+// the same float64 arithmetic four lanes at a time. math.Round itself
+// (round half away from zero) has no SSE/AVX instruction, but it
+// decomposes exactly into two truncations:
+//
+//	r = trunc(x); f = x - r; round(x) = r + trunc(f+f)
+//
+// x - trunc(x) is exact for every finite x (Sterbenz for |x| >= 1,
+// trivially for |x| < 1, and f = 0 once x is integral), f+f is a
+// power-of-two scale, trunc(f+f) is the +-1/0 half-away bump, and the
+// final add is exact because r is integral with |r| well below 2^52
+// after the clamp range is applied. VROUNDPD $3 is truncation, so each
+// lane matches the scalar math to the last bit. The clamp runs as
+// VMAXPD/VMINPD before conversion, so the CVTTPD2DQ and the saturating
+// packs never see an out-of-range lane. Non-finite inputs are the one
+// divergence (NaN clamps to -128 here, converts to 0 in Go); callers
+// only pass activations, which are finite.
+
+// func quantizeSpanAsm(dst *int8, src *float32, inv, zero float64, n int)
+//
+// Quantizes src[0:n] into dst[0:n]; n must be a positive multiple of 8.
+// Register map: Y10 = inv, Y11 = zero, Y12/Y13 = clamp bounds,
+// Y0..Y3 working lanes for the two 4-double halves of each 8-element
+// step.
+DATA qclampLo<>+0(SB)/8, $0xC060000000000000 // float64(-128)
+GLOBL qclampLo<>(SB), RODATA, $8
+DATA qclampHi<>+0(SB)/8, $0x405FC00000000000 // float64(127)
+GLOBL qclampHi<>(SB), RODATA, $8
+
+TEXT ·quantizeSpanAsm(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+32(FP), CX
+
+	VBROADCASTSD inv+16(FP), Y10
+	VBROADCASTSD zero+24(FP), Y11
+	VBROADCASTSD qclampLo<>(SB), Y12
+	VBROADCASTSD qclampHi<>(SB), Y13
+
+loop:
+	VCVTPS2PD (SI), Y0       // elements 0..3 as float64
+	VCVTPS2PD 16(SI), Y1     // elements 4..7
+	VMULPD    Y10, Y0, Y0    // x = float64(src)*inv
+	VMULPD    Y10, Y1, Y1
+	VROUNDPD  $3, Y0, Y2     // r = trunc(x)
+	VROUNDPD  $3, Y1, Y3
+	VSUBPD    Y2, Y0, Y0     // f = x - r (exact)
+	VSUBPD    Y3, Y1, Y1
+	VADDPD    Y0, Y0, Y0     // 2f (exact)
+	VADDPD    Y1, Y1, Y1
+	VROUNDPD  $3, Y0, Y0     // half-away bump: trunc(2f) in {-1,0,+1}
+	VROUNDPD  $3, Y1, Y1
+	VADDPD    Y2, Y0, Y0     // round(x)
+	VADDPD    Y3, Y1, Y1
+	VADDPD    Y11, Y0, Y0    // + zero point
+	VADDPD    Y11, Y1, Y1
+	VMAXPD    Y12, Y0, Y0    // clamp to [-128, 127]
+	VMAXPD    Y12, Y1, Y1
+	VMINPD    Y13, Y0, Y0
+	VMINPD    Y13, Y1, Y1
+	VCVTTPD2DQY Y0, X0        // 4 int32
+	VCVTTPD2DQY Y1, X1
+	VPACKSSDW X1, X0, X0     // 8 int16 (already in range: packs don't saturate)
+	VPACKSSWB X0, X0, X0     // 8 int8 in the low qword
+	MOVQ      X0, (DI)
+
+	ADDQ $32, SI
+	ADDQ $8, DI
+	SUBQ $8, CX
+	JNZ  loop
+
+	VZEROUPPER
+	RET

@@ -60,7 +60,7 @@ type RuntimeBatchResult struct {
 func RuntimeBatch(env Env, model string, ch netsim.Channel, jobCounts []int, windows []time.Duration, batchMax int, timeScale float64) ([]*RuntimeBatchResult, error) {
 	g := mustModel(model)
 	const seed = 42
-	m := engine.Load(g, seed)
+	m := engine.Load(g, seed).WithKernel(env.Kernel)
 	units := profile.LineView(g)
 
 	// Deepest offloaded cut whose suffix still holds parameterized

@@ -47,7 +47,7 @@ func (r *FaultRow) Ratio() float64 {
 // jobs survive.
 func RuntimeFaults(env Env, model string, ch netsim.Channel, n int, timeScale float64, dropPcts []float64, seed int64) ([]*FaultRow, error) {
 	g := mustModel(model)
-	m := engine.Load(g, 42)
+	m := engine.Load(g, 42).WithKernel(env.Kernel)
 	curve := env.curveFor(g, ch)
 	plan, err := core.JPS(curve, n)
 	if err != nil {

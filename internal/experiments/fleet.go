@@ -77,7 +77,7 @@ func RuntimeFleet(env Env, model string, ch netsim.Channel, clientCounts []int, 
 	window time.Duration, batchMax, shedWatermark int, timeScale float64) ([]*RuntimeFleetResult, error) {
 	g := mustModel(model)
 	const seed = 42
-	m := engine.Load(g, seed)
+	m := engine.Load(g, seed).WithKernel(env.Kernel)
 	units := profile.LineView(g)
 	cut := deepParamCut(g, units)
 	var prefix []int

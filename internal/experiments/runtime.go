@@ -55,7 +55,7 @@ func (r *RuntimeResult) Speedup() float64 {
 func RuntimePipeline(env Env, model string, ch netsim.Channel, n int, timeScale float64) (*RuntimeResult, error) {
 	g := mustModel(model)
 	const seed = 42
-	m := engine.Load(g, seed)
+	m := engine.Load(g, seed).WithKernel(env.Kernel)
 	plan, err := core.JPS(env.curveFor(g, ch), n)
 	if err != nil {
 		return nil, err

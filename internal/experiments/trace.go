@@ -43,7 +43,7 @@ type TraceResult struct {
 func RuntimeTrace(env Env, model string, ch netsim.Channel, n int, timeScale float64) (*TraceResult, error) {
 	g := mustModel(model)
 	const seed = 42
-	m := engine.Load(g, seed)
+	m := engine.Load(g, seed).WithKernel(env.Kernel)
 	plan, err := core.JPS(env.curveFor(g, ch), n)
 	if err != nil {
 		return nil, err

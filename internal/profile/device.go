@@ -123,24 +123,31 @@ func CloudGPU() Device {
 // else is unchanged (the runtime keeps activations, pooling, and
 // residual arithmetic in float32 between quantized layers).
 //
-// The factors are the well-known int8 wins on mobile CPUs with
-// narrow-integer dot-product units (NEON sdot/udot class):
+// Since the VPMADDWD assembly tile landed, the factors are grounded in
+// this repo's own measured int8/f32 kernel ratios on the AVX2
+// reference host (BenchmarkQgemmCrossover vs BenchmarkSgemmCrossover,
+// BenchmarkDense_4096x4096, BenchmarkForward quant legs; see
+// EXPERIMENTS.md):
 //
-//   - conv ≈ 2x — compute-bound; int8 MACs pack 4 lanes per 32-bit
-//     accumulator where fp32 packs 1, minus requantize overhead.
-//   - dense ≈ 3x — memory-bound on streamed weights; int8 weights are
-//     a quarter of the traffic, and the epilogue is O(outputs).
-//   - depthwise ≈ 1.5x — low arithmetic intensity, so the requantize
-//     epilogue eats a larger share of the smaller win.
-//
-// Note this models deployment hardware, not this repo's reference
-// kernels: scalar int8 multiplies in gc-compiled Go have no throughput
-// edge over float32 (see EXPERIMENTS.md, quantized path).
+//   - conv ≈ 1.6x — compute-bound; the int8 tile retires two
+//     multiply-adds per lane pair against FMA's one (34 vs 26-29
+//     MAC/ns measured), plus halved B-panel packing traffic, minus the
+//     requantize/quantize epilogues.
+//   - dense ≈ 4x — memory-bound on streamed weights, so the speedup
+//     tracks bytes, not MACs: int8 weights are a quarter of the
+//     traffic. (The reference host measures 8.4x because its f32 GEMV
+//     is scalar; 4x is the traffic-bound figure a device with a
+//     vectorized f32 GEMV would see.)
+//   - depthwise ≈ 1.1x — no int8 SIMD depthwise kernel here, and the
+//     arithmetic intensity is too low for the pack-traffic win to
+//     matter: scalar int8 with the hoisted zero-point correction is
+//     roughly at parity with the f32 plane loop, so only sdot-class
+//     hardware keeps a modest edge.
 func (d Device) Quantized() Device {
 	factor := map[nn.Kind]float64{
-		nn.KindConv:          2.0,
-		nn.KindDense:         3.0,
-		nn.KindDepthwiseConv: 1.5,
+		nn.KindConv:          1.6,
+		nn.KindDense:         4.0,
+		nn.KindDepthwiseConv: 1.1,
 	}
 	out := Device{
 		Name:             d.Name + "_int8",

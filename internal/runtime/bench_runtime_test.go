@@ -79,6 +79,19 @@ func benchSetup(b *testing.B) (*engine.Model, *core.Plan, []*tensor.Tensor, floa
 		if scale <= 0 {
 			scale = 1
 		}
+		// Floor the scale so each paced upload spans many scheduler
+		// quanta. When the assembly kernels cut whole-model compute
+		// ~3.5x, the calibrated balance point dropped per-upload wall
+		// windows toward the ~10 ms preemption granularity of a
+		// single-core host; timer oversleep while the server worker
+		// holds the CPU then reads as a ~40% bandwidth shortfall and
+		// trips the adaptive replanner's 30% divergence trigger on a
+		// perfectly healthy link. The floor trades exact stage balance
+		// for pacing fidelity — both legs of each within-run ratio
+		// (adaptive/static, solo/batched) shift identically.
+		if scale < 2 {
+			scale = 2
+		}
 		benchState.m, benchState.plan, benchState.inputs, benchState.scale = m, plan, inputs, scale
 	})
 	if benchState.err != nil {
@@ -336,7 +349,7 @@ func BenchmarkRunnerAdaptive(b *testing.B) {
 				b.Fatalf("got %d results", len(rep.Results))
 			}
 			if rep.Replans != 0 {
-				b.Fatalf("steady link replanned %d times", rep.Replans)
+				b.Fatalf("steady link replanned %d times (est %.2f Mbps, %d change points)", rep.Replans, rep.EstimatedMbps, rep.ChangePoints)
 			}
 		}
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(plan.Cuts)), "ns/job")

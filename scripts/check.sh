@@ -27,14 +27,24 @@ echo "== go build"
 go build ./...
 
 echo "== go build (GOARCH=arm64 cross-compile)"
-# The register-tile microkernel is goarch-gated (gemm_tile_*.go); a
-# cross-build catches arm64-only breakage without arm64 hardware.
+# The register-tile microkernel is goarch-gated (gemm_tile_*.go) and
+# the NEON assembly kernel (gemm_neon_arm64.s) only assembles for
+# arm64; a cross-build catches breakage in both without arm64 hardware.
 GOOS=linux GOARCH=arm64 go build ./...
+
+echo "== go build/test -tags noasm (pure-Go fallback must not rot)"
+# The noasm build is the contract for non-AVX2 hosts: bit-identical to
+# the pre-assembly panel path (see noasm_test.go). Engine tests carry
+# the parity suite; the full build catches tag skew anywhere else.
+go build -tags noasm ./...
+go test -tags noasm ./internal/engine/
 
 echo "== go test"
 go test ./...
 
 echo "== go test -race (engine, flowshop)"
+# On AVX2 hosts this leg drives the assembly kernels too: the parity
+# tests force KernelAsm at workers>1, racing the packed-panel fan-out.
 go test -race ./internal/engine/... ./internal/flowshop/...
 
 echo "== go test -race -count=2 (runtime pipeline)"
@@ -75,6 +85,7 @@ for target in FuzzReadTensor FuzzHandleConn FuzzReadInferRequest FuzzReadInferRe
 done
 fuzz_smoke FuzzInjector ./internal/netsim/
 fuzz_smoke FuzzEstimator ./internal/estimator/
+fuzz_smoke FuzzSgemmAsmVsScalar ./internal/engine/
 
 echo "== multi-client e2e smoke (jpsserve, 4 tenants, SIGTERM drain)"
 SMOKE_LOG="$(mktemp)"
